@@ -1,0 +1,105 @@
+"""Ablation: composite-key pruning -- first dimension vs all dimensions.
+
+The shipped SHC prunes on the first dimension of composite keys only; the
+paper's future-work section promises all-dimension pruning.  Both are
+implemented here; this bench quantifies what the extension buys on a query
+constraining several leading key dimensions.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.core.catalog import HBaseSparkConf, HBaseTableCatalog
+from repro.core.relation import DEFAULT_FORMAT
+from repro.hbase.cluster import HBaseCluster
+from repro.sql.session import SparkSession
+from repro.sql.types import DoubleType, IntegerType, StructField, StructType
+
+from conftest import write_report
+
+CATALOG = json.dumps({
+    "table": {"namespace": "default", "name": "metrics", "tableCoder": "Phoenix"},
+    "rowkey": "day:sensor:seq",
+    "columns": {
+        "day": {"cf": "rowkey", "col": "day", "type": "int"},
+        "sensor": {"cf": "rowkey", "col": "sensor", "type": "int"},
+        "seq": {"cf": "rowkey", "col": "seq", "type": "int"},
+        "reading": {"cf": "f", "col": "reading", "type": "double"},
+    },
+})
+SCHEMA = StructType([
+    StructField("day", IntegerType),
+    StructField("sensor", IntegerType),
+    StructField("seq", IntegerType),
+    StructField("reading", DoubleType),
+])
+HOSTS = ["node1", "node2", "node3"]
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    cluster = HBaseCluster("compkey", HOSTS)
+    session = SparkSession(HOSTS, executors_requested=3, clock=cluster.clock)
+    rows = [
+        (day, sensor, seq, float(day * sensor + seq))
+        for day in range(30)
+        for sensor in range(20)
+        for seq in range(3)
+    ]
+    options = {
+        HBaseTableCatalog.tableCatalog: CATALOG,
+        HBaseTableCatalog.newTable: "6",
+        "hbase.zookeeper.quorum": cluster.quorum,
+    }
+    session.create_dataframe(rows, SCHEMA).write \
+        .format(DEFAULT_FORMAT).options(options).save()
+    cluster.compact_table("metrics", major=True)
+    return session, options
+
+
+QUERY = "day = 17 and sensor = 7"
+
+
+@pytest.mark.parametrize("label,extra", [
+    ("first-dimension (paper)", {}),
+    ("all-dimension (future work)", {HBaseSparkConf.PRUNE_ALL_DIMENSIONS: "true"}),
+])
+def test_composite_pruning(benchmark, loaded, label, extra):
+    session, options = loaded
+    merged = dict(options)
+    merged.update(extra)
+
+    def run():
+        df = session.read.format(DEFAULT_FORMAT).options(merged).load()
+        return df.filter(QUERY).run()
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    _RESULTS[label] = result
+    benchmark.extra_info["simulated_seconds"] = result.seconds
+
+
+def test_composite_pruning_report(benchmark):
+    def report():
+        first = _RESULTS["first-dimension (paper)"]
+        alldim = _RESULTS["all-dimension (future work)"]
+        rows = [
+            [label, f"{r.seconds:.2f}s",
+             f"{r.metrics.get('hbase.rows_visited', 0):.0f}",
+             f"{r.metrics.get('hbase.bytes_scanned', 0) / 1024:.1f}KB"]
+            for label, r in _RESULTS.items()
+        ]
+        write_report(
+            "ablation_composite_key",
+            format_table(["pruning mode", "latency", "rows visited", "bytes scanned"],
+                         rows, f"Ablation: composite-key pruning ({QUERY})"),
+        )
+        assert sorted(map(tuple, first.rows)) == sorted(map(tuple, alldim.rows))
+        assert alldim.metrics.get("hbase.rows_visited") <= \
+            first.metrics.get("hbase.rows_visited")
+        assert alldim.seconds <= first.seconds
+
+
+    benchmark.pedantic(report, iterations=1, rounds=1)

@@ -1,0 +1,88 @@
+"""Ablation: isolate each section-VI optimization by switching it off.
+
+Not a paper table -- DESIGN.md calls these out as the design choices worth
+quantifying.  Each row runs q39a with exactly one SHC optimization disabled;
+the deltas show where the connector's speedup actually comes from.
+"""
+
+import pytest
+
+from repro.bench.harness import SHC_SYSTEM, SystemUnderTest, run_query
+from repro.workloads.loader import load_tpcds
+from repro.workloads.tpcds_schema import Q39_TABLES
+from repro.bench.reporting import format_table
+from repro.core.catalog import HBaseSparkConf
+from repro.workloads.queries import q39a
+
+from conftest import write_report
+
+ABLATIONS = {
+    "full SHC": {},
+    "no predicate pushdown": {HBaseSparkConf.PUSHDOWN: "false"},
+    "no partition pruning": {HBaseSparkConf.PRUNING: "false"},
+    "no column pruning": {HBaseSparkConf.COLUMN_PRUNING: "false"},
+    "no data locality": {HBaseSparkConf.LOCALITY: "false"},
+    "no operator fusion": {HBaseSparkConf.FUSION: "false"},
+}
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module")
+def ablation_env():
+    # more regions than servers, so operator fusion has something to pack
+    from conftest import FIXED_SIZE_GB
+
+    return load_tpcds(FIXED_SIZE_GB, Q39_TABLES, regions_per_table=15)
+
+
+@pytest.mark.parametrize("label", list(ABLATIONS))
+def test_ablation(benchmark, ablation_env, label):
+    system = SystemUnderTest(label, SHC_SYSTEM.format_name,
+                             extra_options=ABLATIONS[label])
+
+    def run():
+        return run_query(ablation_env, system, "q39a", q39a())
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    benchmark.extra_info["simulated_seconds"] = result.seconds
+    _RESULTS[label] = result
+
+
+def test_ablation_report(benchmark):
+    def report():
+        full = _RESULTS["full SHC"]
+        rows = []
+        for label, result in _RESULTS.items():
+            rows.append([
+                label,
+                f"{result.seconds:.1f}s",
+                f"{result.seconds / full.seconds:.2f}x",
+                f"{result.metrics.get('hbase.rows_visited', 0):.0f}",
+                f"{result.metrics.get('hbase.bytes_returned', 0) / 1024:.0f}KB",
+                f"{result.metrics.get('engine.tasks', 0):.0f}",
+            ])
+        write_report(
+            "ablation_optimizations",
+            format_table(
+                ["configuration", "latency", "vs full", "rows visited",
+                 "bytes returned", "tasks"],
+                rows, "Ablation: q39a with single optimizations disabled",
+            ),
+        )
+        # every ablation returns the same answer
+        assert len({r.rows for r in _RESULTS.values()}) == 1
+        # and each optimization's signature effect shows up in the metrics
+        assert _RESULTS["no partition pruning"].metrics["hbase.rows_visited"] > \
+            full.metrics["hbase.rows_visited"]
+        assert _RESULTS["no predicate pushdown"].metrics["hbase.bytes_returned"] >= \
+            full.metrics["hbase.bytes_returned"]
+        assert _RESULTS["no operator fusion"].metrics["engine.tasks"] > \
+            full.metrics["engine.tasks"]
+        assert _RESULTS["no data locality"].metrics.get("hbase.network_bytes", 0) >= \
+            full.metrics.get("hbase.network_bytes", 0)
+        for label, result in _RESULTS.items():
+            if label != "full SHC":
+                assert result.seconds >= full.seconds * 0.95, label
+
+
+    benchmark.pedantic(report, iterations=1, rounds=1)

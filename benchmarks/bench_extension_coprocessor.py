@@ -1,0 +1,77 @@
+"""Extension bench: SHC vs the Huawei-style coprocessor connector.
+
+Section III.C: the Huawei design "is able to achieve high runtime
+performance" by shipping work into HBase coprocessors, at the price of a
+design "difficult to maintain [in] stability" -- the reason SHC chose the
+plug-in route.  This bench quantifies the performance side of that
+trade-off on aggregation-heavy queries: the coprocessor connector returns
+only accumulators from the region servers, SHC returns (pruned, filtered)
+rows.
+"""
+
+import pytest
+
+import repro.extensions  # registers the provider
+from repro.bench.harness import SHC_SYSTEM, SystemUnderTest, run_query
+from repro.bench.reporting import format_table
+from repro.extensions import HUAWEI_FORMAT
+from repro.workloads.tpcds_gen import date_sk_range_for_year
+
+from conftest import write_report
+
+HUAWEI_SYSTEM = SystemUnderTest("Huawei-style", HUAWEI_FORMAT)
+
+LO, HI = date_sk_range_for_year(2001)
+QUERIES = {
+    "full-table aggregate": (
+        "select inv_warehouse_sk, count(*), avg(inv_quantity_on_hand) "
+        "from inventory group by inv_warehouse_sk"
+    ),
+    "pruned aggregate": (
+        f"select inv_item_sk, avg(inv_quantity_on_hand), "
+        f"stddev(inv_quantity_on_hand) from inventory "
+        f"where inv_date_sk between {LO} and {HI} group by inv_item_sk"
+    ),
+    "global count": "select count(*) from inventory",
+}
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("label", list(QUERIES))
+@pytest.mark.parametrize("system", [SHC_SYSTEM, HUAWEI_SYSTEM],
+                         ids=lambda s: s.label)
+def test_coprocessor_comparison(benchmark, q39_env_fixed, label, system):
+    def run():
+        return run_query(q39_env_fixed, system, label, QUERIES[label])
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    _RESULTS[(label, system.label)] = result
+
+
+def test_coprocessor_report(benchmark):
+    def report():
+        rows = []
+        for label in QUERIES:
+            shc = _RESULTS[(label, "SHC")]
+            huawei = _RESULTS[(label, "Huawei-style")]
+            assert shc.rows == huawei.rows  # identical result cardinality
+            rows.append([
+                label,
+                f"{shc.seconds:.1f}s",
+                f"{huawei.seconds:.1f}s",
+                f"{shc.metrics.get('hbase.bytes_returned', 0) / 1024:.0f}KB",
+                f"{huawei.metrics.get('hbase.bytes_returned', 0) / 1024:.0f}KB",
+            ])
+        write_report(
+            "extension_coprocessor",
+            format_table(
+                ["query", "SHC", "Huawei-style", "SHC bytes ret",
+                 "Huawei bytes ret"],
+                rows, "Extension: coprocessor aggregation vs SHC",
+            ),
+        )
+        for label in QUERIES:
+            assert _RESULTS[(label, "Huawei-style")].seconds <= \
+                _RESULTS[(label, "SHC")].seconds * 1.05
+
+    benchmark.pedantic(report, iterations=1, rounds=1)

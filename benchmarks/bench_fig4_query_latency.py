@@ -1,0 +1,66 @@
+"""Figure 4: query latency vs data size, SHC vs vanilla Spark SQL.
+
+Paper shape: SHC achieves several-fold better latency on both q39 variants;
+Spark SQL's latency grows steeply with data size (full scans, no pushdown,
+no partition pruning) while SHC grows slowly (it narrows the input to a few
+partitions).
+"""
+
+import pytest
+
+from repro.bench.harness import SHC_SYSTEM, SPARKSQL_SYSTEM, run_query
+from repro.bench.reporting import format_series_table
+from repro.workloads.queries import q39a, q39b
+
+from conftest import DATA_SIZES_GB, write_report
+
+_RUNS = []
+
+
+@pytest.mark.parametrize("size", DATA_SIZES_GB)
+@pytest.mark.parametrize("system", [SHC_SYSTEM, SPARKSQL_SYSTEM],
+                         ids=lambda s: s.label)
+@pytest.mark.parametrize("query_name,query_fn", [("q39a", q39a), ("q39b", q39b)])
+def test_fig4_latency(benchmark, q39_envs, size, system, query_name, query_fn):
+    env = q39_envs[size]
+    sql = query_fn()
+
+    def run():
+        return run_query(env, system, query_name, sql)
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    benchmark.extra_info["simulated_seconds"] = result.seconds
+    benchmark.extra_info["size_gb"] = size
+    _RUNS.append(result)
+    assert result.rows >= 0
+
+
+def test_fig4_report(benchmark, q39_envs):
+    def report():
+        """Render both panels and check the paper's qualitative claims."""
+        for query_name in ("q39a", "q39b"):
+            runs = [r for r in _RUNS if r.query == query_name]
+            panel = "a" if query_name == "q39a" else "b"
+            write_report(
+                f"fig4{panel}_{query_name}_latency",
+                format_series_table(
+                    runs, "seconds",
+                    f"Figure 4({panel}): {query_name} query latency vs data size",
+                ),
+            )
+            by_key = {(r.system, r.size_gb): r.seconds for r in runs}
+            sizes = sorted({r.size_gb for r in runs})
+            for size in sizes:
+                assert by_key[("SHC", size)] < by_key[("SparkSQL", size)]
+            # SparkSQL grows much more steeply than SHC across the sweep
+            shc_growth = by_key[("SHC", sizes[-1])] / by_key[("SHC", sizes[0])]
+            sparksql_growth = (
+                by_key[("SparkSQL", sizes[-1])] / by_key[("SparkSQL", sizes[0])]
+            )
+            assert sparksql_growth > shc_growth
+            # the gap widens with size (SHC "narrows the table down quickly")
+            assert (by_key[("SparkSQL", sizes[-1])] / by_key[("SHC", sizes[-1])]) > \
+                (by_key[("SparkSQL", sizes[0])] / by_key[("SHC", sizes[0])]) * 0.9
+
+
+    benchmark.pedantic(report, iterations=1, rounds=1)

@@ -1,0 +1,53 @@
+"""Figure 5: data shuffle cost (KB) vs data size.
+
+Paper shape: SHC shuffles far less than Spark SQL while joining multiple
+tables, because pushed-down predicates (and size statistics enabling
+broadcast joins) keep the fact table out of the exchanges.
+"""
+
+import pytest
+
+from repro.bench.harness import SHC_SYSTEM, SPARKSQL_SYSTEM, run_query
+from repro.bench.reporting import format_series_table
+from repro.workloads.queries import q39a, q39b
+
+from conftest import DATA_SIZES_GB, write_report
+
+_RUNS = []
+
+
+@pytest.mark.parametrize("size", DATA_SIZES_GB)
+@pytest.mark.parametrize("system", [SHC_SYSTEM, SPARKSQL_SYSTEM],
+                         ids=lambda s: s.label)
+@pytest.mark.parametrize("query_name,query_fn", [("q39a", q39a), ("q39b", q39b)])
+def test_fig5_shuffle(benchmark, q39_envs, size, system, query_name, query_fn):
+    env = q39_envs[size]
+    sql = query_fn()
+
+    def run():
+        return run_query(env, system, query_name, sql)
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    benchmark.extra_info["shuffle_kb"] = result.shuffle_kb
+    _RUNS.append(result)
+
+
+def test_fig5_report(benchmark):
+    def report():
+        for query_name in ("q39a", "q39b"):
+            runs = [r for r in _RUNS if r.query == query_name]
+            panel = "a" if query_name == "q39a" else "b"
+            write_report(
+                f"fig5{panel}_{query_name}_shuffle",
+                format_series_table(
+                    runs, "shuffle_kb",
+                    f"Figure 5({panel}): {query_name} shuffle volume vs data size",
+                    unit="KB",
+                ),
+            )
+            by_key = {(r.system, r.size_gb): r.shuffle_kb for r in runs}
+            for size in sorted({r.size_gb for r in runs}):
+                assert by_key[("SHC", size)] < by_key[("SparkSQL", size)]
+
+
+    benchmark.pedantic(report, iterations=1, rounds=1)

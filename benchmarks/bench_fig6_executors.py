@@ -1,0 +1,61 @@
+"""Figure 6: query latency vs number of executors.
+
+Paper shape: both systems speed up with more executors, but the speedup
+flattens once the YARN resource manager's per-application cap is reached --
+"the allocated resource is limited for each job".
+"""
+
+import pytest
+
+from repro.bench.harness import SHC_SYSTEM, SPARKSQL_SYSTEM, run_query
+from repro.bench.reporting import format_table
+from repro.workloads.queries import q39a, q39b
+
+from conftest import write_report
+
+EXECUTOR_COUNTS = (4, 8, 12, 16, 20, 24)
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("executors", EXECUTOR_COUNTS)
+@pytest.mark.parametrize("system", [SHC_SYSTEM, SPARKSQL_SYSTEM],
+                         ids=lambda s: s.label)
+@pytest.mark.parametrize("query_name,query_fn", [("q39a", q39a), ("q39b", q39b)])
+def test_fig6_executors(benchmark, q39_env_fixed, executors, system,
+                        query_name, query_fn):
+    sql = query_fn()
+
+    def run():
+        return run_query(q39_env_fixed, system, query_name, sql,
+                         executors_requested=executors)
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    benchmark.extra_info["simulated_seconds"] = result.seconds
+    _RESULTS[(query_name, system.label, executors)] = result.seconds
+
+
+def test_fig6_report(benchmark):
+    def report():
+        for query_name in ("q39a", "q39b"):
+            panel = "a" if query_name == "q39a" else "b"
+            headers = ["system"] + [f"{n} exec" for n in EXECUTOR_COUNTS]
+            rows = []
+            for label in ("SHC", "SparkSQL"):
+                rows.append([label] + [
+                    f"{_RESULTS[(query_name, label, n)]:.1f}s"
+                    for n in EXECUTOR_COUNTS
+                ])
+            write_report(
+                f"fig6{panel}_{query_name}_executors",
+                format_table(headers, rows,
+                             f"Figure 6({panel}): {query_name} latency vs executors"),
+            )
+            for label in ("SHC", "SparkSQL"):
+                series = [_RESULTS[(query_name, label, n)] for n in EXECUTOR_COUNTS]
+                # runtime decreases with more executors...
+                assert series[0] > series[2]
+                # ...then plateaus once YARN stops granting more
+                assert abs(series[-1] - series[-2]) < 0.2 * series[-2] + 1e-9
+
+
+    benchmark.pedantic(report, iterations=1, rounds=1)

@@ -1,0 +1,90 @@
+"""Figure 7: write performance vs data size.
+
+Paper shape: SHC outperforms Spark SQL by >20% on data writes (more
+efficient data encoding); the gap narrows as data grows because both
+systems become bound by the cluster's ingest bandwidth.  Panel (a) writes
+the q39a tables, panel (b) the q38 tables (matching the paper, which pairs
+q39a with q38 in this figure).
+"""
+
+import itertools
+
+import pytest
+
+from repro.baselines import BASELINE_FORMAT
+from repro.bench.reporting import format_table
+from repro.common.simclock import SimClock
+from repro.core.catalog import HBaseTableCatalog
+from repro.core.relation import DEFAULT_FORMAT
+from repro.hbase.cluster import HBaseCluster
+from repro.sql.session import SparkSession
+from repro.workloads.tpcds_gen import TpcdsGenerator
+from repro.workloads.tpcds_schema import Q38_TABLES, Q39_TABLES, TABLES, catalog_json
+
+from conftest import DATA_SIZES_GB, write_report
+
+HOSTS = ["node1", "node2", "node3", "node4", "node5"]
+_ids = itertools.count(1)
+_RESULTS = {}
+
+
+def write_tables(format_name: str, size: int, tables) -> float:
+    """Write a table set through one connector; returns simulated seconds."""
+    clock = SimClock()
+    cluster = HBaseCluster(f"figure7-{next(_ids)}", HOSTS, clock=clock)
+    session = SparkSession(HOSTS, executors_requested=5, clock=clock)
+    generator = TpcdsGenerator(size)
+    total = 0.0
+    for table in tables:
+        spec = TABLES[table]
+        df = session.create_dataframe(generator.rows_for(table), spec.schema())
+        result = df.write.format(format_name).options({
+            HBaseTableCatalog.tableCatalog: catalog_json(spec),
+            HBaseTableCatalog.newTable: str(len(HOSTS)),
+            "hbase.zookeeper.quorum": cluster.quorum,
+        }).save()
+        total += result.seconds
+    return total
+
+
+@pytest.mark.parametrize("size", DATA_SIZES_GB)
+@pytest.mark.parametrize("system,format_name",
+                         [("SHC", DEFAULT_FORMAT), ("SparkSQL", BASELINE_FORMAT)])
+@pytest.mark.parametrize("panel,tables",
+                         [("q39a", Q39_TABLES), ("q38", Q38_TABLES)])
+def test_fig7_write(benchmark, size, system, format_name, panel, tables):
+    def run():
+        return write_tables(format_name, size, tables)
+
+    seconds = benchmark.pedantic(run, iterations=1, rounds=1)
+    benchmark.extra_info["simulated_seconds"] = seconds
+    _RESULTS[(panel, system, size)] = seconds
+
+
+def test_fig7_report(benchmark):
+    def report():
+        for panel in ("q39a", "q38"):
+            label = "a" if panel == "q39a" else "b"
+            headers = ["system"] + [f"{s} GB" for s in DATA_SIZES_GB]
+            rows = []
+            for system in ("SHC", "SparkSQL"):
+                rows.append([system] + [
+                    f"{_RESULTS[(panel, system, s)]:.1f}s" for s in DATA_SIZES_GB
+                ])
+            write_report(
+                f"fig7{label}_{panel}_write",
+                format_table(headers, rows,
+                             f"Figure 7({label}): {panel} tables write time vs size"),
+            )
+            ratios = [
+                _RESULTS[(panel, "SparkSQL", s)] / _RESULTS[(panel, "SHC", s)]
+                for s in DATA_SIZES_GB
+            ]
+            # SHC wins by 20%+ at the small end...
+            assert ratios[0] > 1.2
+            # ...and the advantage narrows as data size grows
+            assert ratios[-1] < ratios[0]
+            assert all(r > 1.0 for r in ratios)
+
+
+    benchmark.pedantic(report, iterations=1, rounds=1)

@@ -1,0 +1,128 @@
+"""Table II: performance of the different data encodings.
+
+Paper shape (query/write time and memory at a fixed data size):
+
+- native Java primitive types are fastest for query and write, and lightest
+  on memory; Phoenix is slightly slower; Avro is far slower on the read path
+  (records must be deserialised and its encoding supports no range pruning)
+  but only mildly slower on writes;
+- vanilla Spark SQL supports only the native coding (Phoenix and Avro rows
+  are marked unsupported), and is slower than SHC on the coding it has.
+"""
+
+import pytest
+
+from repro.baselines import BASELINE_FORMAT
+from repro.bench.harness import run_query, SystemUnderTest
+from repro.bench.reporting import format_table
+from repro.common.errors import AnalysisError
+from repro.workloads.loader import load_tpcds
+from repro.workloads.queries import q39a
+from repro.workloads.tpcds_schema import Q39_TABLES
+
+from conftest import FIXED_SIZE_GB, write_report
+
+CODERS = ("PrimitiveType", "Phoenix", "Avro")
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module")
+def coder_envs():
+    return {coder: load_tpcds(FIXED_SIZE_GB, Q39_TABLES, coder=coder)
+            for coder in CODERS}
+
+
+@pytest.mark.parametrize("coder", CODERS)
+def test_table2_shc_coder(benchmark, coder_envs, coder):
+    env = coder_envs[coder]
+    system = SystemUnderTest(f"SHC/{coder}", "shc")
+
+    def run():
+        return run_query(env, system, "q39a", q39a())
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    write_seconds = sum(r.seconds for r in env.write_results.values())
+    _RESULTS[("SHC", coder)] = {
+        "query_s": result.seconds,
+        "write_s": write_seconds,
+        "memory_kb": result.peak_memory_mb * 1024,
+    }
+    benchmark.extra_info.update(_RESULTS[("SHC", coder)])
+
+
+def test_table2_sparksql_native(benchmark, coder_envs):
+    env = coder_envs["PrimitiveType"]
+    system = SystemUnderTest("SparkSQL/native", BASELINE_FORMAT)
+
+    def run():
+        return run_query(env, system, "q39a", q39a())
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    _RESULTS[("SparkSQL", "PrimitiveType")] = {
+        "query_s": result.seconds,
+        "write_s": None,  # the generic path writes via the same HBase API
+        "memory_kb": result.peak_memory_mb * 1024,
+    }
+
+
+def test_table2_sparksql_rejects_other_codings(benchmark, coder_envs):
+    def probe():
+        _probe_rejections(coder_envs)
+
+    benchmark.pedantic(probe, iterations=1, rounds=1)
+
+
+def _probe_rejections(coder_envs):
+    env = coder_envs["Phoenix"]
+    with pytest.raises(AnalysisError):
+        env.new_session(BASELINE_FORMAT)
+    env = coder_envs["Avro"]
+    with pytest.raises(AnalysisError):
+        env.new_session(BASELINE_FORMAT)
+    _RESULTS[("SparkSQL", "Phoenix")] = None
+    _RESULTS[("SparkSQL", "Avro")] = None
+
+
+def test_table2_report(benchmark):
+    def report():
+        def cell(system, coder, key):
+            entry = _RESULTS.get((system, coder))
+            if entry is None:
+                return "x"
+            value = entry[key]
+            if value is None:
+                return "-"
+            return f"{value:.1f}"
+
+        rows = []
+        for system in ("SHC", "SparkSQL"):
+            for coder, label in (("PrimitiveType", "Native"), ("Phoenix", "Phoenix"),
+                                 ("Avro", "Avro")):
+                rows.append([
+                    system, label,
+                    cell(system, coder, "query_s") if _RESULTS.get((system, coder)) else "x",
+                    cell(system, coder, "write_s") if _RESULTS.get((system, coder)) else "x",
+                    cell(system, coder, "memory_kb") if _RESULTS.get((system, coder)) else "x",
+                ])
+        write_report(
+            "table2_encodings",
+            format_table(
+                ["System", "Type", "Query time(s)", "Write time(s)", "Memory(KB)"],
+                rows, f"Table II: encoding comparison at {FIXED_SIZE_GB} GB",
+            ),
+        )
+        shc = {c: _RESULTS[("SHC", c)] for c in CODERS}
+        # native fastest, Avro slowest on the read path
+        assert shc["PrimitiveType"]["query_s"] <= shc["Phoenix"]["query_s"]
+        assert shc["Phoenix"]["query_s"] < shc["Avro"]["query_s"]
+        # writes are close (the paper's 220/231/241), Avro still the slowest
+        assert shc["PrimitiveType"]["write_s"] <= shc["Phoenix"]["write_s"]
+        assert shc["Phoenix"]["write_s"] < shc["Avro"]["write_s"]
+        # Avro needs the most engine memory
+        assert shc["Avro"]["memory_kb"] > shc["PrimitiveType"]["memory_kb"]
+        # SparkSQL on the one coding it supports is slower than SHC
+        assert _RESULTS[("SparkSQL", "PrimitiveType")]["query_s"] > \
+            shc["PrimitiveType"]["query_s"]
+
+
+    benchmark.pedantic(report, iterations=1, rounds=1)

@@ -1,0 +1,37 @@
+"""Benchmark-suite fixtures: shared TPC-DS environments per nominal size."""
+
+import pytest
+
+from repro.workloads.loader import load_tpcds
+from repro.workloads.tpcds_schema import Q38_TABLES, Q39_TABLES
+
+#: the paper's x-axis (Figures 4, 5 and 7)
+DATA_SIZES_GB = (5, 10, 15, 20, 25, 30)
+#: a mid-sweep size for the single-size experiments (Fig 6, Table II, ablations)
+FIXED_SIZE_GB = 15
+
+
+@pytest.fixture(scope="session")
+def q39_envs():
+    """One loaded environment per data size, q39 tables."""
+    return {size: load_tpcds(size, Q39_TABLES) for size in DATA_SIZES_GB}
+
+
+@pytest.fixture(scope="session")
+def q38_envs():
+    return {size: load_tpcds(size, Q38_TABLES) for size in DATA_SIZES_GB}
+
+
+@pytest.fixture(scope="session")
+def q39_env_fixed():
+    return load_tpcds(FIXED_SIZE_GB, Q39_TABLES)
+
+
+def write_report(name: str, text: str) -> None:
+    """Persist a paper-style results table under benchmarks/results/."""
+    import pathlib
+
+    out_dir = pathlib.Path(__file__).parent / "results"
+    out_dir.mkdir(exist_ok=True)
+    (out_dir / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

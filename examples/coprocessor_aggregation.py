@@ -1,0 +1,90 @@
+"""The section III.C design trade-off, live: SHC vs coprocessor aggregation.
+
+The paper chose a maintainable Data-Source-API plug-in over the Huawei
+connector's "advanced and aggressive" approach of shipping work into HBase
+coprocessors. Both live in this repository; this example runs the same
+grouped aggregation through each and shows where the bytes flow.
+
+Run:  python examples/coprocessor_aggregation.py
+"""
+
+import repro.extensions  # registers the Huawei-style provider
+from repro.core import DEFAULT_FORMAT, HBaseTableCatalog
+from repro.extensions import HUAWEI_FORMAT
+from repro.hbase import HBaseCluster
+from repro.sql import (
+    DoubleType,
+    IntegerType,
+    SparkSession,
+    StringType,
+    StructField,
+    StructType,
+)
+
+CATALOG = """{
+  "table":{"namespace":"default", "name":"readings", "tableCoder":"Phoenix"},
+  "rowkey":"sensor_id:seq",
+  "columns":{
+    "sensor_id":{"cf":"rowkey", "col":"sensor_id", "type":"int"},
+    "seq":{"cf":"rowkey", "col":"seq", "type":"int"},
+    "room":{"cf":"cf1", "col":"room", "type":"string"},
+    "celsius":{"cf":"cf2", "col":"celsius", "type":"double"}
+  }
+}"""
+SCHEMA = StructType([
+    StructField("sensor_id", IntegerType),
+    StructField("seq", IntegerType),
+    StructField("room", StringType),
+    StructField("celsius", DoubleType),
+])
+
+QUERY = """
+    select room, count(*) as samples, avg(celsius) as avg_c,
+           stddev(celsius) as sd_c
+    from readings group by room order by room
+"""
+
+
+def main() -> None:
+    hosts = [f"node{i}" for i in range(1, 6)]
+    cluster = HBaseCluster("sensors", hosts)
+    session = SparkSession(hosts, executors_requested=5, clock=cluster.clock)
+    options = {
+        HBaseTableCatalog.tableCatalog: CATALOG,
+        HBaseTableCatalog.newTable: "5",
+        "hbase.zookeeper.quorum": cluster.quorum,
+    }
+    rows = [
+        (sensor, seq, f"room-{sensor % 4}",
+         20.0 + (sensor % 7) + (seq % 11) / 10.0)
+        for sensor in range(1, 41)
+        for seq in range(25)
+    ]
+    session.create_dataframe(rows, SCHEMA).write \
+        .format(DEFAULT_FORMAT).options(options).save()
+    print(f"loaded {len(rows)} sensor readings\n")
+
+    for label, fmt in (("SHC (plug-in)", DEFAULT_FORMAT),
+                       ("Huawei-style (coprocessor)", HUAWEI_FORMAT)):
+        df = session.read.format(fmt).options(options).load()
+        df.create_or_replace_temp_view("readings")
+        result = session.sql(QUERY).run()
+        print(f"{label}:")
+        for row in result.rows:
+            print(f"  {row.room}: n={row.samples} avg={row.avg_c:.2f} "
+                  f"sd={row.sd_c:.2f}")
+        print(f"  latency {result.seconds:.1f} simulated s | "
+              f"bytes returned to engine "
+              f"{result.metrics.get('hbase.bytes_returned') / 1024:.0f}KB | "
+              f"coprocessor calls "
+              f"{result.metrics.get('hbase.coprocessor_calls', 0):.0f}\n")
+
+    plan = session.sql(QUERY).explain()
+    headline = [l for l in plan.splitlines() if "Aggregate" in l][:1]
+    print("the coprocessor plan's top operator:", headline[0].strip())
+    print("\n(the paper's point: the speed is real, but the plug-in design")
+    print("survives engine upgrades -- see DESIGN.md and section III.C)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""SHC vs vanilla Spark SQL on TPC-DS q39a -- the paper's Figure 4 in small.
+
+Loads the q39 tables at one nominal size, runs the same query through both
+connectors against the *same* HBase bytes, and prints latency, shuffle
+volume and scan metrics side by side, plus the physical-plan difference that
+explains them (pushdown + broadcast vs full scan + shuffled joins).
+
+Run:  python examples/tpcds_comparison.py [size_gb]
+"""
+
+import sys
+
+from repro.baselines import BASELINE_FORMAT
+from repro.workloads import load_tpcds, q39a
+from repro.workloads.tpcds_schema import Q39_TABLES
+
+
+def describe(label, result):
+    metrics = result.metrics
+    print(f"{label:10s} latency {result.seconds:7.1f}s   "
+          f"shuffle {result.shuffle_bytes / 1024:8.1f}KB   "
+          f"scanned {metrics.get('hbase.bytes_scanned') / 1024:8.1f}KB   "
+          f"rows visited {metrics.get('hbase.rows_visited'):7.0f}   "
+          f"tasks {metrics.get('engine.tasks'):4.0f}")
+
+
+def main() -> None:
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 15
+    print(f"loading TPC-DS q39 tables at nominal {size} GB ...")
+    env = load_tpcds(size, Q39_TABLES)
+
+    shc = env.new_session()
+    base = env.new_session(BASELINE_FORMAT)
+    sql = q39a()
+
+    shc_df = shc.sql(sql)
+    base_df = base.sql(sql)
+
+    shc_run = shc_df.run()
+    base_run = base_df.run()
+
+    def close(a, b):
+        if len(a) != len(b):
+            return False
+        for ra, rb in zip(a, b):
+            for va, vb in zip(ra.values, rb.values):
+                if isinstance(va, float):
+                    if abs(va - vb) > 1e-9 * max(1.0, abs(va)):
+                        return False
+                elif va != vb:
+                    return False
+        return True
+
+    verdict = "MATCH" if close(shc_run.rows, base_run.rows) else "DIFFER"
+    print(f"\nTPC-DS q39a at nominal {size} GB "
+          f"({len(shc_run.rows)} result rows, answers {verdict}):\n")
+    describe("SHC", shc_run)
+    describe("SparkSQL", base_run)
+    print(f"\nspeedup: {base_run.seconds / shc_run.seconds:.1f}x, "
+          f"shuffle reduction: {base_run.shuffle_bytes / max(1, shc_run.shuffle_bytes):.0f}x")
+
+    print("\nwhy -- the SHC physical plan pushes filters into the scan and")
+    print("broadcasts the dimensions (no fact-table exchange):\n")
+    for line in shc_df.explain().splitlines():
+        if "DataSourceScan" in line or "Join" in line:
+            print("   " + line.strip()[:120])
+    print("\nwhile the generic connector scans everything and shuffles both")
+    print("sides of every join:\n")
+    for line in base_df.explain().splitlines():
+        if "DataSourceScan" in line or "Join" in line:
+            print("   " + line.strip()[:120])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Shim so editable installs work in offline environments without `wheel`.
+
+All real metadata lives in pyproject.toml; `pip install -e .` falls back to
+`setup.py develop` when PEP 517 editable builds are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

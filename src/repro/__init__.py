@@ -1,0 +1,22 @@
+"""Reproduction of *SHC: Distributed Query Processing for Non-Relational Data Store*.
+
+The package is organised as the paper's stack:
+
+- :mod:`repro.hbase`   -- an HBase-like distributed column-oriented key-value store
+  (regions, region servers, HMaster, ZooKeeper, WAL, store files, filters, security).
+- :mod:`repro.engine`  -- a Spark-like cluster compute engine (RDDs, DAG scheduler,
+  executors with data locality, shuffle accounting).
+- :mod:`repro.sql`     -- a Spark-SQL / Catalyst-like relational layer (parser,
+  analyzer, rule-based optimizer, physical planner, DataFrame API, Data Source API).
+- :mod:`repro.core`    -- **SHC itself**: catalog data model, byte coders, range
+  algebra, partition pruning, predicate pushdown, the HBase scan RDD, write path,
+  connection cache and the credentials manager.
+- :mod:`repro.baselines` -- the vanilla "Spark SQL over HBase" comparator.
+- :mod:`repro.workloads` -- TPC-DS-like generators and the q38/q39 queries.
+- :mod:`repro.bench`   -- the experiment harness regenerating the paper's tables
+  and figures.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,5 @@
+"""Comparator systems from the paper's evaluation."""
+
+from repro.baselines.hadooprdd import BASELINE_FORMAT, SparkSqlGenericHBaseRelation
+
+__all__ = ["SparkSqlGenericHBaseRelation", "BASELINE_FORMAT"]

@@ -1,0 +1,22 @@
+"""Experiment harness regenerating the paper's tables and figures."""
+
+from repro.bench.harness import (
+    QueryRun,
+    SystemUnderTest,
+    SHC_SYSTEM,
+    SPARKSQL_SYSTEM,
+    run_query,
+    sweep_data_sizes,
+)
+from repro.bench.reporting import format_series_table, format_table
+
+__all__ = [
+    "QueryRun",
+    "SystemUnderTest",
+    "SHC_SYSTEM",
+    "SPARKSQL_SYSTEM",
+    "run_query",
+    "sweep_data_sizes",
+    "format_table",
+    "format_series_table",
+]

@@ -1,0 +1,45 @@
+"""Text rendering of benchmark results in the paper's shapes."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.bench.harness import QueryRun
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """A plain aligned text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series_table(runs: Sequence[QueryRun], value: str = "seconds",
+                        title: str = "", unit: str = "s") -> str:
+    """Pivot runs into an x-axis (size) by system table, like a figure."""
+    sizes = sorted({r.size_gb for r in runs})
+    systems = []
+    for run in runs:
+        if run.system not in systems:
+            systems.append(run.system)
+    by_key: Dict[tuple, QueryRun] = {(r.system, r.size_gb): r for r in runs}
+    headers = ["system"] + [f"{s} GB" for s in sizes]
+    rows: List[List[object]] = []
+    for system in systems:
+        row: List[object] = [system]
+        for size in sizes:
+            run = by_key.get((system, size))
+            row.append(f"{getattr(run, value):.1f}{unit}" if run else "-")
+        rows.append(row)
+    return format_table(headers, rows, title)

@@ -1,0 +1,182 @@
+"""An interactive SQL shell -- the "CLI" box of the paper's Figure 1.
+
+Run a demo session with sample data:
+
+    python -m repro.cli
+
+or embed it over your own session::
+
+    from repro.cli import SqlShell
+    SqlShell(session).run()
+
+Commands: plain SQL (``;`` optional), ``.tables``, ``.schema <view>``,
+``.explain <sql>``, ``.timing on|off``, ``.quit``.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, TextIO
+
+from repro.common.errors import ReproError
+from repro.sql.session import SparkSession
+
+
+class SqlShell:
+    """A tiny line-oriented REPL over one session."""
+
+    PROMPT = "shc> "
+
+    def __init__(self, session: SparkSession,
+                 stdin: Optional[TextIO] = None,
+                 stdout: Optional[TextIO] = None) -> None:
+        self.session = session
+        self.stdin = stdin if stdin is not None else sys.stdin
+        self.stdout = stdout if stdout is not None else sys.stdout
+        self.timing = True
+
+    # -- plumbing -----------------------------------------------------------
+    def _print(self, text: str = "") -> None:
+        self.stdout.write(text + "\n")
+
+    def run(self) -> None:
+        self._print("SHC SQL shell -- .tables to list views, .quit to exit")
+        buffer = ""
+        while True:
+            self.stdout.write(self.PROMPT if not buffer else "  -> ")
+            self.stdout.flush()
+            line = self.stdin.readline()
+            if not line:
+                return
+            buffer += line
+            stripped = buffer.strip()
+            if not stripped:
+                buffer = ""
+                continue
+            if stripped.startswith("."):
+                if not self.handle_command(stripped):
+                    return
+                buffer = ""
+            else:
+                # statements execute on each submitted line (";" optional)
+                self.execute_sql(stripped.rstrip(";"))
+                buffer = ""
+
+    # -- commands ------------------------------------------------------------
+    def handle_command(self, command: str) -> bool:
+        """Handle a dot-command; returns False to exit the shell."""
+        parts = command.split(None, 1)
+        head = parts[0].lower()
+        arg = parts[1].strip() if len(parts) > 1 else ""
+        if head in (".quit", ".exit"):
+            return False
+        if head == ".tables":
+            for name in self.session.catalog.names():
+                self._print(name)
+            return True
+        if head == ".schema":
+            if not arg:
+                self._print("usage: .schema <view>")
+                return True
+            try:
+                schema = self.session.table(arg).schema
+            except ReproError as exc:
+                self._print(f"error: {exc}")
+                return True
+            for field in schema:
+                self._print(f"  {field.name}  {field.dtype.name}")
+            return True
+        if head == ".explain":
+            if not arg:
+                self._print("usage: .explain <sql>")
+                return True
+            try:
+                self._print(self.session.sql(arg.rstrip(";")).explain())
+            except ReproError as exc:
+                self._print(f"error: {exc}")
+            return True
+        if head == ".timing":
+            self.timing = arg.lower() != "off"
+            self._print(f"timing {'on' if self.timing else 'off'}")
+            return True
+        self._print(f"unknown command {head}; try .tables .schema .explain "
+                    f".timing .quit")
+        return True
+
+    # -- SQL -------------------------------------------------------------------
+    def execute_sql(self, sql: str) -> None:
+        if not sql:
+            return
+        try:
+            result = self.session.sql(sql).run()
+        except ReproError as exc:
+            self._print(f"error: {exc}")
+            return
+        self._render(result)
+
+    def _render(self, result) -> None:
+        names = result.schema.names
+        rows = result.rows[:50]
+        widths = [
+            max(len(n), *(len(str(r[i])) for r in rows)) if rows else len(n)
+            for i, n in enumerate(names)
+        ]
+        rule = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+        self._print(rule)
+        self._print("|" + "|".join(
+            f" {n:<{w}} " for n, w in zip(names, widths)) + "|")
+        self._print(rule)
+        for row in rows:
+            self._print("|" + "|".join(
+                f" {str(v):<{w}} " for v, w in zip(row.values, widths)) + "|")
+        self._print(rule)
+        suffix = f" ({len(result.rows)} rows"
+        if len(result.rows) > 50:
+            suffix += ", showing 50"
+        suffix += ")"
+        if self.timing:
+            suffix += f"  [{result.seconds:.2f} simulated s]"
+        self._print(suffix)
+
+
+def _demo_session() -> SparkSession:
+    """A session with a small HBase-backed demo table for `python -m repro.cli`."""
+    from repro.core import DEFAULT_FORMAT, HBaseTableCatalog
+    from repro.hbase import HBaseCluster
+    from repro.sql.types import DoubleType, StringType, StructField, StructType
+
+    hosts = ["node1", "node2", "node3"]
+    cluster = HBaseCluster("cli-demo", hosts)
+    session = SparkSession(hosts, clock=cluster.clock)
+    catalog = """{
+      "table":{"namespace":"default", "name":"actives"},
+      "rowkey":"key",
+      "columns":{
+        "col0":{"cf":"rowkey", "col":"key", "type":"string"},
+        "visit_pages":{"cf":"cf2", "col":"col2", "type":"string"},
+        "stay_time":{"cf":"cf3", "col":"col3", "type":"double"}
+      }
+    }"""
+    options = {
+        HBaseTableCatalog.tableCatalog: catalog,
+        HBaseTableCatalog.newTable: "3",
+        "hbase.zookeeper.quorum": cluster.quorum,
+    }
+    schema = StructType([StructField("col0", StringType),
+                         StructField("visit_pages", StringType),
+                         StructField("stay_time", DoubleType)])
+    rows = [(f"row{i:03d}", f"/page/{i % 5}", float(i % 13)) for i in range(100)]
+    session.create_dataframe(rows, schema).write \
+        .format(DEFAULT_FORMAT).options(options).save()
+    session.read.format(DEFAULT_FORMAT).options(options).load() \
+        .create_or_replace_temp_view("actives")
+    return session
+
+
+def main() -> None:
+    """Entry point for ``python -m repro.cli``: a shell over demo data."""
+    SqlShell(_demo_session()).run()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Shared infrastructure: errors, simulated clock, metrics, and the cost model."""
+
+from repro.common.cost import CostModel
+from repro.common.errors import (
+    ReproError,
+    CatalogError,
+    CoderError,
+    HBaseError,
+    NoSuchTableError,
+    RegionOfflineError,
+    SecurityError,
+    SqlError,
+    AnalysisError,
+    ParseError,
+)
+from repro.common.metrics import CostLedger, MetricsRegistry
+from repro.common.simclock import SimClock
+
+__all__ = [
+    "CostModel",
+    "MetricsRegistry",
+    "CostLedger",
+    "SimClock",
+    "ReproError",
+    "CatalogError",
+    "CoderError",
+    "HBaseError",
+    "NoSuchTableError",
+    "RegionOfflineError",
+    "SecurityError",
+    "SqlError",
+    "AnalysisError",
+    "ParseError",
+]

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the whole reproduction.
+
+Every layer raises a subclass of :class:`ReproError` so callers can catch the
+library's failures without swallowing unrelated bugs.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CatalogError(ReproError):
+    """The SHC catalog JSON is malformed or inconsistent."""
+
+
+class CoderError(ReproError):
+    """A value could not be encoded to / decoded from HBase bytes."""
+
+
+class HBaseError(ReproError):
+    """Base class for errors raised by the HBase substrate."""
+
+
+class NoSuchTableError(HBaseError):
+    """The requested HBase table does not exist."""
+
+
+class TableExistsError(HBaseError):
+    """An HBase table with the requested name already exists."""
+
+
+class RegionOfflineError(HBaseError):
+    """The region holding the requested row is not currently served."""
+
+
+class SecurityError(ReproError):
+    """Authentication or token management failure."""
+
+
+class TokenExpiredError(SecurityError):
+    """A delegation token was presented after its expiry."""
+
+
+class SqlError(ReproError):
+    """Base class for errors raised by the SQL layer."""
+
+
+class ParseError(SqlError):
+    """The SQL text could not be parsed."""
+
+
+class AnalysisError(SqlError):
+    """The query referenced unknown tables/columns or had a type error."""
+
+
+class EngineError(ReproError):
+    """A failure inside the compute engine (scheduler, executors, shuffle)."""
+
+
+class FatalTaskError(EngineError):
+    """A task failed more times than the scheduler is willing to retry."""

@@ -1,0 +1,104 @@
+"""Metrics registry used across the stack.
+
+Region servers meter bytes scanned/returned and RPC counts, the engine meters
+shuffle bytes, task counts and peak materialised memory, and coders meter
+encode/decode work.  The benchmark harness reads one registry per query run,
+so every reported number in EXPERIMENTS.md is mechanically derived from work
+actually performed, never hard-coded.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Mapping, Tuple
+
+
+class MetricsRegistry:
+    """A named bag of float counters and gauges.
+
+    Counters only accumulate (:meth:`incr`); gauges track a maximum
+    (:meth:`record_peak`), which is how peak memory is metered.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = defaultdict(float)
+        self._peaks: Dict[str, float] = defaultdict(float)
+
+    # -- counters ---------------------------------------------------------
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to counter ``name``."""
+        self._counters[name] += amount
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        """Current value of counter ``name``."""
+        return self._counters.get(name, default)
+
+    # -- peak gauges ------------------------------------------------------
+    def record_peak(self, name: str, value: float) -> None:
+        """Record ``value`` for gauge ``name`` keeping only the maximum seen."""
+        if value > self._peaks[name]:
+            self._peaks[name] = value
+
+    def peak(self, name: str, default: float = 0.0) -> float:
+        """Maximum value recorded for gauge ``name``."""
+        return self._peaks.get(name, default)
+
+    # -- plumbing ---------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other``'s counters and peaks into this registry."""
+        for name, value in other._counters.items():
+            self._counters[name] += value
+        for name, value in other._peaks.items():
+            self.record_peak(name, value)
+
+    def reset(self) -> None:
+        """Zero every counter and gauge."""
+        self._counters.clear()
+        self._peaks.clear()
+
+    def snapshot(self) -> Mapping[str, float]:
+        """An immutable view of all counters (peaks are prefixed ``peak.``)."""
+        out = dict(self._counters)
+        out.update({f"peak.{k}": v for k, v in self._peaks.items()})
+        return out
+
+    def __iter__(self) -> Iterator[Tuple[str, float]]:
+        return iter(self.snapshot().items())
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v:g}" for k, v in sorted(self.snapshot().items()))
+        return f"MetricsRegistry({body})"
+
+
+class CostLedger:
+    """Accumulates simulated seconds + counters for one unit of work.
+
+    Every HBase client/server operation and every engine operator charges the
+    ledger it is handed; the scheduler turns a task's ledger into that task's
+    duration.  Ledgers also carry a :class:`MetricsRegistry` so per-query
+    metrics (bytes scanned, RPCs, shuffle volume) fall out of the same pass.
+    """
+
+    def __init__(self, metrics: "MetricsRegistry | None" = None) -> None:
+        self.seconds: float = 0.0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    def charge(self, seconds: float, counter: str | None = None, amount: float = 1.0) -> None:
+        """Add ``seconds`` of simulated work, optionally bumping a counter."""
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        self.seconds += seconds
+        if counter is not None:
+            self.metrics.incr(counter, amount)
+
+    def count(self, counter: str, amount: float = 1.0) -> None:
+        """Bump a counter without charging time."""
+        self.metrics.incr(counter, amount)
+
+    def merge(self, other: "CostLedger") -> None:
+        """Fold another ledger's time and counters into this one."""
+        self.seconds += other.seconds
+        self.metrics.merge(other.metrics)
+
+    def __repr__(self) -> str:
+        return f"CostLedger(seconds={self.seconds:.6f})"

@@ -1,0 +1,43 @@
+"""A deterministic simulated clock.
+
+The whole reproduction is a single-process discrete simulation; anything that
+would depend on wall-clock time in the real system (token expiry, connection
+cache eviction, timestamps on HBase cells) reads this clock instead.  Tests
+advance it explicitly, which makes timing-dependent behaviour (e.g. the lazy
+connection eviction policy of section V.B.1) deterministic.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonically non-decreasing clock measured in float seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start before t=0")
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Return the current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move the clock forward to ``timestamp`` (no-op if already past it)."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+    def now_millis(self) -> int:
+        """Current time in integer milliseconds (HBase cell timestamps)."""
+        return int(self._now * 1000)
+
+    def __repr__(self) -> str:
+        return f"SimClock(t={self._now:.6f}s)"

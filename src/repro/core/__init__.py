@@ -1,0 +1,40 @@
+"""SHC -- the Spark-HBase Connector (the paper's primary contribution).
+
+The public surface mirrors the open-source connector:
+
+- :class:`HBaseTableCatalog` -- the JSON data model mapping an HBase table
+  (row key, column families, qualifiers) to a relational schema (section IV);
+- coders (``PrimitiveType``, ``Phoenix``, ``Avro``, plus custom registration)
+  encoding typed values to HBase byte arrays (section IV.B);
+- :class:`HBaseRelation` -- the Data Source API plug-in with partition
+  pruning, column pruning, selective predicate pushdown, data locality and
+  operator fusion (sections V-VI);
+- :class:`SHCConnectionCache` and :class:`SHCCredentialsManager` -- the
+  caching layer (section V.B).
+
+Registering the provider happens on import: ``DEFAULT_FORMAT`` (the full
+Spark class name from the paper's listings) and the ``"shc"`` shorthand.
+"""
+
+from repro.core.catalog import HBaseSparkConf, HBaseTableCatalog
+from repro.core.coders import AvroCoder, PhoenixCoder, PrimitiveTypeCoder, get_coder, register_coder
+from repro.core.conncache import SHCConnectionCache
+from repro.core.credentials import SHCCredentialsManager
+from repro.core.hbase_context import HBaseContext
+from repro.core.relation import DEFAULT_FORMAT, HBaseRelation, HBaseRelationProvider
+
+__all__ = [
+    "HBaseTableCatalog",
+    "HBaseSparkConf",
+    "PrimitiveTypeCoder",
+    "PhoenixCoder",
+    "AvroCoder",
+    "get_coder",
+    "register_coder",
+    "HBaseRelation",
+    "HBaseRelationProvider",
+    "DEFAULT_FORMAT",
+    "SHCConnectionCache",
+    "HBaseContext",
+    "SHCCredentialsManager",
+]

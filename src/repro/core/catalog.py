@@ -1,0 +1,222 @@
+"""The SHC catalog: the JSON data model of section IV (Code 1).
+
+A catalog maps a relational schema onto HBase's four coordinates: every
+relational column is either part of the **row key** (family ``"rowkey"``) or
+a ``(column family, column qualifier)`` pair; ``tableCoder`` picks how typed
+values become byte arrays.  Composite row keys are colon-joined column names
+-- all dimensions except the last must be fixed-width so the key can be
+sliced back apart.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.errors import CatalogError
+from repro.sql.types import DataType, StructType, type_from_name
+
+ROWKEY_FAMILY = "rowkey"
+
+
+class HBaseSparkConf:
+    """Option keys understood by SHC (paper sections IV.C and V.B)."""
+
+    TIMESTAMP = "hbase.spark.query.timestamp"
+    MIN_TIMESTAMP = "hbase.spark.query.timerange.start"
+    MAX_TIMESTAMP = "hbase.spark.query.timerange.end"
+    MAX_VERSIONS = "hbase.spark.query.maxVersions"
+    CREDENTIALS_ENABLED = "spark.hbase.connector.security.credentials.enabled"
+    PRINCIPAL = "spark.yarn.principal"
+    KEYTAB = "spark.yarn.keytab"
+    CONNECTION_CLOSE_DELAY = "spark.hbase.connector.connectionCloseDelay"
+    # SHC feature toggles (defaults on; benchmarks ablate them)
+    PUSHDOWN = "shc.pushdown.enabled"
+    PRUNING = "shc.partition.pruning.enabled"
+    COLUMN_PRUNING = "shc.column.pruning.enabled"
+    LOCALITY = "shc.locality.enabled"
+    FUSION = "shc.operator.fusion.enabled"
+    CONNECTION_CACHE = "shc.connection.cache.enabled"
+    PRUNE_ALL_DIMENSIONS = "shc.partition.pruning.allDimensions"
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """One relational column's HBase coordinates."""
+
+    name: str
+    family: str
+    qualifier: str
+    dtype: DataType
+    #: Avro schema JSON for per-column Avro encoding (catalog key "avro")
+    avro_schema: Optional[str] = None
+    #: explicit encoded byte length (needed for variable-width key dimensions)
+    length: Optional[int] = None
+
+    def is_rowkey(self) -> bool:
+        return self.family == ROWKEY_FAMILY
+
+
+class HBaseTableCatalog:
+    """A parsed catalog."""
+
+    #: option key carrying the catalog JSON (paper Code 2/3)
+    tableCatalog = "catalog"
+    #: option key asking the writer to create a new table with N regions
+    newTable = "newtable"
+
+    def __init__(
+        self,
+        namespace: str,
+        name: str,
+        row_key: List[str],
+        columns: Dict[str, ColumnDef],
+        table_coder: str = "PrimitiveType",
+        version: str = "2.0",
+    ) -> None:
+        self.namespace = namespace
+        self.name = name
+        self.row_key = row_key
+        self.columns = columns
+        self.table_coder = table_coder
+        self.version = version
+        self._validate()
+
+    # -- parsing ----------------------------------------------------------
+    @classmethod
+    def from_json(cls, text: str) -> "HBaseTableCatalog":
+        """Parse a catalog string like the paper's Code 1."""
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CatalogError(f"catalog is not valid JSON: {exc}") from exc
+        table = raw.get("table")
+        if not isinstance(table, dict) or "name" not in table:
+            raise CatalogError('catalog needs "table": {"name": ...}')
+        rowkey_spec = raw.get("rowkey")
+        if not rowkey_spec:
+            raise CatalogError('catalog needs a "rowkey" entry')
+        columns_raw = raw.get("columns")
+        if not isinstance(columns_raw, dict) or not columns_raw:
+            raise CatalogError('catalog needs a non-empty "columns" map')
+
+        columns: Dict[str, ColumnDef] = {}
+        for col_name, spec in columns_raw.items():
+            if "cf" not in spec or "col" not in spec:
+                raise CatalogError(f'column {col_name!r} needs "cf" and "col"')
+            avro_schema = spec.get("avro")
+            type_name = spec.get("type")
+            if type_name is None and avro_schema is None:
+                raise CatalogError(f'column {col_name!r} needs "type" or "avro"')
+            dtype = type_from_name(type_name) if type_name else type_from_name("binary")
+            length = spec.get("length")
+            columns[col_name] = ColumnDef(
+                name=col_name,
+                family=spec["cf"],
+                qualifier=spec["col"],
+                dtype=dtype,
+                avro_schema=avro_schema,
+                length=int(length) if length is not None else None,
+            )
+
+        key_parts = [part.strip() for part in rowkey_spec.split(":") if part.strip()]
+        # the rowkey spec names *qualifiers*; map them back to column names
+        key_columns: List[str] = []
+        for part in key_parts:
+            match = [
+                c.name for c in columns.values()
+                if c.is_rowkey() and c.qualifier == part
+            ]
+            if not match:
+                raise CatalogError(
+                    f'rowkey part {part!r} has no column with cf "rowkey" '
+                    f"and col {part!r}"
+                )
+            key_columns.append(match[0])
+
+        return cls(
+            namespace=table.get("namespace", "default"),
+            name=table["name"],
+            row_key=key_columns,
+            columns=columns,
+            table_coder=table.get("tableCoder", "PrimitiveType"),
+            version=str(table.get("Version", table.get("version", "2.0"))),
+        )
+
+    # -- validation ----------------------------------------------------------
+    def _validate(self) -> None:
+        if not self.row_key:
+            raise CatalogError("a catalog needs at least one row-key column")
+        for key_col in self.row_key:
+            if key_col not in self.columns:
+                raise CatalogError(f"row-key column {key_col!r} is not defined")
+            if not self.columns[key_col].is_rowkey():
+                raise CatalogError(
+                    f'row-key column {key_col!r} must use cf "rowkey"'
+                )
+        for column in self.columns.values():
+            if column.is_rowkey() and column.name not in self.row_key:
+                raise CatalogError(
+                    f'column {column.name!r} uses cf "rowkey" but is not part '
+                    f"of the rowkey spec"
+                )
+        # composite keys: every dimension but the last needs a known width
+        for key_col in self.row_key[:-1]:
+            column = self.columns[key_col]
+            if column.dtype.fixed_width is None and column.length is None:
+                raise CatalogError(
+                    f"composite-key dimension {key_col!r} has variable width; "
+                    f'declare "length" in the catalog'
+                )
+
+    # -- views -------------------------------------------------------------------
+    def sql_schema(self) -> StructType:
+        """The relational schema, row-key columns first (stable order)."""
+        schema = StructType()
+        for name in self.row_key:
+            schema = schema.add(name, self.columns[name].dtype)
+        for name, column in self.columns.items():
+            if not column.is_rowkey():
+                schema = schema.add(name, column.dtype)
+        return schema
+
+    def data_columns(self) -> List[ColumnDef]:
+        return [c for c in self.columns.values() if not c.is_rowkey()]
+
+    def key_columns(self) -> List[ColumnDef]:
+        return [self.columns[name] for name in self.row_key]
+
+    def column(self, name: str) -> ColumnDef:
+        column = self.columns.get(name)
+        if column is None:
+            raise CatalogError(f"no column {name!r} in catalog for {self.name}")
+        return column
+
+    def families(self) -> List[str]:
+        """Column families the HBase table needs (rowkey is not a family)."""
+        return sorted({c.family for c in self.columns.values() if not c.is_rowkey()})
+
+    def key_width(self, column_name: str) -> Optional[int]:
+        column = self.column(column_name)
+        if column.length is not None:
+            return column.length
+        return column.dtype.fixed_width
+
+    @property
+    def qualified_name(self) -> str:
+        """The physical HBase table name, namespace-qualified.
+
+        The ``default`` namespace is elided, matching HBase's own display
+        convention; other namespaces render as ``ns:table`` so two catalogs
+        with the same table name in different namespaces never collide.
+        """
+        if self.namespace in ("", "default"):
+            return self.name
+        return f"{self.namespace}:{self.name}"
+
+    def __repr__(self) -> str:
+        return (
+            f"HBaseTableCatalog({self.namespace}:{self.name}, "
+            f"key={self.row_key}, coder={self.table_coder})"
+        )

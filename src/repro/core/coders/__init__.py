@@ -1,0 +1,28 @@
+"""SHC field coders: typed values <-> HBase byte arrays (section IV.B).
+
+Three built-in coders (``PrimitiveType``, ``Phoenix``, ``Avro``) plus a
+registry for custom ones -- the plug-in design the paper highlights.  Coders
+also answer the question pushdown depends on: *is the encoding
+order-preserving for this type?* -- and produce the byte-space ranges a
+predicate corresponds to, splitting at sign boundaries where the encoding's
+byte order disagrees with the numeric order.
+"""
+
+from repro.core.coders.avro import AvroCoder
+from repro.core.coders.base import ByteRange, FieldCoder, get_coder, register_coder
+from repro.core.coders.phoenix import PhoenixCoder
+from repro.core.coders.primitive import PrimitiveTypeCoder
+
+register_coder(PrimitiveTypeCoder())
+register_coder(PhoenixCoder())
+register_coder(AvroCoder())
+
+__all__ = [
+    "FieldCoder",
+    "ByteRange",
+    "PrimitiveTypeCoder",
+    "PhoenixCoder",
+    "AvroCoder",
+    "get_coder",
+    "register_coder",
+]

@@ -1,0 +1,80 @@
+"""The Phoenix coder: Apache Phoenix's order-preserving encodings.
+
+Allows SHC to read tables written by Phoenix and vice versa (section
+IV.B.3).  Integers are sign-flipped, floats use the IEEE total-order trick,
+so every comparison predicate translates directly into a single byte range.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import CoderError
+from repro.core.coders.base import FieldCoder
+from repro.hbase.hbytes import Bytes, OrderedBytes
+from repro.sql.types import (
+    BinaryType,
+    BooleanType,
+    ByteType,
+    DataType,
+    DoubleType,
+    FloatType,
+    IntegerType,
+    LongType,
+    ShortType,
+    StringType,
+    TimestampType,
+)
+
+
+class PhoenixCoder(FieldCoder):
+    """``tableCoder: Phoenix``."""
+
+    name = "Phoenix"
+
+    def encode(self, value: object, dtype: DataType) -> bytes:
+        if value is None:
+            raise CoderError("cannot encode NULL; HBase omits the cell instead")
+        if isinstance(value, float) and value == 0.0:
+            value = 0.0  # canonicalise -0.0: SQL equality must stay injective
+        if dtype is StringType:
+            return Bytes.from_string(value)
+        if dtype is BinaryType:
+            return bytes(value)
+        if dtype is BooleanType:
+            return b"\x01" if value else b"\x00"
+        if dtype is ByteType:
+            return OrderedBytes.from_byte(value)
+        if dtype is ShortType:
+            return OrderedBytes.from_short(value)
+        if dtype is IntegerType:
+            return OrderedBytes.from_int(value)
+        if dtype in (LongType, TimestampType):
+            return OrderedBytes.from_long(value)
+        if dtype is FloatType:
+            return OrderedBytes.from_float(value)
+        if dtype is DoubleType:
+            return OrderedBytes.from_double(value)
+        raise CoderError(f"Phoenix cannot encode {dtype}")
+
+    def decode(self, data: bytes, dtype: DataType) -> object:
+        if dtype is StringType:
+            return Bytes.to_string(data)
+        if dtype is BinaryType:
+            return bytes(data)
+        if dtype is BooleanType:
+            return data != b"\x00"
+        if dtype is ByteType:
+            return OrderedBytes.to_byte(data)
+        if dtype is ShortType:
+            return OrderedBytes.to_short(data)
+        if dtype is IntegerType:
+            return OrderedBytes.to_int(data)
+        if dtype in (LongType, TimestampType):
+            return OrderedBytes.to_long(data)
+        if dtype is FloatType:
+            return OrderedBytes.to_float(data)
+        if dtype is DoubleType:
+            return OrderedBytes.to_double(data)
+        raise CoderError(f"Phoenix cannot decode {dtype}")
+
+    def order_preserving(self, dtype: DataType) -> bool:
+        return True

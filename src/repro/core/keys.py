@@ -1,0 +1,101 @@
+"""Composite row-key encoding and decoding.
+
+A catalog's row key is the concatenation of its key dimensions' encodings.
+Every dimension but the last must be fixed-width (a native width or an
+explicit catalog ``length``); variable-width values in non-terminal
+dimensions are padded with ``0x00`` up to the declared length so the key can
+be sliced apart again on read.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.errors import CoderError
+from repro.core.catalog import HBaseTableCatalog
+from repro.core.coders.base import FieldCoder
+
+
+def prefix_successor(prefix: bytes) -> Optional[bytes]:
+    """Smallest byte string greater than *every* string with ``prefix``.
+
+    Returns None when no such string exists (prefix is all ``0xff``), which
+    callers treat as "unbounded above".
+    """
+    out = bytearray(prefix)
+    while out and out[-1] == 0xFF:
+        out.pop()
+    if not out:
+        return None
+    out[-1] += 1
+    return bytes(out)
+
+
+def dimension_width(catalog: HBaseTableCatalog, coder: FieldCoder,
+                    column_name: str) -> "Optional[int]":
+    """Encoded width of one key dimension under ``coder`` (None = variable)."""
+    column = catalog.column(column_name)
+    if column.length is not None:
+        return column.length
+    return coder.encoded_width(column.dtype)
+
+
+def encode_key_dimension(catalog: HBaseTableCatalog, coder: FieldCoder,
+                         column_name: str, value: object) -> bytes:
+    """Encode one key dimension, padding to its declared width if needed."""
+    column = catalog.column(column_name)
+    encoded = coder.encode(value, column.dtype)
+    is_last = column_name == catalog.row_key[-1]
+    if is_last and column.length is None:
+        return encoded
+    width = dimension_width(catalog, coder, column_name)
+    if width is None:
+        raise CoderError(
+            f"key dimension {column_name!r} has no fixed width under "
+            f"coder {coder.name!r}; declare \"length\" in the catalog"
+        )
+    if len(encoded) > width:
+        raise CoderError(
+            f"value for key dimension {column_name!r} encodes to "
+            f"{len(encoded)} bytes, over the declared width {width}"
+        )
+    return encoded.ljust(width, b"\x00")
+
+
+def encode_rowkey(catalog: HBaseTableCatalog, coder: FieldCoder,
+                  values: Dict[str, object]) -> bytes:
+    """Build the full composite row key from per-dimension values."""
+    parts: List[bytes] = []
+    for name in catalog.row_key:
+        if name not in values or values[name] is None:
+            raise CoderError(f"row-key dimension {name!r} must not be NULL")
+        parts.append(encode_key_dimension(catalog, coder, name, values[name]))
+    return b"".join(parts)
+
+
+def decode_rowkey(catalog: HBaseTableCatalog, coder: FieldCoder,
+                  key: bytes) -> Dict[str, object]:
+    """Slice a composite row key back into per-dimension values."""
+    values: Dict[str, object] = {}
+    pos = 0
+    for i, name in enumerate(catalog.row_key):
+        column = catalog.column(name)
+        is_last = i == len(catalog.row_key) - 1
+        if is_last and column.length is None:
+            chunk = key[pos:]
+            pos = len(key)
+        else:
+            width = dimension_width(catalog, coder, name)
+            if width is None:
+                raise CoderError(
+                    f"cannot slice variable-width key dimension {name!r}"
+                )
+            chunk = key[pos:pos + width]
+            pos += width
+        padded = column.length is not None or (
+            not is_last and coder.encoded_width(column.dtype) is None
+        )
+        if padded and not coder.self_delimiting(column.dtype):
+            chunk = chunk.rstrip(b"\x00")
+        values[name] = coder.decode(chunk, column.dtype)
+    return values

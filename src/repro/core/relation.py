@@ -1,0 +1,297 @@
+"""HBaseRelation: the Data Source API plug-in (the paper's core design).
+
+Implements the engine-facing contract -- ``schema``, ``size_in_bytes``,
+``build_scan(required_columns, filters)``, ``unhandled_filters``, ``insert``
+-- on top of the catalog, the coders, the range algebra, the pushdown
+compiler, partition pruning/fusion, the connection cache and the credentials
+manager.  Each optimization has an independent toggle so the ablation
+benchmarks can isolate its contribution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.common.errors import CatalogError, HBaseError
+from repro.core.catalog import HBaseSparkConf, HBaseTableCatalog
+from repro.core.coders import get_coder
+from repro.core.conncache import DEFAULT_CONNECTION_CACHE
+from repro.core.credentials import DEFAULT_CREDENTIALS_MANAGER
+from repro.core.partitions import build_partitions
+from repro.core.pushdown import PushdownCompiler
+from repro.core.ranges import FULL_SCAN, RangeBuilder
+from repro.core.scan_rdd import HBaseTableScanRDD
+from repro.hbase.client import Configuration, ConnectionFactory
+from repro.hbase.cluster import get_cluster
+from repro.hbase.region import TimeRange
+from repro.hbase.security import KeytabStore, UserGroupInformation
+from repro.sql.sources import BaseRelation, Filter as SourceFilter, RelationProvider, register_provider
+from repro.sql.types import StructType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.rdd import RDD
+    from repro.engine.scheduler import TaskContext
+    from repro.sql.physical import ExecContext
+
+#: the full Spark format name from the paper's code listings
+DEFAULT_FORMAT = "org.apache.spark.sql.execution.datasources.hbase"
+QUORUM_OPTION = Configuration.QUORUM
+
+_TRUE = ("true", "1", "yes", "on", True)
+
+
+class HBaseRelation(BaseRelation):
+    """One logical binding of a catalog to a physical HBase table."""
+
+    def __init__(self, options: Dict[str, object], session) -> None:
+        self.options = dict(options)
+        self.session = session
+        catalog_json = self.options.get(HBaseTableCatalog.tableCatalog)
+        if not catalog_json:
+            raise CatalogError(
+                f'HBase relations need the {HBaseTableCatalog.tableCatalog!r} option'
+            )
+        self.catalog = HBaseTableCatalog.from_json(catalog_json)
+        self.coder = get_coder(self.catalog.table_coder)
+        self.field_coders = self._resolve_field_coders()
+        quorum = self.options.get(QUORUM_OPTION)
+        if not quorum:
+            raise CatalogError(f"HBase relations need the {QUORUM_OPTION!r} option")
+        self.quorum = str(quorum)
+        self.cluster = get_cluster(self.quorum)
+        self._schema = self._resolve_schema()
+        self.connection_cache = DEFAULT_CONNECTION_CACHE
+        self.credentials_manager = DEFAULT_CREDENTIALS_MANAGER
+
+    def _resolve_field_coders(self):
+        """Per-column coders: Avro-schema columns override the table coder.
+
+        The catalog's ``"avro": "<ref>"`` names a read-option key holding the
+        schema JSON (paper Code 3's ``avroSchema``); inline JSON also works.
+        """
+        from repro.core.coders.avro import AvroRecordCoder
+
+        coders = {}
+        for column in self.catalog.columns.values():
+            if column.avro_schema is None:
+                coders[column.name] = self.coder
+                continue
+            reference = column.avro_schema
+            schema_json = self.options.get(reference, reference)
+            coders[column.name] = AvroRecordCoder(str(schema_json))
+        return coders
+
+    def _resolve_schema(self) -> StructType:
+        from repro.core.coders.avro import AvroRecordCoder
+
+        schema = StructType()
+        for field in self.catalog.sql_schema():
+            coder = self.field_coders[field.name]
+            if isinstance(coder, AvroRecordCoder):
+                schema = schema.add(field.name, coder.sql_type())
+            else:
+                schema = schema.add(field.name, field.dtype)
+        return schema
+
+    def field_coder(self, column_name: str):
+        """The coder for one column (Avro-schema columns differ)."""
+        return self.field_coders[column_name]
+
+    # -- feature toggles -------------------------------------------------------
+    def _flag(self, key: str, default: bool = True) -> bool:
+        value = self.options.get(key)
+        if value is None:
+            value = self.session.conf.get(key)
+        if value is None:
+            return default
+        return str(value).lower() in ("true", "1", "yes", "on")
+
+    @property
+    def pushdown_enabled(self) -> bool:
+        return self._flag(HBaseSparkConf.PUSHDOWN)
+
+    @property
+    def pruning_enabled(self) -> bool:
+        return self._flag(HBaseSparkConf.PRUNING)
+
+    @property
+    def column_pruning_enabled(self) -> bool:
+        return self._flag(HBaseSparkConf.COLUMN_PRUNING)
+
+    @property
+    def locality_enabled(self) -> bool:
+        return self._flag(HBaseSparkConf.LOCALITY)
+
+    @property
+    def fusion_enabled(self) -> bool:
+        return self._flag(HBaseSparkConf.FUSION)
+
+    @property
+    def connection_cache_enabled(self) -> bool:
+        return self._flag(HBaseSparkConf.CONNECTION_CACHE)
+
+    @property
+    def prune_all_dimensions(self) -> bool:
+        return self._flag(HBaseSparkConf.PRUNE_ALL_DIMENSIONS, default=False)
+
+    @property
+    def security_enabled(self) -> bool:
+        return self._flag(HBaseSparkConf.CREDENTIALS_ENABLED, default=False)
+
+    # -- BaseRelation contract ----------------------------------------------------
+    @property
+    def schema(self) -> StructType:
+        return self._schema
+
+    def size_in_bytes(self) -> Optional[int]:
+        """SHC understands the storage: real region sizes from HBase meta."""
+        try:
+            return self.cluster.table_size_bytes(self.catalog.qualified_name)
+        except HBaseError:
+            return None
+
+    def unhandled_filters(self, filters: Sequence[SourceFilter]) -> Sequence[SourceFilter]:
+        if not self.pushdown_enabled:
+            return list(filters)
+        compiled = PushdownCompiler(self.catalog, self.coder,
+                                    self.field_coders).compile(filters)
+        unhandled = list(compiled.unhandled)
+        if not self.pruning_enabled:
+            # row-key predicates were only "handled" because pruning would
+            # restrict the scan; with pruning off Spark must re-apply them
+            unhandled.extend(compiled.handled_by_pruning or [])
+        return unhandled
+
+    def build_scan(self, required_columns: Sequence[str],
+                   filters: Sequence[SourceFilter]) -> "RDD":
+        if self.pruning_enabled:
+            builder = RangeBuilder(self.catalog, self.coder,
+                                   self.prune_all_dimensions)
+            ranges = builder.ranges_for_filters(filters)
+        else:
+            ranges = list(FULL_SCAN)
+        hbase_filter = None
+        filter_columns = set()
+        if self.pushdown_enabled:
+            compiled = PushdownCompiler(self.catalog, self.coder,
+                                        self.field_coders).compile(filters)
+            hbase_filter = compiled.hbase_filter
+            if hbase_filter is not None:
+                filter_columns = _filter_columns(hbase_filter)
+        locations = self.cluster.region_locations(self.catalog.qualified_name)
+        partitions = build_partitions(locations, ranges, self.fusion_enabled)
+        return HBaseTableScanRDD(self, required_columns, hbase_filter,
+                                 partitions, filter_columns)
+
+    def insert(self, rdd: "RDD", schema: StructType, ctx: "ExecContext",
+               overwrite: bool = False) -> int:
+        from repro.core.writer import insert_into_hbase
+
+        return insert_into_hbase(self, rdd, schema, ctx, overwrite)
+
+    # -- query-context options (paper Code 5) --------------------------------------
+    def time_range(self) -> Optional[TimeRange]:
+        timestamp = self.options.get(HBaseSparkConf.TIMESTAMP)
+        if timestamp is not None:
+            ts = int(timestamp)
+            return TimeRange(ts, ts + 1)
+        min_ts = self.options.get(HBaseSparkConf.MIN_TIMESTAMP)
+        max_ts = self.options.get(HBaseSparkConf.MAX_TIMESTAMP)
+        if min_ts is None and max_ts is None:
+            return None
+        return TimeRange(
+            int(min_ts) if min_ts is not None else 0,
+            int(max_ts) if max_ts is not None else 2**63 - 1,
+        )
+
+    def max_versions(self) -> int:
+        value = self.options.get(HBaseSparkConf.MAX_VERSIONS)
+        return int(value) if value is not None else 1
+
+    # -- connections & security ------------------------------------------------------
+    def decode_cell_cost(self) -> float:
+        cost = self.session.cost
+        return cost.decode_cell_s * cost.coder_factor(self.coder.name)
+
+    def encode_cell_cost(self) -> float:
+        cost = self.session.cost
+        return cost.encode_cell_s * cost.coder_factor(self.coder.name)
+
+    def _ugi(self, ledger) -> Optional[UserGroupInformation]:
+        if not self.cluster.secure:
+            return None
+        if not self.security_enabled:
+            raise HBaseError(
+                f"cluster {self.cluster.name} is secure; set "
+                f"{HBaseSparkConf.CREDENTIALS_ENABLED}=true and configure "
+                f"principal/keytab"
+            )
+        principal = self.options.get(HBaseSparkConf.PRINCIPAL) \
+            or self.session.conf.get(HBaseSparkConf.PRINCIPAL)
+        keytab_path = self.options.get(HBaseSparkConf.KEYTAB) \
+            or self.session.conf.get(HBaseSparkConf.KEYTAB)
+        if not principal or not keytab_path:
+            raise HBaseError("secure access needs spark.yarn.principal and .keytab")
+        keytab = KeytabStore.load(str(keytab_path))
+        ugi = UserGroupInformation(str(principal))
+        token = self.credentials_manager.get_token_for_cluster(
+            self.cluster, keytab, ledger
+        )
+        self.credentials_manager.apply_to_ugi(ugi, token)
+        return ugi
+
+    def acquire_connection(self, ctx: "TaskContext"):
+        """Per-task connection acquisition (executor-local cache keying)."""
+        conf = Configuration({
+            Configuration.QUORUM: self.quorum,
+            Configuration.CLIENT_HOST: ctx.host,
+        })
+        ugi = self._ugi(ctx.ledger)
+        if self.connection_cache_enabled:
+            delay = self.options.get(HBaseSparkConf.CONNECTION_CLOSE_DELAY) \
+                or self.session.conf.get(HBaseSparkConf.CONNECTION_CLOSE_DELAY)
+            if delay is not None:
+                self.connection_cache.close_delay_s = float(delay)
+            return self.connection_cache.acquire(
+                conf, self.cluster.clock, self.session.cost, ctx.ledger, ugi
+            )
+        ctx.ledger.charge(self.session.cost.connection_setup_s,
+                          "shc.connection_setups")
+        return ConnectionFactory.create_connection(conf, ugi)
+
+    def release_connection(self, ctx: "TaskContext") -> None:
+        if self.connection_cache_enabled:
+            conf = Configuration({
+                Configuration.QUORUM: self.quorum,
+                Configuration.CLIENT_HOST: ctx.host,
+            })
+            self.connection_cache.release(conf, self.cluster.clock)
+
+    def __repr__(self) -> str:
+        return f"HBaseRelation({self.catalog.name} @ {self.quorum})"
+
+
+def _filter_columns(hbase_filter) -> set:
+    """Every (family, qualifier) a server-side filter tree reads."""
+    from repro.hbase.filters import FilterList, SingleColumnValueFilter
+
+    out = set()
+    stack = [hbase_filter]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, SingleColumnValueFilter):
+            out.add((node.family, node.qualifier))
+        elif isinstance(node, FilterList):
+            stack.extend(node.filters)
+    return out
+
+
+class HBaseRelationProvider(RelationProvider):
+    """The DataSource registration for SHC."""
+
+    def create_relation(self, options: Dict[str, str], session) -> HBaseRelation:
+        return HBaseRelation(options, session)
+
+
+register_provider(DEFAULT_FORMAT, HBaseRelationProvider())
+register_provider("shc", HBaseRelationProvider())

@@ -1,0 +1,25 @@
+"""A Spark-like in-memory cluster compute engine (simulated).
+
+Provides RDDs with lineage and preferred locations, a DAG scheduler that
+splits jobs at shuffle boundaries, locality-aware task placement over a pool
+of executor slots (capped by a YARN-like resource manager), shuffle-volume
+accounting, and task-retry fault tolerance.  Task durations are simulated:
+each task charges a :class:`~repro.common.metrics.CostLedger` for the work it
+performs and the scheduler computes the stage makespan over executor slots.
+"""
+
+from repro.engine.cluster import ComputeCluster, Executor, YarnResourceManager
+from repro.engine.rdd import RDD, ParallelCollectionRDD, ShuffledRDD
+from repro.engine.scheduler import JobResult, TaskContext, TaskScheduler
+
+__all__ = [
+    "ComputeCluster",
+    "Executor",
+    "YarnResourceManager",
+    "RDD",
+    "ParallelCollectionRDD",
+    "ShuffledRDD",
+    "TaskScheduler",
+    "TaskContext",
+    "JobResult",
+]

@@ -1,0 +1,263 @@
+"""The DAG scheduler: stages, locality-aware placement, simulated makespan.
+
+A job is split at shuffle boundaries.  Map stages bucket their output through
+the shuffle block store (charging write bandwidth); reduce tasks fetch and
+charge read bandwidth.  Each task runs with a :class:`TaskContext` carrying
+the executor's host (so an HBase scan knows whether it is co-located with the
+region server) and a cost ledger; the stage's simulated duration is the
+makespan of task durations over the executor slots the tasks were placed on.
+
+Fault tolerance follows Spark: a failing task is retried on another slot up
+to ``max_task_retries`` times before the job aborts -- recomputation is free
+because compute() re-runs the lineage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.cost import CostModel
+from repro.common.errors import FatalTaskError
+from repro.common.metrics import CostLedger, MetricsRegistry
+from repro.engine.cluster import ComputeCluster, Executor
+from repro.engine.rdd import Partition, RDD, ShuffledRDD
+from repro.engine.shuffle import ShuffleBlockStore, estimate_size, stable_hash
+
+
+class TaskContext:
+    """Per-task execution context handed to ``RDD.compute``."""
+
+    def __init__(self, host: str, ledger: CostLedger, scheduler: "TaskScheduler") -> None:
+        self.host = host
+        self.ledger = ledger
+        self._scheduler = scheduler
+
+    def fetch_shuffle(self, shuffle_id: int, reduce_partition: int) -> List[object]:
+        """Pull one reduce partition's rows, paying shuffle-read bandwidth."""
+        rows = list(self._scheduler.block_store.fetch(shuffle_id, reduce_partition))
+        nbytes = sum(estimate_size(r) for r in rows)
+        cost = self._scheduler.cost
+        self.ledger.charge(
+            nbytes / cost.shuffle_bytes_per_sec, "engine.shuffle_read_bytes", nbytes
+        )
+        return rows
+
+
+@dataclass
+class StageInfo:
+    """What one stage did, for the harness and for debugging plans."""
+
+    stage_id: int
+    kind: str                 # "shuffle-map" or "result"
+    num_tasks: int
+    duration_s: float
+    local_tasks: int
+    output_bytes: int
+
+
+@dataclass
+class JobResult:
+    """Everything a job run produced."""
+
+    partitions: List[List[object]]
+    seconds: float
+    metrics: MetricsRegistry
+    stages: List[StageInfo] = field(default_factory=list)
+
+    def rows(self) -> List[object]:
+        out: List[object] = []
+        for part in self.partitions:
+            out.extend(part)
+        return out
+
+
+class TaskScheduler:
+    """Runs RDD jobs over a compute cluster with simulated timing."""
+
+    def __init__(
+        self,
+        cluster: ComputeCluster,
+        cost_model: CostModel,
+        locality_enabled: bool = True,
+        max_task_retries: int = 3,
+    ) -> None:
+        self.cluster = cluster
+        self.cost = cost_model
+        self.locality_enabled = locality_enabled
+        self.max_task_retries = max_task_retries
+        self.block_store = ShuffleBlockStore()
+        self._materialized_shuffles: set[int] = set()
+        self._stage_ids = 0
+
+    # -- public API -------------------------------------------------------
+    def run_job(self, rdd: RDD) -> JobResult:
+        """Execute the full lineage of ``rdd`` and gather its partitions."""
+        metrics = MetricsRegistry()
+        stages: List[StageInfo] = []
+        total_seconds = 0.0
+        for shuffled in self._pending_shuffles(rdd):
+            info, stage_metrics = self._run_shuffle_map_stage(shuffled)
+            stages.append(info)
+            metrics.merge(stage_metrics)
+            total_seconds += info.duration_s
+        partitions, info, stage_metrics = self._run_result_stage(rdd)
+        stages.append(info)
+        metrics.merge(stage_metrics)
+        total_seconds += info.duration_s
+        peak = max((s.output_bytes for s in stages), default=0)
+        metrics.record_peak("engine.peak_stage_bytes", peak)
+        return JobResult(partitions, total_seconds, metrics, stages)
+
+    def collect(self, rdd: RDD) -> List[object]:
+        """Convenience: run the job and flatten the result partitions."""
+        return self.run_job(rdd).rows()
+
+    # -- stage planning -----------------------------------------------------
+    def _pending_shuffles(self, rdd: RDD) -> List[ShuffledRDD]:
+        """Every unmaterialised ShuffledRDD in the lineage, parents first."""
+        ordered: List[ShuffledRDD] = []
+        seen: set[int] = set()
+
+        def visit(node: RDD) -> None:
+            if node.rdd_id in seen:
+                return
+            seen.add(node.rdd_id)
+            for parent in node.parents:
+                visit(parent)
+            if isinstance(node, ShuffledRDD) and node.shuffle_id not in self._materialized_shuffles:
+                ordered.append(node)
+
+        visit(rdd)
+        return ordered
+
+    # -- stage execution ----------------------------------------------------
+    def _run_shuffle_map_stage(self, shuffled: ShuffledRDD) -> Tuple[StageInfo, MetricsRegistry]:
+        parent = shuffled.parents[0]
+
+        def make_runner(partition: Partition) -> Callable[[TaskContext], int]:
+            def run(ctx: TaskContext) -> int:
+                buckets: List[List[object]] = [[] for __ in range(shuffled.num_partitions)]
+                nbytes = 0
+                for row in parent.compute(partition, ctx):
+                    target = stable_hash(shuffled.key_fn(row)) % shuffled.num_partitions
+                    buckets[target].append(row)
+                    nbytes += estimate_size(row)
+                for reduce_idx, bucket in enumerate(buckets):
+                    if bucket:
+                        self.block_store.put_block(
+                            shuffled.shuffle_id, partition.index, reduce_idx, bucket
+                        )
+                ctx.ledger.charge(
+                    nbytes / self.cost.shuffle_bytes_per_sec,
+                    "engine.shuffle_write_bytes", nbytes,
+                )
+                return nbytes
+
+            return run
+
+        tasks = [
+            (make_runner(p), tuple(parent.preferred_locations(p)))
+            for p in parent.partitions()
+        ]
+        outputs, info, metrics = self._execute(tasks, kind="shuffle-map")
+        info.output_bytes = sum(outputs)
+        metrics.incr("engine.shuffles", 1)
+        self._materialized_shuffles.add(shuffled.shuffle_id)
+        return info, metrics
+
+    def _run_result_stage(
+        self, rdd: RDD
+    ) -> Tuple[List[List[object]], StageInfo, MetricsRegistry]:
+        def make_runner(partition: Partition) -> Callable[[TaskContext], List[object]]:
+            def run(ctx: TaskContext) -> List[object]:
+                return list(rdd.compute(partition, ctx))
+
+            return run
+
+        tasks = [
+            (make_runner(p), tuple(rdd.preferred_locations(p)))
+            for p in rdd.partitions()
+        ]
+        partitions, info, metrics = self._execute(tasks, kind="result")
+        info.output_bytes = sum(
+            estimate_size(row) for part in partitions for row in part
+        )
+        return partitions, info, metrics
+
+    def _execute(
+        self,
+        tasks: Sequence[Tuple[Callable[[TaskContext], object], Tuple[str, ...]]],
+        kind: str,
+    ) -> Tuple[List[object], StageInfo, MetricsRegistry]:
+        """Place, run and time a stage's tasks; returns results in order."""
+        self._stage_ids += 1
+        metrics = MetricsRegistry()
+        slots = self.cluster.slots()
+        slot_load_count = [0] * len(slots)
+        slot_busy_until = [0.0] * len(slots)
+        results: List[object] = []
+        local_tasks = 0
+
+        for runner, preferred in tasks:
+            slot_idx = self._place(slots, slot_load_count, preferred)
+            host = slots[slot_idx].host
+            if preferred and host in preferred:
+                local_tasks += 1
+            result, ledger = self._run_with_retries(runner, host, slot_idx, slots, metrics)
+            slot_load_count[slot_idx] += 1
+            slot_busy_until[slot_idx] += self.cost.task_launch_s + ledger.seconds
+            metrics.merge(ledger.metrics)
+            metrics.incr("engine.tasks", 1)
+            results.append(result)
+
+        duration = max(slot_busy_until, default=0.0)
+        metrics.incr("engine.local_tasks", local_tasks)
+        info = StageInfo(
+            stage_id=self._stage_ids,
+            kind=kind,
+            num_tasks=len(tasks),
+            duration_s=duration,
+            local_tasks=local_tasks,
+            output_bytes=0,
+        )
+        return results, info, metrics
+
+    def _place(
+        self,
+        slots: Sequence[Executor],
+        slot_load_count: List[int],
+        preferred: Tuple[str, ...],
+    ) -> int:
+        """Pick a slot: least-loaded among preferred hosts, else least-loaded."""
+        candidates = range(len(slots))
+        if self.locality_enabled and preferred:
+            on_pref = [i for i in candidates if slots[i].host in preferred]
+            if on_pref:
+                return min(on_pref, key=lambda i: slot_load_count[i])
+        return min(candidates, key=lambda i: slot_load_count[i])
+
+    def _run_with_retries(
+        self,
+        runner: Callable[[TaskContext], object],
+        host: str,
+        slot_idx: int,
+        slots: Sequence[Executor],
+        metrics: MetricsRegistry,
+    ) -> Tuple[object, CostLedger]:
+        attempts = 0
+        last_error: Optional[Exception] = None
+        while attempts <= self.max_task_retries:
+            ledger = CostLedger()
+            ctx = TaskContext(host, ledger, self)
+            try:
+                return runner(ctx), ledger
+            except Exception as exc:  # noqa: BLE001 - task code is user code
+                attempts += 1
+                last_error = exc
+                metrics.incr("engine.task_failures", 1)
+                # Spark would retry on another executor; rotate hosts
+                host = slots[(slot_idx + attempts) % len(slots)].host
+        raise FatalTaskError(
+            f"task failed after {attempts} attempts: {last_error}"
+        ) from last_error

@@ -1,0 +1,11 @@
+"""Comparator extensions beyond the paper's own implementation.
+
+Currently: a Huawei-Spark-SQL-on-HBase-style connector that ships partial
+aggregation into HBase coprocessors (the "very advanced and aggressive
+customized optimization" of section III.C), so Table I's fourth system is a
+real implementation rather than a citation.
+"""
+
+from repro.extensions.huawei import HUAWEI_FORMAT, HuaweiSparkHBaseRelation
+
+__all__ = ["HUAWEI_FORMAT", "HuaweiSparkHBaseRelation"]

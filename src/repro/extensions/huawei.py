@@ -1,0 +1,319 @@
+"""A Huawei-Astro-style connector: aggregation inside HBase coprocessors.
+
+Section III.C describes the Huawei Spark-SQL-on-HBase design: it embeds its
+own optimizations inside Catalyst and "ships an RDD to HBase, performing
+complicated tasks inside the HBase coprocessor", achieving high performance
+at the price of a much larger maintenance surface.  This module implements
+that design point:
+
+- :func:`aggregation_endpoint` runs inside a region server: it scans the
+  region, decodes cells *server-side* and returns partially-aggregated
+  accumulators per group -- only the accumulators cross to the engine;
+- :class:`HuaweiSparkHBaseRelation` extends the SHC relation with
+  ``plan_aggregate``: when a query is a simple grouped aggregation directly
+  over the table, the planner replaces the scan+partial-aggregate pipeline
+  with coprocessor calls plus an engine-side final merge.
+
+Queries that do not fit the coprocessor shape (expressions in groupings,
+unsupported aggregates, residual filters HBase cannot evaluate) fall back to
+the standard SHC path, so answers never change.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.core.pushdown import PushdownCompiler
+from repro.core.ranges import FULL_SCAN, RangeBuilder
+from repro.core.relation import HBaseRelation, HBaseRelationProvider
+from repro.core.partitions import build_partitions
+from repro.engine.rdd import Partition, RDD
+from repro.sql import expressions as E
+from repro.sql.physical import ExecContext, PhysicalPlan, _AggRef, _KeyRef
+from repro.sql.sources import Filter as SourceFilter, register_provider
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.scheduler import TaskContext
+
+HUAWEI_FORMAT = "org.apache.spark.sql.hbase.HBaseSource"
+
+#: aggregate functions the coprocessor endpoint implements
+_SUPPORTED_AGGREGATES = (E.Count, E.Sum, E.Min, E.Max, E.Avg, E.StddevSamp)
+
+
+def aggregation_endpoint(region, params: dict, cost, ledger) -> List[tuple]:
+    """The server-side half: scan, decode and partially aggregate one region.
+
+    Returns ``[(group_key_tuple, accumulator_tuple), ...]``.  All scan and
+    decode work is charged inside the region server; only the (small)
+    accumulator table is returned to the caller.
+    """
+    relation: HuaweiSparkHBaseRelation = params["relation"]
+    scan_range = params["scan_range"]
+    hbase_filter = params["hbase_filter"]
+    residual = params["residual"]
+    group_columns: List[str] = params["group_columns"]
+    aggregates: List[E.AggregateExpression] = params["aggregates"]
+    input_columns: List[str] = params["input_columns"]
+
+    catalog = relation.catalog
+    columns = None
+    data_columns = [c for c in input_columns if not catalog.column(c).is_rowkey()]
+    if data_columns:
+        columns = {
+            (catalog.column(c).family, catalog.column(c).qualifier)
+            for c in data_columns
+        }
+        columns |= params["filter_columns"]
+
+    io_bytes = region.io_bytes_for_range(
+        scan_range.start, scan_range.stop, None, columns
+    )
+    ledger.charge(io_bytes / cost.scan_bytes_per_sec, "hbase.bytes_scanned", io_bytes)
+
+    from repro.core.keys import decode_rowkey
+
+    decode_cost = relation.decode_cell_cost()
+    column_index = {name: i for i, name in enumerate(input_columns)}
+    table: Dict[tuple, list] = {}
+    decoded = 0
+    for row_key, cells in region.scan_rows(scan_range.start, scan_range.stop,
+                                           None, columns):
+        if hbase_filter is not None:
+            ledger.charge(
+                cost.cell_filter_cost_s * hbase_filter.cells_evaluated(),
+                "hbase.filter_evals",
+            )
+            if not hbase_filter.filter_row(row_key, cells):
+                continue
+        key_values = decode_rowkey(catalog, relation.coder, row_key)
+        decoded += len(catalog.row_key)
+        cell_map = {(c.family, c.qualifier): c.value for c in reversed(cells)}
+        values = []
+        for name in input_columns:
+            column = catalog.column(name)
+            if column.is_rowkey():
+                values.append(key_values[name])
+            else:
+                raw = cell_map.get((column.family, column.qualifier))
+                if raw is None:
+                    values.append(None)
+                else:
+                    values.append(
+                        relation.field_coder(name).decode(raw, column.dtype))
+                    decoded += 1
+        row = tuple(values)
+        if residual is not None and residual.eval(row) is not True:
+            continue
+        key = tuple(row[column_index[g]] for g in group_columns)
+        accs = table.get(key)
+        if accs is None:
+            accs = [a.init_acc() for a in aggregates]
+            table[key] = accs
+        for i, agg in enumerate(aggregates):
+            accs[i] = agg.update(accs[i], row)
+    ledger.charge(decode_cost * decoded, "hbase.server_side_decodes", decoded)
+    return [(key, tuple(accs)) for key, accs in table.items()]
+
+
+class CoprocessorAggregateRDD(RDD):
+    """One partition per region; compute() invokes the endpoint remotely."""
+
+    def __init__(self, relation: "HuaweiSparkHBaseRelation", scan_partitions,
+                 params_base: dict) -> None:
+        super().__init__()
+        self.relation = relation
+        self.scan_partitions = list(scan_partitions)
+        self.params_base = params_base
+
+    def partitions(self) -> List[Partition]:
+        return [Partition(p.index, payload=p) for p in self.scan_partitions]
+
+    def preferred_locations(self, partition: Partition) -> Sequence[str]:
+        return (partition.payload.host,)
+
+    def compute(self, partition: Partition, ctx: "TaskContext"):
+        scan_partition = partition.payload
+        cluster = self.relation.cluster
+        server = cluster.region_servers[scan_partition.server_id]
+        for work in scan_partition.work:
+            for scan_range in work.ranges:
+                params = dict(self.params_base)
+                params["scan_range"] = scan_range
+                yield from server.exec_coprocessor(
+                    work.location.region_name, aggregation_endpoint,
+                    params, ctx.ledger,
+                )
+
+
+class CoprocessorAggregateExec(PhysicalPlan):
+    """Partial aggregation in HBase, final merge in the engine."""
+
+    def __init__(self, relation: "HuaweiSparkHBaseRelation",
+                 groupings: Sequence[E.Attribute],
+                 aggregate_list: Sequence[E.Expression],
+                 bound_aggregates: Sequence[E.AggregateExpression],
+                 scan_partitions, params_base: dict) -> None:
+        output = []
+        for item in aggregate_list:
+            output.append(item.to_attribute() if isinstance(item, E.Alias) else item)
+        super().__init__(output)
+        self.relation = relation
+        self.groupings = list(groupings)
+        self.aggregate_list = list(aggregate_list)
+        self.bound_aggregates = list(bound_aggregates)
+        self.scan_partitions = scan_partitions
+        self.params_base = params_base
+
+    def execute(self, ctx: ExecContext) -> RDD:
+        aggregates = self.bound_aggregates
+        key_position = {g.attr_id: i for i, g in enumerate(self.groupings)}
+        agg_position = {id(a): i for i, a in enumerate(
+            self.params_base["source_aggregates"])}
+        result_exprs = [
+            _result_expr(item, key_position, agg_position)
+            for item in self.aggregate_list
+        ]
+        per_row = ctx.cost.row_cpu_s
+        global_agg = not self.groupings
+
+        def final(pairs, task_ctx):
+            table: Dict[tuple, list] = {}
+            for key, accs in pairs:
+                merged = table.get(key)
+                if merged is None:
+                    table[key] = list(accs)
+                else:
+                    for i, agg in enumerate(aggregates):
+                        merged[i] = agg.merge(merged[i], accs[i])
+            if not table and global_agg:
+                # a global aggregate over no rows still yields one row
+                table[()] = [a.init_acc() for a in aggregates]
+            out = []
+            for key, accs in table.items():
+                finished = tuple(
+                    agg.finish(accs[i]) for i, agg in enumerate(aggregates)
+                )
+                out.append(tuple(expr.eval((key, finished))
+                                 for expr in result_exprs))
+            task_ctx.ledger.charge(per_row * len(out), "engine.rows_processed",
+                                   len(out))
+            return iter(out)
+
+        partial = CoprocessorAggregateRDD(
+            self.relation, self.scan_partitions, self.params_base
+        )
+        num_parts = 1 if global_agg else ctx.shuffle_partitions()
+        return partial.partition_by(
+            num_parts, key_fn=lambda kv: kv[0], post_shuffle=final
+        )
+
+    def describe(self) -> str:
+        return (
+            f"CoprocessorAggregate(keys={[g.name for g in self.groupings]}, "
+            f"out={[a.name for a in self.output]})"
+        )
+
+
+def _result_expr(item, key_position, agg_position):
+    expr = item.child if isinstance(item, E.Alias) else item
+
+    def rewrite(node):
+        if isinstance(node, E.AggregateExpression):
+            return _AggRef(agg_position[id(node)], node.data_type())
+        if isinstance(node, E.Attribute):
+            return _KeyRef(key_position[node.attr_id], node.dtype)
+        if not node.children:
+            return node
+        return node.with_new_children([rewrite(c) for c in node.children])
+
+    return rewrite(expr)
+
+
+class HuaweiSparkHBaseRelation(HBaseRelation):
+    """SHC's relation plus coprocessor aggregate pushdown."""
+
+    def plan_aggregate(
+        self,
+        groupings: Sequence[E.Expression],
+        aggregate_list: Sequence[E.Expression],
+        filters: Sequence[SourceFilter],
+        residual: Optional[E.Expression],
+        input_attrs: Sequence[E.Attribute],
+    ) -> Optional[PhysicalPlan]:
+        """Plan ``Aggregate(Filter(Scan))`` as coprocessor calls, or None."""
+        schema_names = set(self.schema.names)
+        if not all(isinstance(g, E.Attribute) and g.name in schema_names
+                   for g in groupings):
+            return None
+        source_aggregates: List[E.AggregateExpression] = []
+        for item in aggregate_list:
+            expr = item.child if isinstance(item, E.Alias) else item
+            for node in expr.collect(
+                lambda e: isinstance(e, E.AggregateExpression)
+            ):
+                if not isinstance(node, _SUPPORTED_AGGREGATES) or node.distinct:
+                    return None
+                child = node.child
+                if child is not None and not isinstance(child, E.Attribute):
+                    return None
+                if id(node) not in {id(a) for a in source_aggregates}:
+                    source_aggregates.append(node)
+
+        input_columns: List[str] = []
+        for attr in input_attrs:
+            if attr.name in schema_names and attr.name not in input_columns:
+                input_columns.append(attr.name)
+
+        ranges = (
+            RangeBuilder(self.catalog, self.coder,
+                         self.prune_all_dimensions).ranges_for_filters(filters)
+            if self.pruning_enabled else list(FULL_SCAN)
+        )
+        compiled = PushdownCompiler(self.catalog, self.coder,
+                                    self.field_coders).compile(filters)
+        from repro.core.relation import _filter_columns
+
+        filter_columns = (
+            _filter_columns(compiled.hbase_filter)
+            if compiled.hbase_filter is not None else set()
+        )
+        locations = self.cluster.region_locations(self.catalog.qualified_name)
+        # coprocessor calls are per region (one endpoint invocation each)
+        scan_partitions = build_partitions(locations, ranges,
+                                           self.fusion_enabled)
+        bound_aggregates = [
+            agg.with_new_children(
+                (E.bind_expression(agg.children[0], list(input_attrs)),)
+            ) if agg.children else agg
+            for agg in source_aggregates
+        ]
+        bound_residual = (
+            E.bind_expression(residual, list(input_attrs))
+            if residual is not None else None
+        )
+        params_base = {
+            "relation": self,
+            "hbase_filter": compiled.hbase_filter,
+            "residual": bound_residual,
+            "group_columns": [g.name for g in groupings],
+            "aggregates": bound_aggregates,
+            "source_aggregates": source_aggregates,
+            "input_columns": [a.name for a in input_attrs],
+            "filter_columns": filter_columns,
+        }
+        return CoprocessorAggregateExec(
+            self, list(groupings), list(aggregate_list), bound_aggregates,
+            scan_partitions, params_base,
+        )
+
+
+class HuaweiRelationProvider(HBaseRelationProvider):
+    """Registers the coprocessor connector under its format names."""
+
+    def create_relation(self, options, session) -> HuaweiSparkHBaseRelation:
+        return HuaweiSparkHBaseRelation(options, session)
+
+
+register_provider(HUAWEI_FORMAT, HuaweiRelationProvider())
+register_provider("huawei-hbase", HuaweiRelationProvider())

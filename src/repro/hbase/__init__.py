@@ -1,0 +1,41 @@
+"""An HBase-like distributed, column-oriented key-value store (simulated).
+
+This package is a from-scratch substrate standing in for Apache HBase: sorted
+memstores flushed to immutable store files (with block indexes and bloom
+filters), a write-ahead log, regions with split/merge, region servers that
+evaluate server-side filters, an HMaster, a ZooKeeper-like coordination
+service, a client API (Put/Get/Scan/Delete/BulkGet) and a Kerberos-like
+security layer issuing delegation tokens.  All byte-level semantics that SHC's
+optimizations depend on (lexicographic row ordering, region boundaries,
+per-cell timestamps/versions) are honoured exactly.
+"""
+
+from repro.hbase.cell import Cell, CellType
+from repro.hbase.client import (
+    Connection,
+    ConnectionFactory,
+    Delete,
+    Get,
+    Put,
+    Result,
+    Scan,
+    Table,
+)
+from repro.hbase.cluster import HBaseCluster
+from repro.hbase.hbytes import Bytes, OrderedBytes
+
+__all__ = [
+    "Bytes",
+    "OrderedBytes",
+    "Cell",
+    "CellType",
+    "HBaseCluster",
+    "Connection",
+    "ConnectionFactory",
+    "Table",
+    "Put",
+    "Get",
+    "Scan",
+    "Delete",
+    "Result",
+]

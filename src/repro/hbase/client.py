@@ -1,0 +1,493 @@
+"""The HBase client API: Connections, Tables, Put/Get/Scan/Delete/Result.
+
+Mirrors the pieces of ``org.apache.hadoop.hbase.client`` SHC programs against:
+``ConnectionFactory.create_connection`` (the heavyweight operation SHC's
+connection cache exists to avoid), ``Table`` with ``put``/``get``/``scan``/
+``delete``/``bulk_get``, and builder-style ``Scan``/``Get``/``Put``/``Delete``
+request objects.  Every data operation accepts a cost ledger and charges RPC
+latency plus network transfer when the caller is not co-located with the
+region server -- which is how data locality becomes measurable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
+
+import functools
+
+from repro.common.errors import HBaseError, RegionOfflineError, SecurityError
+from repro.common.metrics import CostLedger
+from repro.hbase.cell import Cell, CellType
+from repro.hbase.filters import Filter
+from repro.hbase.master import RegionLocation
+from repro.hbase.region import TimeRange
+from repro.hbase.security import UserGroupInformation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hbase.cluster import HBaseCluster
+
+
+class Configuration(dict):
+    """String-keyed configuration (``hbase-site.xml`` stand-in).
+
+    The key ``hbase.zookeeper.quorum`` names the target cluster; it is also
+    what SHC's connection cache and credentials manager key their caches on.
+    """
+
+    QUORUM = "hbase.zookeeper.quorum"
+    CLIENT_HOST = "hbase.client.host"
+
+    def cluster_key(self) -> str:
+        quorum = self.get(self.QUORUM)
+        if not quorum:
+            raise HBaseError(f"configuration is missing {self.QUORUM}")
+        return quorum
+
+
+# -- request/response objects ------------------------------------------------
+
+class Put:
+    """A batched mutation adding cells to one row."""
+
+    def __init__(self, row: bytes) -> None:
+        self.row = row
+        self._cells: List[Tuple[str, str, bytes, Optional[int]]] = []
+
+    def add_column(self, family: str, qualifier: str, value: bytes,
+                   timestamp: Optional[int] = None) -> "Put":
+        self._cells.append((family, qualifier, value, timestamp))
+        return self
+
+    def to_cells(self, default_ts: int) -> List[Cell]:
+        return [
+            Cell(self.row, family, qualifier, ts if ts is not None else default_ts, value)
+            for family, qualifier, value, ts in self._cells
+        ]
+
+    def heap_size(self) -> int:
+        return len(self.row) + sum(len(v) + len(f) + len(q) + 12 for f, q, v, __ in self._cells)
+
+
+class Delete:
+    """Tombstone mutation: whole row, one family, one column, or one version."""
+
+    def __init__(self, row: bytes) -> None:
+        self.row = row
+        self._family_deletes: List[str] = []
+        self._column_deletes: List[Tuple[str, str]] = []
+        self._version_deletes: List[Tuple[str, str, int]] = []
+        self._whole_row = True
+
+    def add_family(self, family: str) -> "Delete":
+        self._family_deletes.append(family)
+        self._whole_row = False
+        return self
+
+    def add_column(self, family: str, qualifier: str,
+                   timestamp: Optional[int] = None) -> "Delete":
+        """Delete all versions of a column, or exactly one version when
+        ``timestamp`` is given (HBase's ``Delete.addColumn(..., ts)``)."""
+        if timestamp is None:
+            self._column_deletes.append((family, qualifier))
+        else:
+            self._version_deletes.append((family, qualifier, timestamp))
+        self._whole_row = False
+        return self
+
+    def to_cells(self, families: Sequence[str], default_ts: int) -> List[Cell]:
+        if self._whole_row:
+            return [
+                Cell(self.row, family, "", default_ts, cell_type=CellType.DELETE_FAMILY)
+                for family in families
+            ]
+        cells = [
+            Cell(self.row, family, "", default_ts, cell_type=CellType.DELETE_FAMILY)
+            for family in self._family_deletes
+        ]
+        cells.extend(
+            Cell(self.row, family, qualifier, default_ts, cell_type=CellType.DELETE_COLUMN)
+            for family, qualifier in self._column_deletes
+        )
+        cells.extend(
+            Cell(self.row, family, qualifier, timestamp, cell_type=CellType.DELETE)
+            for family, qualifier, timestamp in self._version_deletes
+        )
+        return cells
+
+
+class Get:
+    """A point read of one row."""
+
+    def __init__(self, row: bytes) -> None:
+        self.row = row
+        self.columns: Optional[Set[Tuple[str, str]]] = None
+        self.families: Optional[Set[str]] = None
+        self.time_range: Optional[TimeRange] = None
+        self.max_versions = 1
+
+    def add_column(self, family: str, qualifier: str) -> "Get":
+        if self.columns is None:
+            self.columns = set()
+        self.columns.add((family, qualifier))
+        return self
+
+    def add_family(self, family: str) -> "Get":
+        if self.families is None:
+            self.families = set()
+        self.families.add(family)
+        return self
+
+    def set_time_range(self, min_ts: int, max_ts: int) -> "Get":
+        self.time_range = TimeRange(min_ts, max_ts)
+        return self
+
+    def set_max_versions(self, n: int) -> "Get":
+        self.max_versions = n
+        return self
+
+
+class Scan:
+    """A range read ``[start_row, stop_row)`` with optional server-side filter."""
+
+    def __init__(self, start_row: bytes = b"", stop_row: Optional[bytes] = None) -> None:
+        self.start_row = start_row
+        self.stop_row = stop_row
+        self.columns: Optional[Set[Tuple[str, str]]] = None
+        self.families: Optional[Set[str]] = None
+        self.filter: Optional[Filter] = None
+        self.time_range: Optional[TimeRange] = None
+        self.max_versions = 1
+        #: rows fetched per RPC round trip (HBase scanner caching)
+        self.caching = 1000
+
+    def add_column(self, family: str, qualifier: str) -> "Scan":
+        if self.columns is None:
+            self.columns = set()
+        self.columns.add((family, qualifier))
+        return self
+
+    def add_family(self, family: str) -> "Scan":
+        if self.families is None:
+            self.families = set()
+        self.families.add(family)
+        return self
+
+    def set_filter(self, row_filter: Filter) -> "Scan":
+        self.filter = row_filter
+        return self
+
+    def set_time_range(self, min_ts: int, max_ts: int) -> "Scan":
+        self.time_range = TimeRange(min_ts, max_ts)
+        return self
+
+    def set_timestamp(self, timestamp: int) -> "Scan":
+        self.time_range = TimeRange(timestamp, timestamp + 1)
+        return self
+
+    def set_max_versions(self, n: int) -> "Scan":
+        self.max_versions = n
+        return self
+
+    def set_caching(self, rows_per_rpc: int) -> "Scan":
+        if rows_per_rpc <= 0:
+            raise ValueError("caching must be positive")
+        self.caching = rows_per_rpc
+        return self
+
+
+class Result:
+    """One row returned by Get/Scan: the row key plus its visible cells."""
+
+    def __init__(self, row: bytes, cells: Sequence[Cell]) -> None:
+        self.row = row
+        self.cells = list(cells)
+
+    def get_value(self, family: str, qualifier: str) -> Optional[bytes]:
+        """Newest value of one column, or None."""
+        for cell in self.cells:  # cells arrive newest-first per column
+            if cell.family == family and cell.qualifier == qualifier:
+                return cell.value
+        return None
+
+    def cells_map(self) -> Dict[Tuple[str, str], bytes]:
+        """Newest value per (family, qualifier)."""
+        out: Dict[Tuple[str, str], bytes] = {}
+        for cell in self.cells:
+            out.setdefault((cell.family, cell.qualifier), cell.value)
+        return out
+
+    def is_empty(self) -> bool:
+        return not self.cells
+
+    def size_bytes(self) -> int:
+        return sum(c.heap_size() for c in self.cells)
+
+    def __repr__(self) -> str:
+        return f"Result({self.row!r}, {len(self.cells)} cells)"
+
+
+# -- connections ----------------------------------------------------------------
+
+class Connection:
+    """A live client connection to one cluster, with a meta-location cache."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, conf: Configuration, ugi: Optional[UserGroupInformation] = None) -> None:
+        from repro.hbase.cluster import get_cluster  # local import: cycle guard
+
+        self.conf = conf
+        self.cluster: "HBaseCluster" = get_cluster(conf.cluster_key())
+        self.ugi = ugi
+        self.client_host = conf.get(Configuration.CLIENT_HOST, "client")
+        self.connection_id = next(Connection._ids)
+        self.closed = False
+        self._location_cache: Dict[str, List[RegionLocation]] = {}
+        # connection setup really is heavyweight: ZooKeeper round trips + meta
+        self.cluster.metrics.incr("hbase.connections_created")
+        self.cluster.on_connection_created()
+
+    def get_table(self, name: str) -> "Table":
+        self._check_open()
+        return Table(self, name)
+
+    def region_locations(self, table_name: str) -> List[RegionLocation]:
+        """Locations for a table, cached client-side like HBase's meta cache."""
+        self._check_open()
+        cached = self._location_cache.get(table_name)
+        if cached is None:
+            cached = self.cluster.active_master.region_locations(table_name)
+            self._location_cache[table_name] = cached
+        return cached
+
+    def invalidate_location_cache(self, table_name: Optional[str] = None) -> None:
+        if table_name is None:
+            self._location_cache.clear()
+        else:
+            self._location_cache.pop(table_name, None)
+
+    def close(self) -> None:
+        self.closed = True
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise HBaseError("connection is closed")
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"Connection(#{self.connection_id} -> {self.cluster.name}, {state})"
+
+
+class ConnectionFactory:
+    """Creates connections.  Each call is expensive; see SHC's connection cache."""
+
+    @staticmethod
+    def create_connection(conf: Configuration,
+                          ugi: Optional[UserGroupInformation] = None) -> Connection:
+        return Connection(conf, ugi)
+
+
+def _retries_stale_meta(method):
+    """Retry once with a fresh meta cache on NotServingRegion-style errors.
+
+    Real HBase clients do exactly this: a region that moved (split, merge,
+    balance, failover) invalidates the cached location; the retry relocates.
+    """
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        try:
+            return method(self, *args, **kwargs)
+        except RegionOfflineError:
+            self.connection.invalidate_location_cache(self.name)
+            return method(self, *args, **kwargs)
+
+    return wrapper
+
+
+class Table:
+    """Client handle for data-plane operations on one table."""
+
+    def __init__(self, connection: Connection, name: str) -> None:
+        self.connection = connection
+        self.name = name
+        self.cluster = connection.cluster
+        self._cost = self.cluster.cost
+        # fail fast on unknown tables, like HBase's table existence check
+        self.cluster.active_master.describe_table(name)
+
+    # -- security -----------------------------------------------------------
+    def _check_auth(self) -> None:
+        if not self.cluster.secure:
+            return
+        ugi = self.connection.ugi
+        token = ugi.get_token(self.cluster.service_name) if ugi else None
+        self.cluster.token_authority.validate(token)
+
+    # -- RPC cost helpers ------------------------------------------------------
+    def _charge_rpc(self, ledger: CostLedger, server_host: str, payload_bytes: int,
+                    rpcs: int = 1) -> None:
+        ledger.charge(self._cost.rpc_latency_s * rpcs, "hbase.rpcs", rpcs)
+        if server_host != self.connection.client_host:
+            ledger.charge(
+                payload_bytes / self._cost.network_bytes_per_sec,
+                "hbase.network_bytes", payload_bytes,
+            )
+        else:
+            # co-located transfers still serialise across the process
+            # boundary; data locality saves the wire, not the copy
+            ledger.charge(
+                payload_bytes / self._cost.local_ipc_bytes_per_sec,
+                "hbase.local_ipc_bytes", payload_bytes,
+            )
+
+    def _locate(self, row: bytes) -> RegionLocation:
+        for location in self.connection.region_locations(self.name):
+            if row < location.start_row:
+                continue
+            if not location.end_row or row < location.end_row:
+                return location
+        raise HBaseError(f"no region of {self.name} holds row {row!r}")
+
+    # -- writes ------------------------------------------------------------------
+    @_retries_stale_meta
+    def put(self, puts: "Put | Iterable[Put]", ledger: Optional[CostLedger] = None) -> None:
+        """Apply one or many Puts, batched per region server."""
+        self._check_auth()
+        ledger = ledger if ledger is not None else CostLedger()
+        batch = [puts] if isinstance(puts, Put) else list(puts)
+        now_ms = self.cluster.clock.now_millis()
+        by_region: Dict[str, List[Cell]] = {}
+        locations: Dict[str, RegionLocation] = {}
+        for put in batch:
+            location = self._locate(put.row)
+            by_region.setdefault(location.region_name, []).extend(put.to_cells(now_ms))
+            locations[location.region_name] = location
+        for region_name, cells in by_region.items():
+            location = locations[region_name]
+            server = self.cluster.region_servers[location.server_id]
+            payload = sum(c.heap_size() for c in cells)
+            self._charge_rpc(ledger, location.host, payload)
+            server.put(region_name, cells, ledger)
+
+    @_retries_stale_meta
+    def delete(self, delete: Delete, ledger: Optional[CostLedger] = None) -> None:
+        self._check_auth()
+        ledger = ledger if ledger is not None else CostLedger()
+        descriptor = self.cluster.active_master.describe_table(self.name)
+        cells = delete.to_cells(descriptor.families, self.cluster.clock.now_millis())
+        location = self._locate(delete.row)
+        server = self.cluster.region_servers[location.server_id]
+        self._charge_rpc(ledger, location.host, sum(c.heap_size() for c in cells))
+        server.put(location.region_name, cells, ledger)
+
+    # -- reads -------------------------------------------------------------------
+    @_retries_stale_meta
+    def get(self, get: Get, ledger: Optional[CostLedger] = None) -> Result:
+        self._check_auth()
+        ledger = ledger if ledger is not None else CostLedger()
+        location = self._locate(get.row)
+        server = self.cluster.region_servers[location.server_id]
+        hit = server.get(
+            location.region_name, get.row, get.columns, get.families,
+            get.time_range, get.max_versions, ledger,
+        )
+        payload = sum(c.heap_size() for __, cells in [hit] for c in cells) if hit else 0
+        self._charge_rpc(ledger, location.host, payload)
+        if hit is None:
+            return Result(get.row, [])
+        return Result(hit[0], hit[1])
+
+    @_retries_stale_meta
+    def bulk_get(self, gets: Sequence[Get], ledger: Optional[CostLedger] = None) -> List[Result]:
+        """Batched Gets grouped per region server -- HBase's multi-get."""
+        self._check_auth()
+        ledger = ledger if ledger is not None else CostLedger()
+        by_server: Dict[str, List[Tuple[Get, RegionLocation]]] = {}
+        for get in gets:
+            location = self._locate(get.row)
+            by_server.setdefault(location.server_id, []).append((get, location))
+        results: Dict[bytes, Result] = {}
+        for server_id, group in by_server.items():
+            server = self.cluster.region_servers[server_id]
+            payload = 0
+            for get, location in group:
+                hit = server.get(
+                    location.region_name, get.row, get.columns, get.families,
+                    get.time_range, get.max_versions, ledger,
+                )
+                result = Result(get.row, hit[1] if hit else [])
+                payload += result.size_bytes()
+                results[get.row] = result
+            # a single multi-get RPC per server carries the whole batch
+            self._charge_rpc(ledger, group[0][1].host, payload)
+        return [results[g.row] for g in gets]
+
+    @_retries_stale_meta
+    def increment(self, row: bytes, family: str, qualifier: str,
+                  amount: int = 1,
+                  ledger: Optional[CostLedger] = None) -> int:
+        """Atomic counter increment (HBase ``Table.incrementColumnValue``)."""
+        self._check_auth()
+        ledger = ledger if ledger is not None else CostLedger()
+        location = self._locate(row)
+        server = self.cluster.region_servers[location.server_id]
+        self._charge_rpc(ledger, location.host, 16)
+        return server.increment(
+            location.region_name, row, family, qualifier, amount,
+            self.cluster.clock.now_millis(), ledger,
+        )
+
+    @_retries_stale_meta
+    def check_and_put(self, row: bytes, family: str, qualifier: str,
+                      expected: Optional[bytes], put: "Put",
+                      ledger: Optional[CostLedger] = None) -> bool:
+        """Atomic compare-and-set (HBase ``Table.checkAndPut``)."""
+        self._check_auth()
+        ledger = ledger if ledger is not None else CostLedger()
+        location = self._locate(row)
+        server = self.cluster.region_servers[location.server_id]
+        cells = put.to_cells(self.cluster.clock.now_millis())
+        self._charge_rpc(ledger, location.host,
+                         sum(c.heap_size() for c in cells))
+        return server.check_and_put(
+            location.region_name, row, family, qualifier, expected, cells,
+            ledger,
+        )
+
+    @_retries_stale_meta
+    def scan(self, scan: Scan, ledger: Optional[CostLedger] = None) -> List[Result]:
+        """Run a scan across every region overlapping the range."""
+        self._check_auth()
+        ledger = ledger if ledger is not None else CostLedger()
+        results: List[Result] = []
+        for location in self.connection.region_locations(self.name):
+            if scan.stop_row is not None and location.start_row and location.start_row >= scan.stop_row:
+                continue
+            if location.end_row and scan.start_row and location.end_row <= scan.start_row:
+                continue
+            results.extend(self.scan_region(location, scan, ledger))
+        return results
+
+    def scan_region(self, location: RegionLocation, scan: Scan,
+                    ledger: Optional[CostLedger] = None) -> List[Result]:
+        """Scan a single region -- the primitive SHC's scan RDD is built on."""
+        self._check_auth()
+        ledger = ledger if ledger is not None else CostLedger()
+        server = self.cluster.region_servers[location.server_id]
+        rows = server.scan(
+            location.region_name,
+            start_row=scan.start_row,
+            stop_row=scan.stop_row,
+            columns=scan.columns,
+            families=scan.families,
+            row_filter=scan.filter,
+            time_range=scan.time_range,
+            max_versions=scan.max_versions,
+            ledger=ledger,
+        )
+        results = [Result(row, cells) for row, cells in rows]
+        payload = sum(r.size_bytes() for r in results)
+        rpcs = max(1, -(-len(results) // scan.caching))  # ceil division
+        self._charge_rpc(ledger, location.host, payload, rpcs=rpcs)
+        return results

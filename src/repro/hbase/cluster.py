@@ -1,0 +1,207 @@
+"""Wiring for one HBase cluster: hosts, masters, region servers, ZooKeeper.
+
+An :class:`HBaseCluster` builds a ZooKeeper ensemble, one region server per
+host, and an active + optional standby HMaster.  It also owns the *persistent
+region registry* (the stand-in for store files living in HDFS), the simulated
+clock, the cost model and a cluster-wide metrics registry.  Clusters register
+themselves by ZooKeeper quorum name so ``ConnectionFactory`` can resolve a
+``Configuration`` to a live cluster, exactly like a classpath ``hbase-site``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.cost import DEFAULT_COST_MODEL, CostModel
+from repro.common.errors import HBaseError
+from repro.common.metrics import MetricsRegistry
+from repro.common.simclock import SimClock
+from repro.hbase.client import Configuration
+from repro.hbase.hdfs import DistributedFileSystem
+from repro.hbase.master import HMaster, RegionLocation, TableDescriptor
+from repro.hbase.region import DEFAULT_FLUSH_THRESHOLD_BYTES, Region
+from repro.hbase.regionserver import RegionServer
+from repro.hbase.security import KeyDistributionCenter, TokenAuthority
+from repro.hbase.zookeeper import ZooKeeper
+
+#: quorum name -> cluster, the moral equivalent of DNS + hbase-site.xml
+_CLUSTER_REGISTRY: Dict[str, "HBaseCluster"] = {}
+
+
+def get_cluster(quorum: str) -> "HBaseCluster":
+    """Resolve a ZooKeeper quorum string to a registered cluster."""
+    cluster = _CLUSTER_REGISTRY.get(quorum)
+    if cluster is None:
+        raise HBaseError(f"no HBase cluster registered for quorum {quorum!r}")
+    return cluster
+
+
+def clear_cluster_registry() -> None:
+    """Test hook: forget every registered cluster."""
+    _CLUSTER_REGISTRY.clear()
+
+
+class HBaseCluster:
+    """One self-contained HBase deployment."""
+
+    def __init__(
+        self,
+        name: str,
+        hosts: Sequence[str],
+        clock: Optional[SimClock] = None,
+        cost_model: Optional[CostModel] = None,
+        secure: bool = False,
+        kdc: Optional[KeyDistributionCenter] = None,
+        standby_masters: int = 0,
+        flush_threshold: int = DEFAULT_FLUSH_THRESHOLD_BYTES,
+        region_max_bytes: Optional[int] = None,
+        hdfs_replication: int = 3,
+    ) -> None:
+        if not hosts:
+            raise HBaseError("a cluster needs at least one host")
+        self.name = name
+        self.hosts = list(hosts)
+        self.clock = clock if clock is not None else SimClock()
+        self.cost = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+        self.metrics = MetricsRegistry()
+        self.flush_threshold = flush_threshold
+        self.zookeeper = ZooKeeper()
+        self.hdfs = DistributedFileSystem(self.hosts, hdfs_replication)
+        self._regions: Dict[str, Region] = {}
+
+        self.region_max_bytes = region_max_bytes
+        self._pending_splits: set = set()
+        self.region_servers: Dict[str, RegionServer] = {}
+        for i, host in enumerate(self.hosts):
+            server_id = f"{name}-rs{i}"
+            server = RegionServer(server_id, host, self.cost)
+            server.region_max_bytes = region_max_bytes
+            server.split_listener = self._pending_splits.add
+            server.hdfs = self.hdfs
+            self.region_servers[server_id] = server
+
+        self.masters: List[HMaster] = [HMaster(f"{name}-master0", self)]
+        for i in range(standby_masters):
+            self.masters.append(HMaster(f"{name}-master{i + 1}", self))
+
+        self.secure = secure
+        self.service_name = f"hbase/{name}"
+        if secure:
+            if kdc is None:
+                raise HBaseError("a secure cluster needs a KDC")
+            self.kdc = kdc
+            self.token_authority = TokenAuthority(self.service_name, kdc, self.clock)
+        else:
+            self.kdc = kdc
+            self.token_authority = None
+
+        self.quorum = f"zk-{name}:2181"
+        _CLUSTER_REGISTRY[self.quorum] = self
+
+    # -- plumbing -----------------------------------------------------------
+    def configuration(self, client_host: str = "client") -> Configuration:
+        """A ready-to-use client Configuration pointing at this cluster."""
+        return Configuration({
+            Configuration.QUORUM: self.quorum,
+            Configuration.CLIENT_HOST: client_host,
+        })
+
+    def on_connection_created(self) -> None:
+        """Hook for connection-setup accounting (the cache makes this rare)."""
+        # time is charged by the caller that owns a ledger; the counter above
+        # in Connection.__init__ is what the harness converts into seconds
+
+    @property
+    def active_master(self) -> HMaster:
+        leader = self.zookeeper.leader("/hbase/master-election")
+        for master in self.masters:
+            if master.name == leader:
+                return master
+        raise HBaseError("no active master (did every master fail?)")
+
+    def failover_master(self) -> HMaster:
+        """After the active master dies, promote the new election winner."""
+        master = self.active_master
+        master.take_over()
+        return master
+
+    # -- persistent region registry ("HDFS") ----------------------------------
+    def register_region(self, region: Region) -> None:
+        self._regions[region.name] = region
+
+    def unregister_region(self, region_name: str) -> None:
+        self._regions.pop(region_name, None)
+
+    def get_region(self, region_name: str) -> Optional[Region]:
+        return self._regions.get(region_name)
+
+    # -- admin conveniences ---------------------------------------------------
+    def create_table(
+        self,
+        name: str,
+        families: Sequence[str],
+        split_keys: Optional[Sequence[bytes]] = None,
+        max_versions: int = 3,
+    ) -> TableDescriptor:
+        return self.active_master.create_table(name, families, split_keys, max_versions)
+
+    def drop_table(self, name: str) -> None:
+        self.active_master.drop_table(name)
+
+    def has_table(self, name: str) -> bool:
+        return name in self.active_master.tables
+
+    def region_locations(self, table_name: str) -> List[RegionLocation]:
+        return self.active_master.region_locations(table_name)
+
+    def flush_table(self, table_name: str) -> None:
+        for location in self.region_locations(table_name):
+            self.region_servers[location.server_id].flush_region(location.region_name)
+
+    def compact_table(self, table_name: str, major: bool = False) -> None:
+        for location in self.region_locations(table_name):
+            self.region_servers[location.server_id].compact_region(location.region_name, major)
+
+    def run_maintenance(self) -> Dict[str, int]:
+        """Split outgrown regions and rebalance -- HBase's background chores.
+
+        Deterministic stand-in for the HMaster's housekeeping threads; the
+        write path invokes it after flushing a table.
+        """
+        splits = 0
+        while self._pending_splits:
+            region_name = self._pending_splits.pop()
+            if self.get_region(region_name) is None:
+                continue
+            daughters = self.active_master.split_region(region_name)
+            if daughters:
+                splits += 1
+                if self.region_max_bytes is not None:
+                    for daughter in daughters:
+                        region = self.get_region(daughter)
+                        if region is not None and region.size_bytes() >= self.region_max_bytes:
+                            self._pending_splits.add(daughter)
+        moves = self.active_master.balance()
+        return {"splits": splits, "moves": moves}
+
+    def kill_region_server(self, server_id: str) -> List[str]:
+        """Crash a server and run the master's recovery; returns moved regions."""
+        server = self.region_servers.get(server_id)
+        if server is None:
+            raise HBaseError(f"unknown region server {server_id}")
+        server.crash()
+        return self.active_master.handle_server_failure(server_id)
+
+    def table_size_bytes(self, table_name: str) -> int:
+        total = 0
+        for location in self.region_locations(table_name):
+            region = self.get_region(location.region_name)
+            if region is not None:
+                total += region.size_bytes()
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"HBaseCluster({self.name}, hosts={len(self.hosts)}, "
+            f"tables={sorted(self.active_master.tables)})"
+        )

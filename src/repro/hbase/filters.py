@@ -1,0 +1,165 @@
+"""Server-side filters evaluated inside Region Servers.
+
+SHC's predicate pushdown (section VI.A.3) works by compiling Spark SQL source
+filters into instances of these classes and attaching them to ``Scan``
+requests; the Region Server then drops non-matching rows *before* anything
+crosses the network.  The hierarchy mirrors the HBase filters SHC actually
+uses: row-key comparisons, single-column value comparisons, prefix filters,
+and AND/OR filter lists.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Sequence, Tuple
+
+from repro.hbase.cell import Cell
+
+
+class CompareOp(enum.Enum):
+    """Byte-wise comparison operators (HBase ``CompareFilter.CompareOp``)."""
+
+    LESS = "<"
+    LESS_OR_EQUAL = "<="
+    EQUAL = "="
+    NOT_EQUAL = "!="
+    GREATER_OR_EQUAL = ">="
+    GREATER = ">"
+
+    def evaluate(self, lhs: bytes, rhs: bytes) -> bool:
+        """Apply the operator to two byte strings (lexicographic order)."""
+        if self is CompareOp.LESS:
+            return lhs < rhs
+        if self is CompareOp.LESS_OR_EQUAL:
+            return lhs <= rhs
+        if self is CompareOp.EQUAL:
+            return lhs == rhs
+        if self is CompareOp.NOT_EQUAL:
+            return lhs != rhs
+        if self is CompareOp.GREATER_OR_EQUAL:
+            return lhs >= rhs
+        return lhs > rhs
+
+
+class Filter:
+    """Base class: decides whether a fully-assembled row survives the scan."""
+
+    def filter_row(self, row: bytes, cells: Sequence[Cell]) -> bool:
+        """Return True to keep the row, False to drop it."""
+        raise NotImplementedError
+
+    def cells_evaluated(self) -> int:
+        """How many cell comparisons one row costs (for the cost model)."""
+        return 1
+
+
+class RowFilter(Filter):
+    """Compare the row key itself against a constant."""
+
+    def __init__(self, op: CompareOp, comparator: bytes) -> None:
+        self.op = op
+        self.comparator = comparator
+
+    def filter_row(self, row: bytes, cells: Sequence[Cell]) -> bool:
+        return self.op.evaluate(row, self.comparator)
+
+    def __repr__(self) -> str:
+        return f"RowFilter(row {self.op.value} {self.comparator!r})"
+
+
+class PrefixFilter(Filter):
+    """Keep rows whose key starts with ``prefix``."""
+
+    def __init__(self, prefix: bytes) -> None:
+        self.prefix = prefix
+
+    def filter_row(self, row: bytes, cells: Sequence[Cell]) -> bool:
+        return row.startswith(self.prefix)
+
+    def __repr__(self) -> str:
+        return f"PrefixFilter({self.prefix!r})"
+
+
+class SingleColumnValueFilter(Filter):
+    """Compare one column's latest value against a constant.
+
+    ``filter_if_missing`` matches HBase semantics: when False (the default), a
+    row that lacks the column passes the filter.  SHC sets it True because the
+    relational model treats a missing column as NULL, and NULL never satisfies
+    a comparison predicate.
+    """
+
+    def __init__(
+        self,
+        family: str,
+        qualifier: str,
+        op: CompareOp,
+        comparator: bytes,
+        filter_if_missing: bool = True,
+    ) -> None:
+        self.family = family
+        self.qualifier = qualifier
+        self.op = op
+        self.comparator = comparator
+        self.filter_if_missing = filter_if_missing
+
+    def filter_row(self, row: bytes, cells: Sequence[Cell]) -> bool:
+        for cell in cells:
+            if cell.family == self.family and cell.qualifier == self.qualifier:
+                return self.op.evaluate(cell.value, self.comparator)
+        return not self.filter_if_missing
+
+    def __repr__(self) -> str:
+        return (
+            f"SingleColumnValueFilter({self.family}:{self.qualifier} "
+            f"{self.op.value} {self.comparator!r})"
+        )
+
+
+class FilterListOp(enum.Enum):
+    """Combination mode of a :class:`FilterList` (AND vs OR)."""
+
+    MUST_PASS_ALL = "AND"
+    MUST_PASS_ONE = "OR"
+
+
+class FilterList(Filter):
+    """Boolean combination of child filters (AND / OR)."""
+
+    def __init__(self, operator: FilterListOp, filters: Sequence[Filter]) -> None:
+        self.operator = operator
+        self.filters: List[Filter] = list(filters)
+
+    def filter_row(self, row: bytes, cells: Sequence[Cell]) -> bool:
+        if self.operator is FilterListOp.MUST_PASS_ALL:
+            return all(f.filter_row(row, cells) for f in self.filters)
+        return any(f.filter_row(row, cells) for f in self.filters)
+
+    def cells_evaluated(self) -> int:
+        return sum(f.cells_evaluated() for f in self.filters)
+
+    def __repr__(self) -> str:
+        inner = f" {self.operator.value} ".join(repr(f) for f in self.filters)
+        return f"FilterList({inner})"
+
+
+class PageFilter(Filter):
+    """Stop returning rows once ``page_size`` rows have passed (LIMIT pushdown)."""
+
+    def __init__(self, page_size: int) -> None:
+        if page_size <= 0:
+            raise ValueError("page_size must be positive")
+        self.page_size = page_size
+        self._seen = 0
+
+    def filter_row(self, row: bytes, cells: Sequence[Cell]) -> bool:
+        if self._seen >= self.page_size:
+            return False
+        self._seen += 1
+        return True
+
+    def reset(self) -> None:
+        self._seen = 0
+
+    def __repr__(self) -> str:
+        return f"PageFilter({self.page_size})"

@@ -1,0 +1,222 @@
+"""Byte-array encodings mirroring HBase's ``Bytes`` and ``OrderedBytes``.
+
+HBase stores everything as raw byte arrays and compares them
+lexicographically.  Two families of encodings matter for SHC:
+
+- :class:`Bytes` reproduces ``org.apache.hadoop.hbase.util.Bytes``: fixed-width
+  big-endian two's-complement integers and raw IEEE-754 floats.  These are
+  **not** order-preserving across sign (a negative int's bytes sort *after* a
+  positive one's), which is exactly the "order inconsistency between Java
+  primitive types and the byte array" the paper's PrimitiveType coder has to
+  work around when pushing range predicates down (section IV.B.1).
+- :class:`OrderedBytes` reproduces the sign-flip tricks used by Phoenix /
+  HBase OrderedBytes so that the byte order matches the numeric order.  The
+  Phoenix coder uses these.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.common.errors import CoderError
+
+INT_MIN = -(2**31)
+INT_MAX = 2**31 - 1
+LONG_MIN = -(2**63)
+LONG_MAX = 2**63 - 1
+SHORT_MIN = -(2**15)
+SHORT_MAX = 2**15 - 1
+BYTE_MIN = -(2**7)
+BYTE_MAX = 2**7 - 1
+
+
+class Bytes:
+    """Java-style primitive <-> byte-array conversions (HBase ``Bytes``)."""
+
+    # -- encode -----------------------------------------------------------
+    @staticmethod
+    def from_bool(value: bool) -> bytes:
+        return b"\xff" if value else b"\x00"
+
+    @staticmethod
+    def from_byte(value: int) -> bytes:
+        _check_range(value, BYTE_MIN, BYTE_MAX, "tinyint")
+        return struct.pack(">b", value)
+
+    @staticmethod
+    def from_short(value: int) -> bytes:
+        _check_range(value, SHORT_MIN, SHORT_MAX, "smallint")
+        return struct.pack(">h", value)
+
+    @staticmethod
+    def from_int(value: int) -> bytes:
+        _check_range(value, INT_MIN, INT_MAX, "int")
+        return struct.pack(">i", value)
+
+    @staticmethod
+    def from_long(value: int) -> bytes:
+        _check_range(value, LONG_MIN, LONG_MAX, "bigint")
+        return struct.pack(">q", value)
+
+    @staticmethod
+    def from_float(value: float) -> bytes:
+        return struct.pack(">f", value)
+
+    @staticmethod
+    def from_double(value: float) -> bytes:
+        return struct.pack(">d", value)
+
+    @staticmethod
+    def from_string(value: str) -> bytes:
+        return value.encode("utf-8")
+
+    # -- decode -----------------------------------------------------------
+    @staticmethod
+    def to_bool(data: bytes) -> bool:
+        _check_width(data, 1, "boolean")
+        return data != b"\x00"
+
+    @staticmethod
+    def to_byte(data: bytes) -> int:
+        _check_width(data, 1, "tinyint")
+        return struct.unpack(">b", data)[0]
+
+    @staticmethod
+    def to_short(data: bytes) -> int:
+        _check_width(data, 2, "smallint")
+        return struct.unpack(">h", data)[0]
+
+    @staticmethod
+    def to_int(data: bytes) -> int:
+        _check_width(data, 4, "int")
+        return struct.unpack(">i", data)[0]
+
+    @staticmethod
+    def to_long(data: bytes) -> int:
+        _check_width(data, 8, "bigint")
+        return struct.unpack(">q", data)[0]
+
+    @staticmethod
+    def to_float(data: bytes) -> float:
+        _check_width(data, 4, "float")
+        return struct.unpack(">f", data)[0]
+
+    @staticmethod
+    def to_double(data: bytes) -> float:
+        _check_width(data, 8, "double")
+        return struct.unpack(">d", data)[0]
+
+    @staticmethod
+    def to_string(data: bytes) -> str:
+        return data.decode("utf-8")
+
+
+class OrderedBytes:
+    """Order-preserving encodings (Phoenix / HBase ``OrderedBytes`` style).
+
+    Integers get their sign bit flipped so two's complement sorts numerically.
+    Doubles use the classic IEEE-754 total-order trick: flip the sign bit of
+    non-negative values, flip *all* bits of negative values.
+    """
+
+    @staticmethod
+    def from_int(value: int) -> bytes:
+        _check_range(value, INT_MIN, INT_MAX, "int")
+        return struct.pack(">I", (value + 2**31) & 0xFFFFFFFF)
+
+    @staticmethod
+    def to_int(data: bytes) -> int:
+        _check_width(data, 4, "int")
+        return struct.unpack(">I", data)[0] - 2**31
+
+    @staticmethod
+    def from_long(value: int) -> bytes:
+        _check_range(value, LONG_MIN, LONG_MAX, "bigint")
+        return struct.pack(">Q", (value + 2**63) & 0xFFFFFFFFFFFFFFFF)
+
+    @staticmethod
+    def to_long(data: bytes) -> int:
+        _check_width(data, 8, "bigint")
+        return struct.unpack(">Q", data)[0] - 2**63
+
+    @staticmethod
+    def from_short(value: int) -> bytes:
+        _check_range(value, SHORT_MIN, SHORT_MAX, "smallint")
+        return struct.pack(">H", (value + 2**15) & 0xFFFF)
+
+    @staticmethod
+    def to_short(data: bytes) -> int:
+        _check_width(data, 2, "smallint")
+        return struct.unpack(">H", data)[0] - 2**15
+
+    @staticmethod
+    def from_byte(value: int) -> bytes:
+        _check_range(value, BYTE_MIN, BYTE_MAX, "tinyint")
+        return struct.pack(">B", (value + 2**7) & 0xFF)
+
+    @staticmethod
+    def to_byte(data: bytes) -> int:
+        _check_width(data, 1, "tinyint")
+        return struct.unpack(">B", data)[0] - 2**7
+
+    @staticmethod
+    def from_double(value: float) -> bytes:
+        bits = struct.unpack(">Q", struct.pack(">d", value))[0]
+        if bits & (1 << 63):
+            bits = ~bits & 0xFFFFFFFFFFFFFFFF
+        else:
+            bits |= 1 << 63
+        return struct.pack(">Q", bits)
+
+    @staticmethod
+    def to_double(data: bytes) -> float:
+        _check_width(data, 8, "double")
+        bits = struct.unpack(">Q", data)[0]
+        if bits & (1 << 63):
+            bits &= ~(1 << 63) & 0xFFFFFFFFFFFFFFFF
+        else:
+            bits = ~bits & 0xFFFFFFFFFFFFFFFF
+        return struct.unpack(">d", struct.pack(">Q", bits))[0]
+
+    @staticmethod
+    def from_float(value: float) -> bytes:
+        bits = struct.unpack(">I", struct.pack(">f", value))[0]
+        if bits & (1 << 31):
+            bits = ~bits & 0xFFFFFFFF
+        else:
+            bits |= 1 << 31
+        return struct.pack(">I", bits)
+
+    @staticmethod
+    def to_float(data: bytes) -> float:
+        _check_width(data, 4, "float")
+        bits = struct.unpack(">I", data)[0]
+        if bits & (1 << 31):
+            bits &= ~(1 << 31) & 0xFFFFFFFF
+        else:
+            bits = ~bits & 0xFFFFFFFF
+        return struct.unpack(">f", struct.pack(">I", bits))[0]
+
+
+def increment_bytes(key: bytes) -> bytes:
+    """Smallest byte string strictly greater than every key with prefix ``key``.
+
+    Used to turn an inclusive upper bound / prefix into an exclusive scan stop
+    row.  Appending ``0x00`` yields the immediate successor in the total
+    lexicographic order.
+    """
+    return key + b"\x00"
+
+
+def _check_range(value: int, lo: int, hi: int, type_name: str) -> None:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise CoderError(f"{type_name} encoder expects an int, got {type(value).__name__}")
+    if not lo <= value <= hi:
+        raise CoderError(f"value {value} out of range for {type_name} [{lo}, {hi}]")
+
+
+def _check_width(data: bytes, width: int, type_name: str) -> None:
+    if len(data) != width:
+        raise CoderError(
+            f"{type_name} decoder expects {width} bytes, got {len(data)}"
+        )

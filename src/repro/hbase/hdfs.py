@@ -1,0 +1,81 @@
+"""A minimal HDFS: replicated file placement under the HBase store files.
+
+Figure 1 puts HDFS underneath HBase; what matters for SHC is *where the
+bytes live*.  HDFS's write path places the first replica on the writing
+host, so a region server's flushes and compactions are host-local -- but
+when the HMaster moves a region, the store files stay put and the region
+reads them remotely until the next major compaction rewrites them locally.
+That short-data-locality story is real HBase behaviour, and this module is
+what makes it measurable in the simulation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import HBaseError
+
+
+@dataclass(frozen=True)
+class HdfsFile:
+    """One replicated file: a path, its size, and its replica hosts."""
+
+    path: str
+    size_bytes: int
+    replica_hosts: Tuple[str, ...]
+
+    def is_local_to(self, host: str) -> bool:
+        return host in self.replica_hosts
+
+
+class DistributedFileSystem:
+    """Replica placement + lookup for one cluster's files."""
+
+    def __init__(self, hosts: Sequence[str], replication: int = 3) -> None:
+        if not hosts:
+            raise HBaseError("HDFS needs at least one datanode host")
+        self.hosts = list(hosts)
+        self.replication = min(replication, len(self.hosts))
+        self._files: Dict[str, HdfsFile] = {}
+        self._ids = itertools.count(1)
+
+    def create_file(self, size_bytes: int, writer_host: Optional[str]) -> HdfsFile:
+        """Write a file; the first replica lands on the writing host.
+
+        Remaining replicas go to the next hosts in ring order -- a
+        deterministic stand-in for HDFS's rack-aware placement.
+        """
+        path = f"/hbase/data/file-{next(self._ids)}"
+        if writer_host in self.hosts:
+            start = self.hosts.index(writer_host)
+        else:
+            start = (size_bytes + len(path)) % len(self.hosts)
+        replicas = tuple(
+            self.hosts[(start + i) % len(self.hosts)]
+            for i in range(self.replication)
+        )
+        hdfs_file = HdfsFile(path, size_bytes, replicas)
+        self._files[path] = hdfs_file
+        return hdfs_file
+
+    def locate(self, path: str) -> Tuple[str, ...]:
+        hdfs_file = self._files.get(path)
+        if hdfs_file is None:
+            raise HBaseError(f"no such HDFS file {path!r}")
+        return hdfs_file.replica_hosts
+
+    def delete(self, path: str) -> None:
+        self._files.pop(path, None)
+
+    def total_bytes(self) -> int:
+        return sum(f.size_bytes for f in self._files.values())
+
+    def local_fraction(self, files: Sequence[HdfsFile], host: str) -> float:
+        """Byte-weighted fraction of ``files`` readable without the network."""
+        total = sum(f.size_bytes for f in files)
+        if total == 0:
+            return 1.0
+        local = sum(f.size_bytes for f in files if f.is_local_to(host))
+        return local / total

@@ -1,0 +1,100 @@
+"""Immutable store files (HBase HFiles) with block index and bloom filter.
+
+A flush writes the memstore snapshot into a :class:`StoreFile`.  The file
+keeps a sparse *block index* (first row key of every block) so scans starting
+mid-file seek instead of reading from the top, and a row-key *bloom filter*
+so point Gets can skip files that certainly do not contain the row -- both
+mechanisms HBase relies on and both metered by the cost model.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterator, List, Optional, Sequence
+
+from repro.hbase.cell import Cell
+
+DEFAULT_BLOCK_CELLS = 64
+
+
+class BloomFilter:
+    """A classic k-hash bloom filter over row keys."""
+
+    def __init__(self, expected_keys: int, bits_per_key: int = 10, num_hashes: int = 3) -> None:
+        self._num_bits = max(64, expected_keys * bits_per_key)
+        self._bits = bytearray((self._num_bits + 7) // 8)
+        self._num_hashes = num_hashes
+
+    def _positions(self, key: bytes) -> Iterator[int]:
+        digest = hashlib.blake2b(key, digest_size=16).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:], "big") | 1
+        for i in range(self._num_hashes):
+            yield (h1 + i * h2) % self._num_bits
+
+    def add(self, key: bytes) -> None:
+        for pos in self._positions(key):
+            self._bits[pos // 8] |= 1 << (pos % 8)
+
+    def might_contain(self, key: bytes) -> bool:
+        return all(self._bits[p // 8] & (1 << (p % 8)) for p in self._positions(key))
+
+
+class StoreFile:
+    """An immutable, sorted run of cells plus its index structures."""
+
+    _next_id = 0
+
+    def __init__(self, cells: Sequence[Cell], block_cells: int = DEFAULT_BLOCK_CELLS) -> None:
+        self._cells: List[Cell] = sorted(cells, key=Cell.sort_key)
+        self._rows: List[bytes] = [c.row for c in self._cells]
+        self._block_cells = block_cells
+        self._block_index: List[bytes] = self._rows[::block_cells] if self._rows else []
+        self.size_bytes = sum(c.heap_size() for c in self._cells)
+        distinct_rows = len(set(self._rows))
+        self._bloom = BloomFilter(max(1, distinct_rows))
+        for row in set(self._rows):
+            self._bloom.add(row)
+        StoreFile._next_id += 1
+        self.file_id = StoreFile._next_id
+        #: HDFS placement; None means "assume local" (tests, bulk loads)
+        self.hdfs_file = None
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def first_row(self) -> Optional[bytes]:
+        return self._rows[0] if self._rows else None
+
+    @property
+    def last_row(self) -> Optional[bytes]:
+        return self._rows[-1] if self._rows else None
+
+    def might_contain_row(self, row: bytes) -> bool:
+        """Bloom-filter check used by Get to skip files."""
+        return self._bloom.might_contain(row)
+
+    def seek_index(self, start_row: bytes) -> int:
+        """Index of the first cell whose row is >= ``start_row`` (block seek)."""
+        return bisect.bisect_left(self._rows, start_row)
+
+    def scan(self, start_row: bytes = b"", stop_row: bytes | None = None) -> Iterator[Cell]:
+        """Yield cells with ``start_row <= row < stop_row`` in KeyValue order."""
+        idx = self.seek_index(start_row) if start_row else 0
+        for cell in self._cells[idx:]:
+            if stop_row is not None and cell.row >= stop_row:
+                break
+            yield cell
+
+    def scanned_bytes(self, start_row: bytes = b"", stop_row: bytes | None = None) -> int:
+        """Bytes a scan over the given range touches (block-granular)."""
+        lo = self.seek_index(start_row) if start_row else 0
+        hi = bisect.bisect_left(self._rows, stop_row) if stop_row is not None else len(self._cells)
+        if lo >= hi:
+            return 0
+        # round out to block boundaries: HBase reads whole blocks
+        lo_block = (lo // self._block_cells) * self._block_cells
+        hi_block = min(len(self._cells), ((hi + self._block_cells - 1) // self._block_cells) * self._block_cells)
+        return sum(c.heap_size() for c in self._cells[lo_block:hi_block])

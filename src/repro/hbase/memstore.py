@@ -1,0 +1,63 @@
+"""The in-memory write buffer of a region (HBase MemStore).
+
+Cells are kept sorted in KeyValue order so reads can merge the memstore with
+store files without sorting, and so a flush can emit an already-sorted store
+file in one pass.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Tuple
+
+from repro.hbase.cell import Cell
+
+
+class MemStore:
+    """A sorted, size-tracked buffer of cells."""
+
+    def __init__(self) -> None:
+        # entries are (sort_key, insertion_seq, cell); the sequence number
+        # breaks ties so identical coordinates never compare Cell objects
+        self._entries: List[Tuple[tuple, int, Cell]] = []
+        self._seq = 0
+        self._size_bytes = 0
+
+    def add(self, cell: Cell) -> None:
+        """Insert one cell keeping KeyValue order."""
+        self._seq += 1
+        bisect.insort(self._entries, (cell.sort_key(), self._seq, cell))
+        self._size_bytes += cell.heap_size()
+
+    def add_all(self, cells: List[Cell]) -> None:
+        """Bulk insert; re-sorts once, which is cheaper than n insorts."""
+        if not cells:
+            return
+        for cell in cells:
+            self._seq += 1
+            self._entries.append((cell.sort_key(), self._seq, cell))
+        self._entries.sort(key=lambda e: (e[0], e[1]))
+        self._size_bytes += sum(c.heap_size() for c in cells)
+
+    def scan(self, start_row: bytes = b"", stop_row: bytes | None = None) -> Iterator[Cell]:
+        """Yield cells with ``start_row <= row < stop_row`` in KeyValue order."""
+        lo = bisect.bisect_left(self._entries, ((start_row,),)) if start_row else 0
+        for __, __seq, cell in self._entries[lo:]:
+            if stop_row is not None and cell.row >= stop_row:
+                break
+            yield cell
+
+    def snapshot(self) -> List[Cell]:
+        """The current contents, sorted, for flushing to a store file."""
+        return [cell for __, __seq, cell in self._entries]
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._size_bytes = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return self._size_bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)

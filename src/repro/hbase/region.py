@@ -1,0 +1,333 @@
+"""Regions: contiguous row-key ranges of a table, the unit of distribution.
+
+A region holds one :class:`Store` per column family (HBase keeps separate
+store files per family, which is exactly why SHC's column pruning saves real
+I/O: families that no required column maps to are never read).  Each store is
+a memstore plus a stack of immutable store files; reads merge them, flushes
+roll the memstore into a new file, compactions collapse the stack and drop
+shadowed cells and tombstones.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.common.errors import HBaseError
+from repro.hbase.cell import Cell
+from repro.hbase.hfile import StoreFile
+from repro.hbase.memstore import MemStore
+
+DEFAULT_FLUSH_THRESHOLD_BYTES = 256 * 1024
+
+
+@dataclass(frozen=True)
+class TimeRange:
+    """Half-open timestamp interval ``[min_ts, max_ts)`` in milliseconds."""
+
+    min_ts: int = 0
+    max_ts: int = 2**63 - 1
+
+    def contains(self, timestamp: int) -> bool:
+        return self.min_ts <= timestamp < self.max_ts
+
+
+class Store:
+    """One column family's storage inside a region."""
+
+    def __init__(self, family: str) -> None:
+        self.family = family
+        self.memstore = MemStore()
+        self.files: List[StoreFile] = []
+
+    def flush(self) -> Optional[StoreFile]:
+        """Roll the memstore into a new store file; returns it (or None)."""
+        snapshot = self.memstore.snapshot()
+        if not snapshot:
+            return None
+        store_file = StoreFile(snapshot)
+        self.files.append(store_file)
+        self.memstore.clear()
+        return store_file
+
+    def compact(self, drop_deletes: bool) -> None:
+        """Merge every store file into one.
+
+        Major compactions (``drop_deletes=True``) also discard tombstones and
+        the cells they shadow; minor compactions keep them so older files on
+        other stores still get masked correctly.
+        """
+        if len(self.files) <= 1 and not drop_deletes:
+            return
+        merged = list(heapq.merge(*(f.scan() for f in self.files), key=Cell.sort_key))
+        if drop_deletes:
+            merged = _drop_shadowed(merged)
+        self.files = [StoreFile(merged)] if merged else []
+
+    def size_bytes(self) -> int:
+        return self.memstore.size_bytes + sum(f.size_bytes for f in self.files)
+
+    def scan(self, start_row: bytes, stop_row: Optional[bytes]) -> Iterator[Cell]:
+        """Merged view over memstore + files for the row range."""
+        sources = [self.memstore.scan(start_row, stop_row)]
+        sources.extend(f.scan(start_row, stop_row) for f in self.files)
+        return heapq.merge(*sources, key=Cell.sort_key)
+
+    def scanned_bytes(self, start_row: bytes, stop_row: Optional[bytes]) -> int:
+        """I/O bytes a scan of the range touches in this store."""
+        total = sum(f.scanned_bytes(start_row, stop_row) for f in self.files)
+        total += sum(c.heap_size() for c in self.memstore.scan(start_row, stop_row))
+        return total
+
+
+class Region:
+    """A ``[start_row, end_row)`` slice of one table."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        table_name: str,
+        families: Sequence[str],
+        start_row: bytes = b"",
+        end_row: bytes = b"",
+        flush_threshold: int = DEFAULT_FLUSH_THRESHOLD_BYTES,
+    ) -> None:
+        self.table_name = table_name
+        self.start_row = start_row
+        self.end_row = end_row  # b"" means unbounded
+        self.region_id = next(Region._ids)
+        self.name = f"{table_name},{start_row.hex()},{self.region_id}"
+        self.stores: Dict[str, Store] = {f: Store(f) for f in families}
+        self.flush_threshold = flush_threshold
+        self.max_flushed_seq = 0
+        #: store files created by the last flush/compaction (for placement)
+        self.last_new_files: list = []
+
+    # -- row-range plumbing -------------------------------------------------
+    def contains_row(self, row: bytes) -> bool:
+        if row < self.start_row:
+            return False
+        return not self.end_row or row < self.end_row
+
+    def clamp(self, start_row: bytes, stop_row: Optional[bytes]) -> Tuple[bytes, Optional[bytes]]:
+        """Intersect a scan range with this region's boundaries."""
+        lo = max(start_row, self.start_row)
+        if self.end_row:
+            hi = self.end_row if stop_row is None else min(stop_row, self.end_row)
+        else:
+            hi = stop_row
+        return lo, hi
+
+    # -- writes ------------------------------------------------------------
+    def put_cells(self, cells: Sequence[Cell]) -> None:
+        """Apply already-WAL-logged cells to the memstores."""
+        by_family: Dict[str, List[Cell]] = {}
+        for cell in cells:
+            if not self.contains_row(cell.row):
+                raise HBaseError(
+                    f"row {cell.row!r} outside region {self.name} "
+                    f"[{self.start_row!r}, {self.end_row!r})"
+                )
+            if cell.family not in self.stores:
+                raise HBaseError(f"unknown column family {cell.family!r} in {self.table_name}")
+            by_family.setdefault(cell.family, []).append(cell)
+        for family, group in by_family.items():
+            self.stores[family].memstore.add_all(group)
+
+    def memstore_size(self) -> int:
+        return sum(s.memstore.size_bytes for s in self.stores.values())
+
+    def should_flush(self) -> bool:
+        return self.memstore_size() >= self.flush_threshold
+
+    def flush(self) -> int:
+        """Flush every store; returns total bytes written to store files."""
+        written = 0
+        self.last_new_files = []
+        for store in self.stores.values():
+            store_file = store.flush()
+            if store_file is not None:
+                written += store_file.size_bytes
+                self.last_new_files.append(store_file)
+        return written
+
+    def compact(self, major: bool = False) -> None:
+        before = {
+            id(f) for store in self.stores.values() for f in store.files
+        }
+        for store in self.stores.values():
+            store.compact(drop_deletes=major)
+        self.last_new_files = [
+            f for store in self.stores.values() for f in store.files
+            if id(f) not in before
+        ]
+
+    def size_bytes(self) -> int:
+        return sum(s.size_bytes() for s in self.stores.values())
+
+    # -- reads --------------------------------------------------------------
+    def scan_rows(
+        self,
+        start_row: bytes = b"",
+        stop_row: Optional[bytes] = None,
+        families: Optional[Set[str]] = None,
+        columns: Optional[Set[Tuple[str, str]]] = None,
+        time_range: Optional[TimeRange] = None,
+        max_versions: int = 1,
+    ) -> Iterator[Tuple[bytes, List[Cell]]]:
+        """Yield ``(row_key, visible cells)`` in row order.
+
+        Applies delete-marker masking, version pruning and column selection.
+        ``families`` limits which stores are read at all (column-family
+        pruning); ``columns`` further restricts to specific qualifiers.
+        """
+        lo, hi = self.clamp(start_row, stop_row)
+        if hi is not None and lo >= hi:
+            return
+        chosen = self._chosen_families(families, columns)
+        merged = heapq.merge(
+            *(self.stores[f].scan(lo, hi) for f in chosen), key=Cell.sort_key
+        )
+        for row, group in itertools.groupby(merged, key=lambda c: c.row):
+            visible = _visible_cells(list(group), columns, time_range, max_versions)
+            if visible:
+                yield row, visible
+
+    def io_bytes_for_range(
+        self,
+        start_row: bytes = b"",
+        stop_row: Optional[bytes] = None,
+        families: Optional[Set[str]] = None,
+        columns: Optional[Set[Tuple[str, str]]] = None,
+    ) -> int:
+        """Store-file + memstore bytes a scan over the range would read."""
+        lo, hi = self.clamp(start_row, stop_row)
+        if hi is not None and lo >= hi:
+            return 0
+        chosen = self._chosen_families(families, columns)
+        return sum(self.stores[f].scanned_bytes(lo, hi) for f in chosen)
+
+    def io_bytes_by_locality(
+        self,
+        host: str,
+        start_row: bytes = b"",
+        stop_row: Optional[bytes] = None,
+        families: Optional[Set[str]] = None,
+        columns: Optional[Set[Tuple[str, str]]] = None,
+    ) -> Tuple[int, int]:
+        """Split the range's I/O into (HDFS-local, HDFS-remote) bytes.
+
+        A store file without placement metadata counts as local; the
+        memstore always is.
+        """
+        lo, hi = self.clamp(start_row, stop_row)
+        if hi is not None and lo >= hi:
+            return 0, 0
+        local = 0
+        remote = 0
+        for family in self._chosen_families(families, columns):
+            store = self.stores[family]
+            for store_file in store.files:
+                nbytes = store_file.scanned_bytes(lo, hi)
+                placed = store_file.hdfs_file
+                if placed is None or placed.is_local_to(host):
+                    local += nbytes
+                else:
+                    remote += nbytes
+            local += sum(c.heap_size() for c in store.memstore.scan(lo, hi))
+        return local, remote
+
+    def _chosen_families(
+        self,
+        families: Optional[Set[str]],
+        columns: Optional[Set[Tuple[str, str]]],
+    ) -> List[str]:
+        wanted = set(self.stores)
+        if families is not None:
+            wanted &= families
+        if columns:
+            wanted &= {f for f, __ in columns}
+        return sorted(wanted)
+
+    # -- split ----------------------------------------------------------------
+    def split_point(self) -> Optional[bytes]:
+        """Midpoint row of the largest store, or None if unsplittable."""
+        largest = max(self.stores.values(), key=Store.size_bytes, default=None)
+        if largest is None:
+            return None
+        rows = sorted({c.row for f in largest.files for c in f.scan()})
+        if len(rows) < 2:
+            return None
+        mid = rows[len(rows) // 2]
+        if mid == self.start_row:
+            return None
+        return mid
+
+    def split(self) -> Optional[Tuple["Region", "Region"]]:
+        """Split into two daughter regions at the midpoint (HBase-style)."""
+        point = self.split_point()
+        if point is None:
+            return None
+        families = list(self.stores)
+        left = Region(self.table_name, families, self.start_row, point, self.flush_threshold)
+        right = Region(self.table_name, families, point, self.end_row, self.flush_threshold)
+        for family, store in self.stores.items():
+            cells = list(store.scan(self.start_row or b"", None))
+            left_cells = [c for c in cells if c.row < point]
+            right_cells = [c for c in cells if c.row >= point]
+            if left_cells:
+                left.stores[family].files.append(StoreFile(left_cells))
+            if right_cells:
+                right.stores[family].files.append(StoreFile(right_cells))
+        return left, right
+
+    def __repr__(self) -> str:
+        return f"Region({self.name}, [{self.start_row!r}, {self.end_row!r}))"
+
+
+def _visible_cells(
+    cells: List[Cell],
+    columns: Optional[Set[Tuple[str, str]]],
+    time_range: Optional[TimeRange],
+    max_versions: int,
+) -> List[Cell]:
+    """Resolve deletes/versions/column selection for one row's raw cells."""
+    deletes = [c for c in cells if c.is_delete()]
+    result: List[Cell] = []
+    versions_seen: Dict[Tuple[str, str], int] = {}
+    for cell in cells:  # already in KeyValue order: newest versions first
+        if cell.is_delete():
+            continue
+        if columns is not None and (cell.family, cell.qualifier) not in columns:
+            continue
+        if any(d.shadows(cell) for d in deletes):
+            continue
+        # HBase applies the time range while scanning, then counts the
+        # newest max_versions among the *qualifying* versions
+        if time_range is not None and not time_range.contains(cell.timestamp):
+            continue
+        key = (cell.family, cell.qualifier)
+        seen = versions_seen.get(key, 0)
+        if seen >= max_versions:
+            continue
+        versions_seen[key] = seen + 1
+        result.append(cell)
+    return result
+
+
+def _drop_shadowed(cells: List[Cell]) -> List[Cell]:
+    """Major-compaction cleanup: remove tombstones and the cells they hide."""
+    out: List[Cell] = []
+    for row, group in itertools.groupby(cells, key=lambda c: c.row):
+        row_cells = list(group)
+        deletes = [c for c in row_cells if c.is_delete()]
+        for cell in row_cells:
+            if cell.is_delete():
+                continue
+            if any(d.shadows(cell) for d in deletes):
+                continue
+            out.append(cell)
+    return out

@@ -1,0 +1,170 @@
+"""A ZooKeeper-like coordination service.
+
+Provides the znode tree, ephemeral nodes tied to sessions, watches, and the
+leader-election recipe HBase uses for HMaster failover (section VI.B).  The
+HBase cluster stores the active master location, table metadata and region
+assignments here, so a standby master can rebuild the full state after the
+active one dies.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.common.errors import HBaseError
+
+
+class ZooKeeperError(HBaseError):
+    """Bad znode operation (missing node, duplicate create, ...)."""
+
+
+@dataclass
+class ZNode:
+    """One node in the tree."""
+
+    path: str
+    data: bytes = b""
+    ephemeral_owner: Optional[int] = None
+    sequence: Optional[int] = None
+
+
+WatchCallback = Callable[[str, str], None]  # (event, path)
+
+
+class ZooKeeper:
+    """The coordination service: znodes, sessions, watches, elections."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, ZNode] = {"/": ZNode("/")}
+        self._watches: Dict[str, List[WatchCallback]] = {}
+        self._session_ids = itertools.count(1)
+        self._live_sessions: set[int] = set()
+        self._seq_counters: Dict[str, itertools.count] = {}
+
+    # -- sessions -----------------------------------------------------------
+    def create_session(self) -> int:
+        session_id = next(self._session_ids)
+        self._live_sessions.add(session_id)
+        return session_id
+
+    def expire_session(self, session_id: int) -> None:
+        """Kill a session; its ephemeral nodes vanish and watches fire."""
+        self._live_sessions.discard(session_id)
+        doomed = [p for p, n in self._nodes.items() if n.ephemeral_owner == session_id]
+        for path in doomed:
+            del self._nodes[path]
+            self._fire(path, "deleted")
+
+    # -- znode CRUD --------------------------------------------------------
+    def create(
+        self,
+        path: str,
+        data: bytes = b"",
+        ephemeral: bool = False,
+        sequential: bool = False,
+        session_id: Optional[int] = None,
+    ) -> str:
+        """Create a znode; returns the actual path (suffixing sequentials)."""
+        if ephemeral and (session_id is None or session_id not in self._live_sessions):
+            raise ZooKeeperError("ephemeral znode requires a live session")
+        parent = path.rsplit("/", 1)[0] or "/"
+        if parent not in self._nodes:
+            raise ZooKeeperError(f"parent znode {parent} does not exist")
+        if sequential:
+            counter = self._seq_counters.setdefault(path, itertools.count())
+            seq = next(counter)
+            path = f"{path}{seq:010d}"
+        if path in self._nodes:
+            raise ZooKeeperError(f"znode {path} already exists")
+        self._nodes[path] = ZNode(path, data, session_id if ephemeral else None)
+        self._fire(parent, "children")
+        return path
+
+    def exists(self, path: str) -> bool:
+        return path in self._nodes
+
+    def get(self, path: str) -> bytes:
+        node = self._nodes.get(path)
+        if node is None:
+            raise ZooKeeperError(f"znode {path} does not exist")
+        return node.data
+
+    def set(self, path: str, data: bytes) -> None:
+        node = self._nodes.get(path)
+        if node is None:
+            raise ZooKeeperError(f"znode {path} does not exist")
+        node.data = data
+        self._fire(path, "changed")
+
+    def set_or_create(self, path: str, data: bytes) -> None:
+        if path in self._nodes:
+            self.set(path, data)
+        else:
+            self.ensure_path(path.rsplit("/", 1)[0] or "/")
+            self.create(path, data)
+
+    def ensure_path(self, path: str) -> None:
+        """Create every missing ancestor of ``path`` plus the path itself."""
+        if path in self._nodes:
+            return
+        parts = [p for p in path.split("/") if p]
+        current = ""
+        for part in parts:
+            current = f"{current}/{part}"
+            if current not in self._nodes:
+                self._nodes[current] = ZNode(current)
+
+    def delete(self, path: str) -> None:
+        if path not in self._nodes:
+            raise ZooKeeperError(f"znode {path} does not exist")
+        children = self.children(path)
+        if children:
+            raise ZooKeeperError(f"znode {path} has children {children}")
+        del self._nodes[path]
+        self._fire(path, "deleted")
+
+    def children(self, path: str) -> List[str]:
+        prefix = path.rstrip("/") + "/"
+        names = []
+        for candidate in self._nodes:
+            if candidate.startswith(prefix) and "/" not in candidate[len(prefix):]:
+                names.append(candidate[len(prefix):])
+        return sorted(names)
+
+    # -- JSON convenience (master metadata lives here) ---------------------
+    def get_json(self, path: str) -> object:
+        return json.loads(self.get(path).decode("utf-8"))
+
+    def set_json(self, path: str, value: object) -> None:
+        self.set_or_create(path, json.dumps(value).encode("utf-8"))
+
+    # -- watches ------------------------------------------------------------
+    def watch(self, path: str, callback: WatchCallback) -> None:
+        """Register a persistent watch on a path."""
+        self._watches.setdefault(path, []).append(callback)
+
+    def _fire(self, path: str, event: str) -> None:
+        for callback in self._watches.get(path, []):
+            callback(event, path)
+
+    # -- leader election recipe ---------------------------------------------
+    def elect(self, election_path: str, candidate: str, session_id: int) -> str:
+        """Join an election; returns this candidate's ephemeral node path."""
+        self.ensure_path(election_path)
+        return self.create(
+            f"{election_path}/candidate-",
+            candidate.encode("utf-8"),
+            ephemeral=True,
+            sequential=True,
+            session_id=session_id,
+        )
+
+    def leader(self, election_path: str) -> Optional[str]:
+        """Current leader = candidate with the lowest sequence number."""
+        names = self.children(election_path) if self.exists(election_path) else []
+        if not names:
+            return None
+        return self.get(f"{election_path}/{names[0]}").decode("utf-8")

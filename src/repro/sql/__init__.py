@@ -1,0 +1,56 @@
+"""A Spark-SQL / Catalyst-like relational layer.
+
+Parser -> unresolved logical plan -> analyzer (resolution against the temp
+view catalog) -> rule-based optimizer (predicate pushdown, column pruning,
+constant folding) -> planner (data-source pushdown via the Data Source API,
+join strategy selection) -> physical operators compiled onto the engine's
+RDDs.  The ``DataFrame`` API and ``SparkSession``-style entry point mirror
+the programming surface the paper's code listings use.
+"""
+
+from repro.sql.dataframe import DataFrame
+from repro.sql.functions import avg, col, count, expr, lit, max_, min_, stddev, sum_, when
+from repro.sql.row import Row
+from repro.sql.session import SparkSession
+from repro.sql.types import (
+    BinaryType,
+    BooleanType,
+    ByteType,
+    DoubleType,
+    FloatType,
+    IntegerType,
+    LongType,
+    ShortType,
+    StringType,
+    StructField,
+    StructType,
+    TimestampType,
+)
+
+__all__ = [
+    "SparkSession",
+    "DataFrame",
+    "Row",
+    "col",
+    "lit",
+    "expr",
+    "when",
+    "count",
+    "sum_",
+    "avg",
+    "min_",
+    "max_",
+    "stddev",
+    "StructType",
+    "StructField",
+    "StringType",
+    "IntegerType",
+    "LongType",
+    "ShortType",
+    "ByteType",
+    "FloatType",
+    "DoubleType",
+    "BooleanType",
+    "BinaryType",
+    "TimestampType",
+]

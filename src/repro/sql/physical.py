@@ -1,0 +1,710 @@
+"""Physical operators: resolved logical plans compiled onto engine RDDs.
+
+Each operator's ``execute(ctx)`` returns an RDD of positional tuples aligned
+with its ``output`` attributes.  Narrow operators (scan residual filters,
+projections) pipeline via ``map_partitions`` inside the upstream task; wide
+operators (aggregation, shuffled joins, distinct, intersect) introduce
+exchanges whose volume the scheduler meters -- that metering is Figure 5.
+
+Broadcast hash joins run a sub-job to collect the build side at the driver
+and charge the redistribution to driver time, mirroring Spark's
+``autoBroadcastJoinThreshold`` behaviour; whether a join *can* broadcast
+depends on the relation's size estimate, which is exactly where SHC and the
+vanilla connector diverge (SHC knows region sizes, a generic scan does not).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.errors import AnalysisError
+from repro.common.metrics import MetricsRegistry
+from repro.engine.rdd import RDD, ParallelCollectionRDD
+from repro.engine.scheduler import JobResult, TaskScheduler
+from repro.engine.shuffle import estimate_size
+from repro.sql import expressions as E
+from repro.sql import logical as L
+from repro.sql.sources import BaseRelation, Filter as SourceFilter
+
+
+class ExecContext:
+    """Per-query execution context: scheduler access + cost accounting."""
+
+    def __init__(self, scheduler: TaskScheduler, cost, conf: Dict[str, object]) -> None:
+        self.scheduler = scheduler
+        self.cost = cost
+        self.conf = conf
+        self.metrics = MetricsRegistry()
+        self.job_seconds = 0.0
+        self.driver_seconds = 0.0
+        self.all_stages = []
+
+    def run_job(self, rdd: RDD) -> JobResult:
+        result = self.scheduler.run_job(rdd)
+        self.job_seconds += result.seconds
+        self.metrics.merge(result.metrics)
+        self.all_stages.extend(result.stages)
+        return result
+
+    def charge_driver(self, seconds: float, counter: Optional[str] = None,
+                      amount: float = 1.0) -> None:
+        self.driver_seconds += seconds
+        if counter is not None:
+            self.metrics.incr(counter, amount)
+
+    def shuffle_partitions(self) -> int:
+        return int(self.conf.get("sql.shuffle.partitions", 8))
+
+
+class PhysicalPlan:
+    """Base class for physical operators."""
+
+    def __init__(self, output: Sequence[E.Attribute],
+                 children: Sequence["PhysicalPlan"] = ()) -> None:
+        self.output = list(output)
+        self.children = list(children)
+
+    def execute(self, ctx: ExecContext) -> RDD:
+        raise NotImplementedError
+
+    def pretty(self, indent: int = 0) -> str:
+        head = "  " * indent + self.describe()
+        body = "\n".join(c.pretty(indent + 1) for c in self.children)
+        return head + ("\n" + body if body else "")
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+def _cpu_charged(rows: Iterable[tuple], ctx_task, per_row: float) -> Iterable[tuple]:
+    count = 0
+    for row in rows:
+        count += 1
+        yield row
+    ctx_task.ledger.charge(per_row * count, "engine.rows_processed", count)
+
+
+class DataSourceScanExec(PhysicalPlan):
+    """Scan a pluggable relation with pruned columns and offered filters."""
+
+    def __init__(
+        self,
+        relation: BaseRelation,
+        output: Sequence[E.Attribute],
+        pushed_filters: Sequence[SourceFilter],
+        residual: Optional[E.Expression],
+        relation_name: str = "",
+    ) -> None:
+        super().__init__(output)
+        self.relation = relation
+        self.pushed_filters = list(pushed_filters)
+        self.residual = residual
+        self.relation_name = relation_name
+
+    def execute(self, ctx: ExecContext) -> RDD:
+        required = [a.name for a in self.output]
+        rdd = self.relation.build_scan(required, self.pushed_filters)
+        if self.residual is not None:
+            bound = E.bind_expression(self.residual, self.output)
+            per_row = ctx.cost.row_cpu_s
+
+            def apply_residual(rows, task_ctx):
+                kept = (r for r in rows if bound.eval(r) is True)
+                return _cpu_charged(kept, task_ctx, per_row)
+
+            rdd = rdd.map_partitions(apply_residual)
+        return rdd
+
+    def describe(self) -> str:
+        return (
+            f"DataSourceScan({self.relation_name or type(self.relation).__name__}, "
+            f"columns={[a.name for a in self.output]}, "
+            f"pushed={self.pushed_filters!r}, residual={self.residual!r})"
+        )
+
+
+class LocalScanExec(PhysicalPlan):
+    """Driver-local rows distributed over a few partitions."""
+
+    def __init__(self, output: Sequence[E.Attribute], rows: Sequence[tuple],
+                 num_partitions: int = 2) -> None:
+        super().__init__(output)
+        self.rows = list(rows)
+        self.num_partitions = num_partitions
+
+    def execute(self, ctx: ExecContext) -> RDD:
+        return ParallelCollectionRDD(self.rows, self.num_partitions)
+
+    def describe(self) -> str:
+        return f"LocalScan({len(self.rows)} rows)"
+
+
+class FilterExec(PhysicalPlan):
+    """Engine-side filter (the "second layer" of section VI.A.3)."""
+
+    def __init__(self, condition: E.Expression, child: PhysicalPlan) -> None:
+        super().__init__(child.output, [child])
+        self.condition = condition
+
+    def execute(self, ctx: ExecContext) -> RDD:
+        bound = E.bind_expression(self.condition, self.children[0].output)
+        per_row = ctx.cost.row_cpu_s
+
+        def apply(rows, task_ctx):
+            kept = (r for r in rows if bound.eval(r) is True)
+            return _cpu_charged(kept, task_ctx, per_row)
+
+        return self.children[0].execute(ctx).map_partitions(apply)
+
+    def describe(self) -> str:
+        return f"Filter({self.condition!r})"
+
+
+class ProjectExec(PhysicalPlan):
+    """Row-by-row expression evaluation into a new tuple layout."""
+
+    def __init__(self, project_list: Sequence[E.Expression], child: PhysicalPlan) -> None:
+        output = []
+        for item in project_list:
+            if isinstance(item, E.Alias):
+                output.append(item.to_attribute())
+            elif isinstance(item, E.Attribute):
+                output.append(item)
+            else:
+                raise AnalysisError(f"unnamed projection {item!r}")
+        super().__init__(output, [child])
+        self.project_list = list(project_list)
+
+    def execute(self, ctx: ExecContext) -> RDD:
+        bound = [
+            E.bind_expression(
+                item.child if isinstance(item, E.Alias) else item,
+                self.children[0].output,
+            )
+            for item in self.project_list
+        ]
+        per_row = ctx.cost.row_cpu_s
+
+        def apply(rows, task_ctx):
+            projected = (tuple(b.eval(r) for b in bound) for r in rows)
+            return _cpu_charged(projected, task_ctx, per_row)
+
+        return self.children[0].execute(ctx).map_partitions(apply)
+
+    def describe(self) -> str:
+        return f"Project({[a.name for a in self.output]})"
+
+
+# -- aggregation -----------------------------------------------------------------
+
+class _KeyRef(E.Expression):
+    """Evaluates a grouping value out of the (key, finished_aggs) pair."""
+
+    def __init__(self, position: int, dtype) -> None:
+        self.position = position
+        self.dtype = dtype
+
+    def eval(self, row: tuple) -> object:
+        return row[0][self.position]
+
+    def data_type(self):
+        return self.dtype
+
+    def with_new_children(self, children):
+        return self
+
+
+class _AggRef(E.Expression):
+    """Evaluates a finished aggregate out of the (key, finished_aggs) pair."""
+
+    def __init__(self, position: int, dtype) -> None:
+        self.position = position
+        self.dtype = dtype
+
+    def eval(self, row: tuple) -> object:
+        return row[1][self.position]
+
+    def data_type(self):
+        return self.dtype
+
+    def with_new_children(self, children):
+        return self
+
+
+class HashAggregateExec(PhysicalPlan):
+    """Two-phase hash aggregation (partial -> shuffle by key -> final)."""
+
+    def __init__(self, groupings: Sequence[E.Expression],
+                 aggregate_list: Sequence[E.Expression], child: PhysicalPlan) -> None:
+        output = []
+        for item in aggregate_list:
+            if isinstance(item, E.Alias):
+                output.append(item.to_attribute())
+            elif isinstance(item, E.Attribute):
+                output.append(item)
+            else:
+                raise AnalysisError(f"unnamed aggregate output {item!r}")
+        super().__init__(output, [child])
+        self.groupings = list(groupings)
+        self.aggregate_list = list(aggregate_list)
+
+    def execute(self, ctx: ExecContext) -> RDD:
+        child = self.children[0]
+        child_attrs = child.output
+        bound_groupings = [E.bind_expression(g, child_attrs) for g in self.groupings]
+
+        # collect the distinct aggregate function instances, in plan order
+        agg_instances: List[E.AggregateExpression] = []
+        seen_ids: set = set()
+        for item in self.aggregate_list:
+            expr = item.child if isinstance(item, E.Alias) else item
+            for node in expr.collect(lambda e: isinstance(e, E.AggregateExpression)):
+                if id(node) not in seen_ids:
+                    seen_ids.add(id(node))
+                    agg_instances.append(node)
+        bound_aggs = [
+            agg.with_new_children(
+                (E.bind_expression(agg.children[0], child_attrs),)
+            ) if agg.children else agg
+            for agg in agg_instances
+        ]
+
+        # map grouping attr ids to key positions for result evaluation
+        key_position: Dict[int, int] = {}
+        for i, g in enumerate(self.groupings):
+            if isinstance(g, E.Attribute):
+                key_position[g.attr_id] = i
+        agg_position = {id(agg): i for i, agg in enumerate(agg_instances)}
+
+        result_exprs = [
+            self._result_expr(item, key_position, agg_position, self.groupings)
+            for item in self.aggregate_list
+        ]
+
+        per_row = ctx.cost.row_cpu_s
+        global_agg = not self.groupings
+
+        def partial(rows, task_ctx):
+            table: Dict[tuple, list] = {}
+            count = 0
+            for row in rows:
+                count += 1
+                key = tuple(g.eval(row) for g in bound_groupings)
+                accs = table.get(key)
+                if accs is None:
+                    accs = [a.init_acc() for a in bound_aggs]
+                    table[key] = accs
+                for i, agg in enumerate(bound_aggs):
+                    accs[i] = agg.update(accs[i], row)
+            task_ctx.ledger.charge(per_row * count, "engine.rows_processed", count)
+            return iter(table.items())
+
+        def final(pairs, task_ctx):
+            table: Dict[tuple, list] = {}
+            for key, accs in pairs:
+                merged = table.get(key)
+                if merged is None:
+                    table[key] = list(accs)
+                else:
+                    for i, agg in enumerate(bound_aggs):
+                        merged[i] = agg.merge(merged[i], accs[i])
+            if not table and global_agg:
+                table[()] = [a.init_acc() for a in bound_aggs]
+            out = []
+            for key, accs in table.items():
+                finished = tuple(
+                    agg.finish(accs[i]) for i, agg in enumerate(bound_aggs)
+                )
+                env = (key, finished)
+                out.append(tuple(expr.eval(env) for expr in result_exprs))
+            task_ctx.ledger.charge(per_row * len(out), "engine.rows_processed", len(out))
+            return iter(out)
+
+        partial_rdd = child.execute(ctx).map_partitions(partial)
+        num_parts = 1 if global_agg else ctx.shuffle_partitions()
+        return partial_rdd.partition_by(num_parts, key_fn=lambda kv: kv[0],
+                                        post_shuffle=final)
+
+    def _result_expr(self, item: E.Expression, key_position: Dict[int, int],
+                     agg_position: Dict[int, int],
+                     groupings: Sequence[E.Expression]) -> E.Expression:
+        expr = item.child if isinstance(item, E.Alias) else item
+
+        # AggregateExpression children are bound separately, so the rewrite
+        # is top-down and stops at aggregate / grouping-expression boundaries
+        def safe_transform(node: E.Expression) -> E.Expression:
+            if isinstance(node, E.AggregateExpression):
+                return _AggRef(agg_position[id(node)], node.data_type())
+            # a subtree that IS one of the grouping expressions evaluates to
+            # that key component (covers expression groupings like "k % 2")
+            for position, grouping in enumerate(groupings):
+                if E.same_expression(node, grouping):
+                    return _KeyRef(position, grouping.data_type()
+                                   if not isinstance(grouping, E.Attribute)
+                                   else grouping.dtype)
+            if isinstance(node, E.Attribute):
+                position = key_position.get(node.attr_id)
+                if position is None:
+                    raise AnalysisError(
+                        f"aggregate output {item!r} references non-grouping "
+                        f"column {node!r}"
+                    )
+                return _KeyRef(position, node.dtype)
+            if not node.children:
+                return node
+            return node.with_new_children([safe_transform(c) for c in node.children])
+
+        return safe_transform(expr)
+
+    def describe(self) -> str:
+        return f"HashAggregate(keys={self.groupings!r}, out={[a.name for a in self.output]})"
+
+
+# -- joins ------------------------------------------------------------------------
+
+def _combine_rows(left: Optional[tuple], right: Optional[tuple],
+                  left_width: int, right_width: int) -> tuple:
+    left_part = left if left is not None else (None,) * left_width
+    right_part = right if right is not None else (None,) * right_width
+    return tuple(left_part) + tuple(right_part)
+
+
+def _join_output(left: PhysicalPlan, right: PhysicalPlan, how: str):
+    if how in ("semi", "anti"):
+        return list(left.output)
+    return list(left.output) + list(right.output)
+
+
+class ShuffledHashJoinExec(PhysicalPlan):
+    """Equi-join where both sides are shuffled by the join key."""
+
+    def __init__(self, left: PhysicalPlan, right: PhysicalPlan,
+                 left_keys: Sequence[E.Expression], right_keys: Sequence[E.Expression],
+                 how: str, residual: Optional[E.Expression]) -> None:
+        super().__init__(_join_output(left, right, how), [left, right])
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+        self.how = how
+        self.residual = residual
+
+    def execute(self, ctx: ExecContext) -> RDD:
+        left, right = self.children
+        bound_left = [E.bind_expression(k, left.output) for k in self.left_keys]
+        bound_right = [E.bind_expression(k, right.output) for k in self.right_keys]
+        left_width, right_width = len(left.output), len(right.output)
+        combined_attrs = list(left.output) + list(right.output)
+        residual_bound = (
+            E.bind_expression(self.residual, combined_attrs)
+            if self.residual is not None else None
+        )
+        how = self.how
+        per_row = ctx.cost.row_cpu_s
+
+        def tag_left(rows, task_ctx):
+            tagged = ((tuple(k.eval(r) for k in bound_left), 0, r) for r in rows)
+            return _cpu_charged(tagged, task_ctx, per_row)
+
+        def tag_right(rows, task_ctx):
+            tagged = ((tuple(k.eval(r) for k in bound_right), 1, r) for r in rows)
+            return _cpu_charged(tagged, task_ctx, per_row)
+
+        def join_partition(entries, task_ctx):
+            build: Dict[tuple, List[tuple]] = {}
+            stream: List[Tuple[tuple, tuple]] = []
+            for key, side, row in entries:
+                if side == 1:
+                    build.setdefault(key, []).append(row)
+                else:
+                    stream.append((key, row))
+            out = []
+            for key, left_row in stream:
+                if None in key:
+                    matches: List[tuple] = []
+                else:
+                    matches = build.get(key, [])
+                emitted = False
+                for right_row in matches:
+                    combined = _combine_rows(left_row, right_row, left_width, right_width)
+                    if residual_bound is None or residual_bound.eval(combined) is True:
+                        emitted = True
+                        if how in ("semi", "anti"):
+                            break
+                        out.append(combined)
+                if how == "left" and not emitted:
+                    out.append(_combine_rows(left_row, None, left_width, right_width))
+                elif how == "semi" and emitted:
+                    out.append(left_row)
+                elif how == "anti" and not emitted:
+                    out.append(left_row)
+            task_ctx.ledger.charge(per_row * len(out), "engine.rows_processed", len(out))
+            return iter(out)
+
+        tagged = left.execute(ctx).map_partitions(tag_left).union(
+            right.execute(ctx).map_partitions(tag_right)
+        )
+        return tagged.partition_by(
+            ctx.shuffle_partitions(), key_fn=lambda e: e[0], post_shuffle=join_partition
+        )
+
+    def describe(self) -> str:
+        return f"ShuffledHashJoin({self.how}, {self.left_keys!r} = {self.right_keys!r})"
+
+
+class BroadcastHashJoinExec(PhysicalPlan):
+    """Equi-join broadcasting the (small) right side to every executor."""
+
+    def __init__(self, left: PhysicalPlan, right: PhysicalPlan,
+                 left_keys: Sequence[E.Expression], right_keys: Sequence[E.Expression],
+                 how: str, residual: Optional[E.Expression]) -> None:
+        super().__init__(_join_output(left, right, how), [left, right])
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+        self.how = how
+        self.residual = residual
+
+    def execute(self, ctx: ExecContext) -> RDD:
+        left, right = self.children
+        bound_left = [E.bind_expression(k, left.output) for k in self.left_keys]
+        bound_right = [E.bind_expression(k, right.output) for k in self.right_keys]
+        left_width, right_width = len(left.output), len(right.output)
+        combined_attrs = list(left.output) + list(right.output)
+        residual_bound = (
+            E.bind_expression(self.residual, combined_attrs)
+            if self.residual is not None else None
+        )
+        how = self.how
+        per_row = ctx.cost.row_cpu_s
+
+        # collect + broadcast the build side
+        build_rows = ctx.run_job(right.execute(ctx)).rows()
+        build_bytes = sum(estimate_size(r) for r in build_rows)
+        executors = len(ctx.scheduler.cluster.executors)
+        ctx.charge_driver(
+            build_bytes * executors / ctx.cost.network_bytes_per_sec,
+            "engine.broadcast_bytes", build_bytes * executors,
+        )
+        table: Dict[tuple, List[tuple]] = {}
+        for row in build_rows:
+            key = tuple(k.eval(row) for k in bound_right)
+            if None not in key:
+                table.setdefault(key, []).append(row)
+
+        def probe(rows, task_ctx):
+            out_count = 0
+            for left_row in rows:
+                key = tuple(k.eval(left_row) for k in bound_left)
+                matches = table.get(key, []) if None not in key else []
+                emitted = False
+                for right_row in matches:
+                    combined = _combine_rows(left_row, right_row, left_width, right_width)
+                    if residual_bound is None or residual_bound.eval(combined) is True:
+                        emitted = True
+                        if how in ("semi", "anti"):
+                            break
+                        out_count += 1
+                        yield combined
+                if how == "left" and not emitted:
+                    out_count += 1
+                    yield _combine_rows(left_row, None, left_width, right_width)
+                elif how == "semi" and emitted:
+                    out_count += 1
+                    yield left_row
+                elif how == "anti" and not emitted:
+                    out_count += 1
+                    yield left_row
+            task_ctx.ledger.charge(per_row * out_count, "engine.rows_processed", out_count)
+
+        return left.execute(ctx).map_partitions(probe)
+
+    def describe(self) -> str:
+        return f"BroadcastHashJoin({self.how}, {self.left_keys!r} = {self.right_keys!r})"
+
+
+class BroadcastNestedLoopJoinExec(PhysicalPlan):
+    """Fallback join without equi keys: broadcast right, test the condition."""
+
+    def __init__(self, left: PhysicalPlan, right: PhysicalPlan, how: str,
+                 condition: Optional[E.Expression]) -> None:
+        super().__init__(_join_output(left, right, how), [left, right])
+        self.how = how
+        self.condition = condition
+
+    def execute(self, ctx: ExecContext) -> RDD:
+        left, right = self.children
+        left_width, right_width = len(left.output), len(right.output)
+        combined_attrs = list(left.output) + list(right.output)
+        bound = (
+            E.bind_expression(self.condition, combined_attrs)
+            if self.condition is not None else None
+        )
+        how = self.how
+        build_rows = ctx.run_job(right.execute(ctx)).rows()
+        build_bytes = sum(estimate_size(r) for r in build_rows)
+        executors = len(ctx.scheduler.cluster.executors)
+        ctx.charge_driver(
+            build_bytes * executors / ctx.cost.network_bytes_per_sec,
+            "engine.broadcast_bytes", build_bytes * executors,
+        )
+        per_row = ctx.cost.row_cpu_s
+
+        def probe(rows, task_ctx):
+            count = 0
+            for left_row in rows:
+                emitted = False
+                for right_row in build_rows:
+                    combined = _combine_rows(left_row, right_row, left_width, right_width)
+                    count += 1
+                    if bound is None or bound.eval(combined) is True:
+                        emitted = True
+                        if how in ("semi", "anti"):
+                            break
+                        yield combined
+                if how == "left" and not emitted:
+                    yield _combine_rows(left_row, None, left_width, right_width)
+                elif how == "semi" and emitted:
+                    yield left_row
+                elif how == "anti" and not emitted:
+                    yield left_row
+            task_ctx.ledger.charge(per_row * count, "engine.rows_processed", count)
+
+        return left.execute(ctx).map_partitions(probe)
+
+
+# -- ordering / limiting / set ops --------------------------------------------------
+
+def _sort_key(orders_bound: Sequence[Tuple[E.Expression, bool]]) -> Callable:
+    def key(row: tuple):
+        parts = []
+        for expr, ascending in orders_bound:
+            value = expr.eval(row)
+            # NULLS FIRST on ascending, LAST on descending (Spark default)
+            null_rank = value is None
+            rank = (null_rank, value) if value is not None else (null_rank, 0)
+            parts.append(_Reversed(rank) if not ascending else rank)
+        return tuple(parts)
+
+    return key
+
+
+class _Reversed:
+    """Inverts comparison for descending sort terms."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.inner < self.inner
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and self.inner == other.inner
+
+
+class SortExec(PhysicalPlan):
+    """Total ordering: gather to one partition, then sort."""
+
+    def __init__(self, orders: Sequence[L.SortOrder], child: PhysicalPlan) -> None:
+        super().__init__(child.output, [child])
+        self.orders = list(orders)
+
+    def execute(self, ctx: ExecContext) -> RDD:
+        bound = [
+            (E.bind_expression(o.expression, self.children[0].output), o.ascending)
+            for o in self.orders
+        ]
+        key = _sort_key(bound)
+        per_row = ctx.cost.row_cpu_s
+
+        def do_sort(rows, task_ctx):
+            data = sorted(rows, key=key)
+            task_ctx.ledger.charge(per_row * len(data), "engine.rows_processed", len(data))
+            return iter(data)
+
+        gathered = self.children[0].execute(ctx).coalesce_to_driver()
+        return gathered.map_partitions(do_sort)
+
+
+class LimitExec(PhysicalPlan):
+    """Per-partition limit followed by a single-partition global limit."""
+
+    def __init__(self, n: int, child: PhysicalPlan) -> None:
+        super().__init__(child.output, [child])
+        self.n = n
+
+    def execute(self, ctx: ExecContext) -> RDD:
+        n = self.n
+
+        def local_limit(rows, task_ctx):
+            out = []
+            for row in rows:
+                if len(out) >= n:
+                    break
+                out.append(row)
+            return iter(out)
+
+        def global_limit(rows, task_ctx):
+            return local_limit(rows, task_ctx)
+
+        limited = self.children[0].execute(ctx).map_partitions(local_limit)
+        return limited.coalesce_to_driver().map_partitions(global_limit)
+
+    def describe(self) -> str:
+        return f"Limit({self.n})"
+
+
+class UnionExec(PhysicalPlan):
+    """Bag union (UNION ALL): concatenates partitions, no exchange."""
+
+    def __init__(self, left: PhysicalPlan, right: PhysicalPlan) -> None:
+        super().__init__(left.output, [left, right])
+
+    def execute(self, ctx: ExecContext) -> RDD:
+        return self.children[0].execute(ctx).union(self.children[1].execute(ctx))
+
+
+class DistinctExec(PhysicalPlan):
+    """Whole-row dedup through a hash exchange."""
+
+    def __init__(self, child: PhysicalPlan) -> None:
+        super().__init__(child.output, [child])
+
+    def execute(self, ctx: ExecContext) -> RDD:
+        def dedupe(rows, task_ctx):
+            seen = set()
+            for row in rows:
+                if row not in seen:
+                    seen.add(row)
+                    yield row
+
+        return self.children[0].execute(ctx).partition_by(
+            ctx.shuffle_partitions(), key_fn=lambda r: r, post_shuffle=dedupe
+        )
+
+
+class IntersectExec(PhysicalPlan):
+    """Set intersection (distinct) via a shuffle on the whole row."""
+
+    def __init__(self, left: PhysicalPlan, right: PhysicalPlan) -> None:
+        super().__init__(left.output, [left, right])
+
+    def execute(self, ctx: ExecContext) -> RDD:
+        def tag(side: int):
+            def fn(rows, task_ctx):
+                return ((row, side) for row in rows)
+
+            return fn
+
+        def intersect(pairs, task_ctx):
+            left_seen: set = set()
+            right_seen: set = set()
+            for row, side in pairs:
+                (left_seen if side == 0 else right_seen).add(row)
+            return iter(left_seen & right_seen)
+
+        tagged = self.children[0].execute(ctx).map_partitions(tag(0)).union(
+            self.children[1].execute(ctx).map_partitions(tag(1))
+        )
+        return tagged.partition_by(
+            ctx.shuffle_partitions(), key_fn=lambda p: p[0], post_shuffle=intersect
+        )

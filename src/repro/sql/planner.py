@@ -1,0 +1,330 @@
+"""The physical planner: optimized logical plans -> physical operators.
+
+Two strategies matter for the paper:
+
+- **DataSourceStrategy** -- ``Project``/``Filter`` stacks sitting directly on a
+  ``LogicalRelation`` collapse into one :class:`DataSourceScanExec`: required
+  columns are pruned to what the query needs, translatable predicates are
+  *offered* to the relation, and only the filters the relation reports as
+  unhandled (plus untranslatable ones) remain as an engine-side residual.
+  This is the exact handshake of section VI.A.3 (``unhandledFilters``).
+
+- **Join selection** -- a side whose *estimated* size fits under the broadcast
+  threshold is broadcast; otherwise both sides are shuffled.  Estimates flow
+  from ``BaseRelation.size_in_bytes()``: SHC computes real region sizes, the
+  generic connector returns unknown (treated as huge), which is what forces
+  vanilla Spark SQL into shuffling entire fact tables (Figure 5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import AnalysisError
+from repro.sql import expressions as E
+from repro.sql import logical as L
+from repro.sql import physical as P
+from repro.sql.sources import translate_expression
+
+#: size assigned to relations that cannot estimate themselves
+UNKNOWN_SIZE = 1 << 60
+
+
+def estimate_plan_size(plan: L.LogicalPlan) -> int:
+    """Coarse cardinality/size propagation (Catalyst statistics-lite)."""
+    if isinstance(plan, L.LogicalRelation):
+        size = plan.relation.size_in_bytes()
+        return size if size is not None else UNKNOWN_SIZE
+    if isinstance(plan, L.LocalRelation):
+        from repro.engine.shuffle import estimate_size
+
+        return sum(estimate_size(r) for r in plan.rows) + 1
+    if isinstance(plan, L.Filter):
+        return max(1, estimate_plan_size(plan.children[0]) // 4)
+    if isinstance(plan, L.Project):
+        child = plan.children[0]
+        child_size = estimate_plan_size(child)
+        if child_size >= UNKNOWN_SIZE:
+            return UNKNOWN_SIZE
+        width_ratio = max(1, len(plan.output)) / max(1, len(child.output))
+        return max(1, int(child_size * min(1.0, width_ratio)))
+    if isinstance(plan, L.Aggregate):
+        child_size = estimate_plan_size(plan.children[0])
+        if child_size >= UNKNOWN_SIZE:
+            return UNKNOWN_SIZE
+        return max(1, child_size // 5)
+    if isinstance(plan, L.Join):
+        sizes = [estimate_plan_size(c) for c in plan.children]
+        if any(s >= UNKNOWN_SIZE for s in sizes):
+            return UNKNOWN_SIZE
+        return sum(sizes)
+    if isinstance(plan, L.Limit):
+        return min(estimate_plan_size(plan.children[0]), plan.n * 64 + 1)
+    if plan.children:
+        sizes = [estimate_plan_size(c) for c in plan.children]
+        if any(s >= UNKNOWN_SIZE for s in sizes):
+            return UNKNOWN_SIZE
+        return sum(sizes)
+    return UNKNOWN_SIZE
+
+
+class Planner:
+    """Compiles one optimized logical plan."""
+
+    def __init__(self, conf: Dict[str, object]) -> None:
+        self.conf = conf
+        self.broadcast_threshold = int(
+            conf.get("sql.autoBroadcastJoinThreshold", 128 * 1024)
+        )
+
+    def plan(self, node: L.LogicalPlan) -> P.PhysicalPlan:
+        if isinstance(node, L.SubqueryAlias):
+            return self.plan(node.children[0])
+
+        if isinstance(node, L.Project):
+            child = node.children[0]
+            if isinstance(child, L.Filter):
+                relation = _as_relation(child.children[0])
+                if relation is not None:
+                    return self._plan_scan(node.project_list, child.condition, relation)
+            relation = _as_relation(child)
+            if relation is not None and child is not node:
+                return self._plan_scan(node.project_list, None, relation)
+            return P.ProjectExec(node.project_list, self.plan(child))
+
+        if isinstance(node, L.Filter):
+            relation = _as_relation(node.children[0])
+            if relation is not None:
+                # keep the pruned column set: project down to the child's output
+                return self._plan_scan(
+                    list(node.children[0].output), node.condition, relation
+                )
+            return P.FilterExec(node.condition, self.plan(node.children[0]))
+
+        if isinstance(node, L.LogicalRelation):
+            return self._plan_scan(None, None, node)
+
+        if isinstance(node, L.LocalRelation):
+            return P.LocalScanExec(node.output, node.rows)
+
+        if isinstance(node, L.Join):
+            return self._plan_join(node)
+
+        if isinstance(node, L.Aggregate):
+            pushed = self._try_aggregate_pushdown(node)
+            if pushed is not None:
+                return pushed
+            return P.HashAggregateExec(
+                node.groupings, node.aggregate_list, self.plan(node.children[0])
+            )
+
+        if isinstance(node, L.Sort):
+            return P.SortExec(node.orders, self.plan(node.children[0]))
+
+        if isinstance(node, L.Limit):
+            return P.LimitExec(node.n, self.plan(node.children[0]))
+
+        if isinstance(node, L.Distinct):
+            return P.DistinctExec(self.plan(node.children[0]))
+
+        if isinstance(node, L.SetOperation):
+            left = self.plan(node.children[0])
+            right = self.plan(node.children[1])
+            if node.op == "union":
+                union: P.PhysicalPlan = P.UnionExec(left, right)
+                return union if node.all_rows else P.DistinctExec(union)
+            return P.IntersectExec(left, right)
+
+        raise AnalysisError(f"no physical strategy for {node.describe()}")
+
+    # -- data source strategy ----------------------------------------------------
+    def _plan_scan(
+        self,
+        project_list: Optional[Sequence[E.Expression]],
+        condition: Optional[E.Expression],
+        rel_node: L.LogicalRelation,
+    ) -> P.PhysicalPlan:
+        conjuncts = E.split_conjuncts(condition) if condition is not None else []
+        offered = []
+        pairs: List[Tuple[E.Expression, Optional[object]]] = []
+        for conjunct in conjuncts:
+            source_filter = translate_expression(conjunct)
+            pairs.append((conjunct, source_filter))
+            if source_filter is not None:
+                offered.append(source_filter)
+
+        unhandled = set(rel_node.relation.unhandled_filters(offered))
+        residual_exprs = [
+            conjunct for conjunct, source_filter in pairs
+            if source_filter is None or source_filter in unhandled
+        ]
+        residual = E.combine_conjuncts(residual_exprs)
+
+        needed_ids = set()
+        if project_list is not None:
+            for item in project_list:
+                needed_ids |= item.references()
+        else:
+            needed_ids |= {a.attr_id for a in rel_node.output}
+        if residual is not None:
+            needed_ids |= residual.references()
+
+        scan_attrs = [a for a in rel_node.output if a.attr_id in needed_ids]
+        if not scan_attrs:
+            scan_attrs = rel_node.output[:1]
+        scan = P.DataSourceScanExec(
+            rel_node.relation, scan_attrs, offered, residual, rel_node.name
+        )
+        if project_list is None:
+            return scan
+        if _is_identity_projection(project_list, scan.output):
+            return scan
+        return P.ProjectExec(project_list, scan)
+
+    # -- aggregate pushdown (coprocessor-style connectors) --------------------------
+    def _try_aggregate_pushdown(self, node: L.Aggregate) -> Optional[P.PhysicalPlan]:
+        """Offer a grouped aggregation to the relation, if it wants it.
+
+        Only relations exposing ``plan_aggregate`` (e.g. the Huawei-style
+        coprocessor connector) participate; the aggregate's child must be an
+        attribute-only Project/Filter stack over the relation.
+        """
+        conditions: List[E.Expression] = []
+        current: L.LogicalPlan = node.children[0]
+        while True:
+            if isinstance(current, L.Project) and all(
+                isinstance(item, E.Attribute) for item in current.project_list
+            ):
+                current = current.children[0]
+                continue
+            if isinstance(current, L.Filter):
+                conditions.append(current.condition)
+                current = current.children[0]
+                continue
+            break
+        if not isinstance(current, L.LogicalRelation):
+            return None
+        plan_aggregate = getattr(current.relation, "plan_aggregate", None)
+        if plan_aggregate is None:
+            return None
+
+        condition = E.combine_conjuncts(
+            [c for cond in conditions for c in E.split_conjuncts(cond)]
+        )
+        conjuncts = E.split_conjuncts(condition) if condition is not None else []
+        offered = []
+        residual_exprs = []
+        for conjunct in conjuncts:
+            source_filter = translate_expression(conjunct)
+            if source_filter is not None:
+                offered.append(source_filter)
+            else:
+                residual_exprs.append(conjunct)
+        unhandled = set(current.relation.unhandled_filters(offered))
+        residual_exprs.extend(
+            conjunct for conjunct in conjuncts
+            if (sf := translate_expression(conjunct)) is not None
+            and sf in unhandled
+        )
+        residual = E.combine_conjuncts(residual_exprs)
+
+        needed_ids = set()
+        for g in node.groupings:
+            needed_ids |= g.references()
+        for item in node.aggregate_list:
+            needed_ids |= item.references()
+        if residual is not None:
+            needed_ids |= residual.references()
+        input_attrs = [a for a in current.output if a.attr_id in needed_ids]
+        if not needed_ids <= {a.attr_id for a in input_attrs}:
+            return None
+        return plan_aggregate(
+            node.groupings, node.aggregate_list, offered, residual, input_attrs
+        )
+
+    # -- join strategy ---------------------------------------------------------------
+    def _plan_join(self, node: L.Join) -> P.PhysicalPlan:
+        left_plan = self.plan(node.children[0])
+        right_plan = self.plan(node.children[1])
+        left_ids = {a.attr_id for a in node.left.output}
+        right_ids = {a.attr_id for a in node.right.output}
+        left_keys, right_keys, residual = _extract_equi_keys(
+            node.condition, left_ids, right_ids
+        )
+        left_size = estimate_plan_size(node.left)
+        right_size = estimate_plan_size(node.right)
+
+        if left_keys:
+            if right_size <= self.broadcast_threshold:
+                return P.BroadcastHashJoinExec(
+                    left_plan, right_plan, left_keys, right_keys, node.how, residual
+                )
+            if left_size <= self.broadcast_threshold and node.how == "inner":
+                swapped = P.BroadcastHashJoinExec(
+                    right_plan, left_plan, right_keys, left_keys, "inner", None
+                )
+                reordered = P.ProjectExec(
+                    list(node.left.output) + list(node.right.output), swapped
+                )
+                if residual is not None:
+                    return P.FilterExec(residual, reordered)
+                return reordered
+            return P.ShuffledHashJoinExec(
+                left_plan, right_plan, left_keys, right_keys, node.how, residual
+            )
+
+        # no equi keys: nested loop with the right side broadcast
+        return P.BroadcastNestedLoopJoinExec(
+            left_plan, right_plan, node.how, node.condition
+        )
+
+
+def _as_relation(node: L.LogicalPlan) -> Optional[L.LogicalRelation]:
+    """See through attribute-only projections (column pruning inserts them)."""
+    if isinstance(node, L.LogicalRelation):
+        return node
+    if isinstance(node, L.Project) and all(
+        isinstance(item, E.Attribute) for item in node.project_list
+    ):
+        child = node.children[0]
+        if isinstance(child, L.LogicalRelation):
+            return child
+    return None
+
+
+def _extract_equi_keys(
+    condition: Optional[E.Expression],
+    left_ids: set,
+    right_ids: set,
+) -> Tuple[List[E.Expression], List[E.Expression], Optional[E.Expression]]:
+    if condition is None:
+        return [], [], None
+    left_keys: List[E.Expression] = []
+    right_keys: List[E.Expression] = []
+    rest: List[E.Expression] = []
+    for conjunct in E.split_conjuncts(condition):
+        if isinstance(conjunct, E.Comparison) and conjunct.op == "=":
+            a, b = conjunct.children
+            a_refs, b_refs = a.references(), b.references()
+            if a_refs and b_refs:
+                if a_refs <= left_ids and b_refs <= right_ids:
+                    left_keys.append(a)
+                    right_keys.append(b)
+                    continue
+                if a_refs <= right_ids and b_refs <= left_ids:
+                    left_keys.append(b)
+                    right_keys.append(a)
+                    continue
+        rest.append(conjunct)
+    return left_keys, right_keys, E.combine_conjuncts(rest)
+
+
+def _is_identity_projection(
+    project_list: Sequence[E.Expression], scan_output: Sequence[E.Attribute]
+) -> bool:
+    if len(project_list) != len(scan_output):
+        return False
+    for item, attr in zip(project_list, scan_output):
+        if not isinstance(item, E.Attribute) or item.attr_id != attr.attr_id:
+            return False
+    return True

@@ -1,0 +1,56 @@
+"""Rows as returned to users (internally the engine moves plain tuples)."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+from repro.common.errors import AnalysisError
+from repro.sql.types import StructType
+
+
+class Row:
+    """An immutable named record: index or column-name access."""
+
+    __slots__ = ("values", "_schema")
+
+    def __init__(self, values: Sequence[object], schema: StructType) -> None:
+        self.values: Tuple[object, ...] = tuple(values)
+        self._schema = schema
+        if len(self.values) != len(schema):
+            raise AnalysisError(
+                f"row has {len(self.values)} values but schema has {len(schema)} columns"
+            )
+
+    def __getitem__(self, key: "int | str") -> object:
+        if isinstance(key, int):
+            return self.values[key]
+        return self.values[self._schema.field_index(key)]
+
+    def __getattr__(self, name: str) -> object:
+        try:
+            return self.values[self._schema.field_index(name)]
+        except AnalysisError as exc:
+            raise AttributeError(str(exc)) from exc
+
+    def as_dict(self) -> dict:
+        return dict(zip(self._schema.names, self.values))
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Row):
+            return self.values == other.values
+        if isinstance(other, tuple):
+            return self.values == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.values)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{n}={v!r}" for n, v in zip(self._schema.names, self.values))
+        return f"Row({body})"

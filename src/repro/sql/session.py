@@ -1,0 +1,256 @@
+"""The SparkSession-like entry point tying the SQL layer to the engine.
+
+A session owns a compute cluster (hosts + executors granted by the YARN-like
+resource manager), the temp-view catalog, the session configuration, and a
+thread pool for concurrent query execution (Table I's "Thread pool" row).
+``execute_plan`` runs the full Catalyst pipeline -- analyze, optimize, plan,
+execute -- and returns rows together with simulated seconds and metrics.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.cost import DEFAULT_COST_MODEL, CostModel
+from repro.common.errors import AnalysisError
+from repro.common.metrics import MetricsRegistry
+from repro.common.simclock import SimClock
+from repro.engine.cluster import ComputeCluster, YarnResourceManager
+from repro.engine.scheduler import StageInfo, TaskScheduler
+from repro.sql.analyzer import Analyzer, Catalog
+from repro.sql.logical import LocalRelation, LogicalPlan, LogicalRelation
+from repro.sql.optimizer import optimize
+from repro.sql.parser import parse
+from repro.sql.physical import ExecContext
+from repro.sql.planner import Planner
+from repro.sql.row import Row
+from repro.sql.sources import lookup_provider
+from repro.sql.types import StructType, type_from_name
+
+
+@dataclass
+class QueryResult:
+    """Rows plus the simulated cost of producing them."""
+
+    rows: List[Row]
+    schema: StructType
+    seconds: float
+    metrics: MetricsRegistry
+    stages: List[StageInfo] = field(default_factory=list)
+
+    @property
+    def shuffle_bytes(self) -> float:
+        return self.metrics.get("engine.shuffle_write_bytes")
+
+    @property
+    def peak_memory_bytes(self) -> float:
+        return self.metrics.peak("engine.peak_stage_bytes")
+
+
+@dataclass
+class WriteResult:
+    """Outcome of a DataFrame write."""
+
+    rows_written: int
+    seconds: float
+    metrics: MetricsRegistry
+
+
+DEFAULT_CONF: Dict[str, object] = {
+    "sql.shuffle.partitions": 8,
+    "sql.autoBroadcastJoinThreshold": 128 * 1024,
+    "engine.locality.enabled": True,
+}
+
+
+class SparkSession:
+    """One application context."""
+
+    def __init__(
+        self,
+        hosts: Sequence[str],
+        executors_requested: int = 5,
+        cores_per_executor: int = 2,
+        cost_model: Optional[CostModel] = None,
+        clock: Optional[SimClock] = None,
+        conf: Optional[Dict[str, object]] = None,
+        resource_manager: Optional[YarnResourceManager] = None,
+    ) -> None:
+        self.cost = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+        self.clock = clock if clock is not None else SimClock()
+        self.conf: Dict[str, object] = dict(DEFAULT_CONF)
+        if conf:
+            self.conf.update(conf)
+        self.cluster = ComputeCluster(
+            hosts, executors_requested, cores_per_executor, resource_manager
+        )
+        self.catalog = Catalog()
+        self._analyzer = Analyzer(self.catalog)
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    # -- plan plumbing ------------------------------------------------------------
+    def analyze(self, plan: LogicalPlan) -> LogicalPlan:
+        return self._analyzer.analyze(plan)
+
+    def new_scheduler(self) -> TaskScheduler:
+        return TaskScheduler(
+            self.cluster, self.cost,
+            locality_enabled=bool(self.conf.get("engine.locality.enabled", True)),
+        )
+
+    # -- data ingestion --------------------------------------------------------------
+    def create_dataframe(self, data: Sequence[tuple], schema: StructType):
+        from repro.sql.dataframe import DataFrame
+
+        return DataFrame(self, LocalRelation(schema, data))
+
+    createDataFrame = create_dataframe
+
+    @property
+    def read(self) -> "DataFrameReader":
+        return DataFrameReader(self)
+
+    def table(self, name: str):
+        from repro.sql.dataframe import DataFrame
+        from repro.sql.logical import UnresolvedRelation
+
+        return DataFrame(self, UnresolvedRelation(name))
+
+    # -- SQL ---------------------------------------------------------------------------
+    def sql(self, text: str):
+        from repro.sql.dataframe import DataFrame
+        from repro.sql.logical import InsertIntoTable, LocalRelation
+
+        plan = parse(text)
+        from repro.sql.logical import DropView, ExplainStatement, ShowTables
+
+        if isinstance(plan, ShowTables):
+            schema = StructType().add("tableName", type_from_name("string"))
+            names = [(name,) for name in self.catalog.names()]
+            return DataFrame(self, LocalRelation(schema, names))
+        if isinstance(plan, DropView):
+            self.catalog.drop(plan.name)
+            schema = StructType().add("dropped", type_from_name("string"))
+            return DataFrame(self, LocalRelation(schema, [(plan.name,)]))
+        if isinstance(plan, ExplainStatement):
+            inner = DataFrame(self, plan.children[0])
+            schema = StructType().add("plan", type_from_name("string"))
+            lines = [(line,) for line in inner.explain().splitlines()]
+            return DataFrame(self, LocalRelation(schema, lines))
+        if isinstance(plan, InsertIntoTable):
+            # DML runs eagerly, like Spark commands; the returned DataFrame
+            # carries the rows-written count
+            result = self.execute_plan(self.analyze(plan))
+            rows = [tuple(r.values) for r in result.rows]
+            return DataFrame(self, LocalRelation(result.schema, rows))
+        return DataFrame(self, plan)
+
+    def submit_sql(self, text: str) -> "Future[QueryResult]":
+        """Run a SQL query on the session's thread pool (concurrent execution)."""
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=8,
+                                            thread_name_prefix="shc-query")
+        return self._pool.submit(lambda: self.sql(text).run())
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # -- execution -----------------------------------------------------------------------
+    def execute_plan(self, plan: LogicalPlan) -> QueryResult:
+        from repro.sql.logical import InsertIntoTable
+
+        if isinstance(plan, InsertIntoTable):
+            return self._execute_insert(plan)
+        optimized = optimize(plan)
+        physical = Planner(self.conf).plan(optimized)
+        ctx = ExecContext(self.new_scheduler(), self.cost, self.conf)
+        rdd = physical.execute(ctx)
+        job = ctx.run_job(rdd)
+        schema = StructType()
+        for attr in physical.output:
+            schema = schema.add(attr.name, attr.dtype)
+        rows = [Row(values, schema) for values in job.rows()]
+        seconds = self.cost.driver_overhead_s + ctx.driver_seconds + ctx.job_seconds
+        self.clock.advance(seconds)
+        return QueryResult(rows, schema, seconds, ctx.metrics, ctx.all_stages)
+
+    def _execute_insert(self, plan) -> QueryResult:
+        """Run ``INSERT INTO view SELECT/VALUES`` through the relation."""
+        ctx = ExecContext(self.new_scheduler(), self.cost, self.conf)
+        optimized = optimize(plan.children[0])
+        physical = Planner(self.conf).plan(optimized)
+        rdd = physical.execute(ctx)
+        schema = StructType()
+        for attr in physical.output:
+            schema = schema.add(attr.name, attr.dtype)
+        written = plan.relation.insert(rdd, schema, ctx,
+                                       overwrite=plan.overwrite) or 0
+        seconds = self.cost.driver_overhead_s + ctx.driver_seconds + ctx.job_seconds
+        self.clock.advance(seconds)
+        result_schema = StructType().add("rows_written", type_from_name("bigint"))
+        return QueryResult([Row((written,), result_schema)], result_schema,
+                           seconds, ctx.metrics, ctx.all_stages)
+
+    def execute_write(self, plan: LogicalPlan, format_name: str,
+                      options: Dict[str, str], overwrite: bool = False,
+                      mode: Optional[str] = None) -> WriteResult:
+        if mode is None:
+            mode = "overwrite" if overwrite else "append"
+        provider = lookup_provider(format_name)
+        relation = provider.create_relation(options, self)
+        if mode in ("errorifexists", "ignore"):
+            exists = getattr(relation, "cluster", None) is not None and \
+                relation.cluster.has_table(relation.catalog.qualified_name)
+            if exists and mode == "errorifexists":
+                raise AnalysisError(
+                    f"table {relation.catalog.name!r} already exists "
+                    f"(save mode errorifexists)"
+                )
+            if exists and mode == "ignore":
+                return WriteResult(0, 0.0, MetricsRegistry())
+        ctx = ExecContext(self.new_scheduler(), self.cost, self.conf)
+        optimized = optimize(plan)
+        physical = Planner(self.conf).plan(optimized)
+        rdd = physical.execute(ctx)
+        schema = StructType()
+        for attr in physical.output:
+            schema = schema.add(attr.name, attr.dtype)
+        rows_written = relation.insert(rdd, schema, ctx,
+                                       overwrite=(mode == "overwrite"))
+        seconds = self.cost.driver_overhead_s + ctx.driver_seconds + ctx.job_seconds
+        self.clock.advance(seconds)
+        return WriteResult(rows_written or 0, seconds, ctx.metrics)
+
+
+class DataFrameReader:
+    """``session.read.format(...).options(...).load()``."""
+
+    def __init__(self, session: SparkSession) -> None:
+        self._session = session
+        self._format: Optional[str] = None
+        self._options: Dict[str, str] = {}
+
+    def format(self, format_name: str) -> "DataFrameReader":
+        self._format = format_name
+        return self
+
+    def options(self, options: Dict[str, str]) -> "DataFrameReader":
+        self._options.update(options)
+        return self
+
+    def option(self, key: str, value: str) -> "DataFrameReader":
+        self._options[key] = value
+        return self
+
+    def load(self):
+        from repro.sql.dataframe import DataFrame
+
+        if self._format is None:
+            raise AnalysisError("read.format(...) must be set before load()")
+        provider = lookup_provider(self._format)
+        relation = provider.create_relation(dict(self._options), self._session)
+        return DataFrame(self._session, LogicalRelation(relation))

@@ -1,0 +1,134 @@
+"""The SQL type system and schemas.
+
+Types carry the names used by SHC catalogs ("string", "int", "bigint",
+"tinyint", "double", "time", ...) so the catalog parser, the coders and the
+relational layer all speak the same vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class DataType:
+    """One SQL data type; instances are singletons below."""
+
+    name: str
+    python_type: type
+    fixed_width: Optional[int] = None  # encoded width in bytes, None = variable
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+StringType = DataType("string", str)
+BinaryType = DataType("binary", bytes)
+BooleanType = DataType("boolean", bool, 1)
+ByteType = DataType("tinyint", int, 1)
+ShortType = DataType("smallint", int, 2)
+IntegerType = DataType("int", int, 4)
+LongType = DataType("bigint", int, 8)
+FloatType = DataType("float", float, 4)
+DoubleType = DataType("double", float, 8)
+#: epoch milliseconds; the catalog spells it "time" (Code 1 in the paper)
+TimestampType = DataType("time", int, 8)
+#: a decoded Avro record (a Python dict); produced by per-column Avro coders
+RecordType = DataType("record", dict)
+
+_BY_NAME: Dict[str, DataType] = {
+    t.name: t
+    for t in (
+        StringType, BinaryType, BooleanType, ByteType, ShortType,
+        IntegerType, LongType, FloatType, DoubleType, TimestampType,
+        RecordType,
+    )
+}
+_ALIASES = {
+    "timestamp": TimestampType,
+    "long": LongType,
+    "integer": IntegerType,
+    "short": ShortType,
+    "byte": ByteType,
+    "bool": BooleanType,
+    "varchar": StringType,
+}
+
+NUMERIC_TYPES = (ByteType, ShortType, IntegerType, LongType, FloatType, DoubleType, TimestampType)
+
+
+def type_from_name(name: str) -> DataType:
+    """Look up a type by its catalog spelling (case-insensitive)."""
+    key = name.strip().lower()
+    dtype = _BY_NAME.get(key) or _ALIASES.get(key)
+    if dtype is None:
+        raise AnalysisError(f"unknown data type {name!r}")
+    return dtype
+
+
+def is_numeric(dtype: DataType) -> bool:
+    """Is ``dtype`` usable in arithmetic/range predicates?"""
+    return dtype in NUMERIC_TYPES
+
+
+@dataclass(frozen=True)
+class StructField:
+    """One column of a schema."""
+
+    name: str
+    dtype: DataType
+    nullable: bool = True
+
+
+class StructType:
+    """An ordered collection of fields (a relational schema)."""
+
+    def __init__(self, fields: Sequence[StructField] = ()) -> None:
+        # duplicate names are legal in result schemas (e.g. a.v, b.v after a
+        # self-join); name lookup raises on the ambiguous ones only
+        self.fields: List[StructField] = list(fields)
+        self._index: dict = {}
+        self._ambiguous: set = set()
+        for i, f in enumerate(self.fields):
+            if f.name in self._index:
+                self._ambiguous.add(f.name)
+            else:
+                self._index[f.name] = i
+
+    def add(self, name: str, dtype: DataType, nullable: bool = True) -> "StructType":
+        """Return a new schema with one more field appended."""
+        return StructType(self.fields + [StructField(name, dtype, nullable)])
+
+    def field_index(self, name: str) -> int:
+        if name in self._ambiguous:
+            raise AnalysisError(f"column name {name!r} is ambiguous in {self.names}")
+        idx = self._index.get(name)
+        if idx is None:
+            raise AnalysisError(f"no column named {name!r} in {self.names}")
+        return idx
+
+    def field(self, name: str) -> StructField:
+        return self.fields[self.field_index(name)]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    @property
+    def names(self) -> List[str]:
+        return [f.name for f in self.fields]
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __iter__(self):
+        return iter(self.fields)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, StructType) and self.fields == other.fields
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{f.name}:{f.dtype}" for f in self.fields)
+        return f"StructType({cols})"

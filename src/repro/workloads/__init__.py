@@ -1,0 +1,18 @@
+"""TPC-DS-like workloads: schemas, generators, queries, and the loader."""
+
+from repro.workloads.loader import TpcdsEnvironment, load_tpcds
+from repro.workloads.queries import q38, q39a, q39b
+from repro.workloads.tpcds_gen import TpcdsGenerator
+from repro.workloads.tpcds_schema import TABLES, TableSpec, catalog_json
+
+__all__ = [
+    "TABLES",
+    "TableSpec",
+    "catalog_json",
+    "TpcdsGenerator",
+    "load_tpcds",
+    "TpcdsEnvironment",
+    "q39a",
+    "q39b",
+    "q38",
+]

@@ -1,0 +1,98 @@
+"""The paper's evaluation queries (TPC-DS q39a, q39b, q38) in our dialect.
+
+Two adaptations, both documented in DESIGN.md:
+
+- ``WITH`` clauses are inlined (the aggregation subquery appears twice in the
+  q39 self-join);
+- the dimension selection ``d_year = 2001`` additionally appears as the
+  equivalent ``inv_date_sk BETWEEN lo AND hi`` range (date surrogate keys are
+  monotone in the calendar), matching the paper's deployment where the fact
+  table's row key leads with the date key -- this is what partition pruning
+  acts on.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.tpcds_gen import date_sk_range_for_year
+
+Q39_YEAR = 2001
+
+
+def _q39_inv_subquery(moy: int) -> str:
+    lo, hi = date_sk_range_for_year(Q39_YEAR)
+    return f"""
+      (select w_warehouse_name, w_warehouse_sk, i_item_sk, d_moy,
+              stddev(inv_quantity_on_hand) as stdev,
+              avg(inv_quantity_on_hand) as mean
+       from inventory
+       join date_dim on inv_date_sk = d_date_sk
+       join item on inv_item_sk = i_item_sk
+       join warehouse on inv_warehouse_sk = w_warehouse_sk
+       where d_year = {Q39_YEAR}
+         and inv_date_sk between {lo} and {hi}
+         and d_moy = {moy}
+       group by w_warehouse_name, w_warehouse_sk, i_item_sk, d_moy)
+    """
+
+
+def q39a() -> str:
+    """q39a: warehouses/items whose inventory is volatile (cov > 1) in two
+    consecutive months."""
+    return f"""
+    select inv1.w_warehouse_sk, inv1.i_item_sk, inv1.d_moy, inv1.mean,
+           case when inv1.mean = 0 then 0 else inv1.stdev / inv1.mean end as cov1,
+           inv2.d_moy as d_moy2, inv2.mean as mean2,
+           case when inv2.mean = 0 then 0 else inv2.stdev / inv2.mean end as cov2
+    from {_q39_inv_subquery(1)} inv1
+    join {_q39_inv_subquery(2)} inv2
+      on inv1.i_item_sk = inv2.i_item_sk
+     and inv1.w_warehouse_sk = inv2.w_warehouse_sk
+    where (case when inv1.mean = 0 then 0 else inv1.stdev / inv1.mean end) > 1
+      and (case when inv2.mean = 0 then 0 else inv2.stdev / inv2.mean end) > 1
+    order by inv1.w_warehouse_sk, inv1.i_item_sk
+    """
+
+
+def q39b() -> str:
+    """q39b: like q39a but only highly volatile month-1 groups (cov > 1.5)."""
+    return f"""
+    select inv1.w_warehouse_sk, inv1.i_item_sk, inv1.d_moy, inv1.mean,
+           case when inv1.mean = 0 then 0 else inv1.stdev / inv1.mean end as cov1,
+           inv2.d_moy as d_moy2, inv2.mean as mean2,
+           case when inv2.mean = 0 then 0 else inv2.stdev / inv2.mean end as cov2
+    from {_q39_inv_subquery(1)} inv1
+    join {_q39_inv_subquery(2)} inv2
+      on inv1.i_item_sk = inv2.i_item_sk
+     and inv1.w_warehouse_sk = inv2.w_warehouse_sk
+    where (case when inv1.mean = 0 then 0 else inv1.stdev / inv1.mean end) > 1.5
+      and (case when inv2.mean = 0 then 0 else inv2.stdev / inv2.mean end) > 1
+    order by inv1.w_warehouse_sk, inv1.i_item_sk
+    """
+
+
+def q38(year: int = Q39_YEAR) -> str:
+    """q38: customers who bought through all three channels in one year."""
+    from repro.workloads.tpcds_gen import date_sk_range_for_year
+
+    lo, hi = date_sk_range_for_year(year)
+    return f"""
+    select count(*) as hot_customers from (
+      select distinct c_last_name, c_first_name, d_date
+      from store_sales
+      join date_dim on ss_sold_date_sk = d_date_sk
+      join customer on ss_customer_sk = c_customer_sk
+      where ss_sold_date_sk between {lo} and {hi}
+      intersect
+      select distinct c_last_name, c_first_name, d_date
+      from catalog_sales
+      join date_dim on cs_sold_date_sk = d_date_sk
+      join customer on cs_bill_customer_sk = c_customer_sk
+      where cs_sold_date_sk between {lo} and {hi}
+      intersect
+      select distinct c_last_name, c_first_name, d_date
+      from web_sales
+      join date_dim on ws_sold_date_sk = d_date_sk
+      join customer on ws_bill_customer_sk = c_customer_sk
+      where ws_sold_date_sk between {lo} and {hi}
+    ) hot_cust
+    """

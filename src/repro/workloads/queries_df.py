@@ -1,0 +1,87 @@
+"""The evaluation queries expressed through the DataFrame API.
+
+The paper stresses that SHC serves both interfaces ("SHC inherits and
+extends SQL and DataFrame API"); these builders produce the q39 variants as
+DataFrame pipelines over a loaded :class:`~repro.workloads.loader.TpcdsEnvironment`
+session, and the tests assert they return the same rows as the SQL forms.
+"""
+
+from __future__ import annotations
+
+from repro.sql.dataframe import DataFrame
+from repro.sql.functions import avg, col, count, stddev, when
+from repro.workloads.tpcds_gen import date_sk_range_for_year
+
+Q39_YEAR = 2001
+
+
+def _inv_aggregate(session, moy: int) -> DataFrame:
+    """The q39 inner aggregation for one month, via the DataFrame API."""
+    lo, hi = date_sk_range_for_year(Q39_YEAR)
+    inventory = session.table("inventory")
+    date_dim = session.table("date_dim")
+    item = session.table("item")
+    warehouse = session.table("warehouse")
+
+    joined = (
+        inventory
+        .filter(col("inv_date_sk").between(lo, hi))
+        .join(date_dim, on=col("inv_date_sk") == col("d_date_sk"))
+        .join(item, on=col("inv_item_sk") == col("i_item_sk"))
+        .join(warehouse, on=col("inv_warehouse_sk") == col("w_warehouse_sk"))
+        .filter((col("d_year") == Q39_YEAR) & (col("d_moy") == moy))
+    )
+    return joined.group_by("w_warehouse_name", "w_warehouse_sk",
+                           "i_item_sk", "d_moy").agg(
+        stddev("inv_quantity_on_hand").alias("stdev"),
+        avg("inv_quantity_on_hand").alias("mean"),
+    )
+
+
+def _with_cov(df: DataFrame, name: str) -> DataFrame:
+    cov = when(col("mean") == 0, 0.0) \
+        .otherwise(col("stdev") / col("mean")).alias(name)
+    return df.select(
+        col("w_warehouse_sk"), col("i_item_sk"), col("d_moy"),
+        col("mean"), cov,
+    )
+
+
+def q39a_dataframe(session, cov_threshold: float = 1.0) -> DataFrame:
+    """q39a through the DataFrame API (q39b: pass ``cov_threshold=1.5``)."""
+    from repro.sql import expressions as E
+    from repro.sql import logical as L
+    from repro.sql.functions import Column
+
+    inv1 = _with_cov(_inv_aggregate(session, 1), "cov1")
+    inv2 = _with_cov(_inv_aggregate(session, 2), "cov2")
+    # both sides expose the same column names, so the self-join condition is
+    # built from the resolved output attributes rather than ambiguous names
+    left_item = DataFrame._resolve_output(inv1.plan, "i_item_sk")
+    right_item = DataFrame._resolve_output(inv2.plan, "i_item_sk")
+    left_wh = DataFrame._resolve_output(inv1.plan, "w_warehouse_sk")
+    right_wh = DataFrame._resolve_output(inv2.plan, "w_warehouse_sk")
+    condition = E.And(
+        E.Comparison("=", left_item, right_item),
+        E.Comparison("=", left_wh, right_wh),
+    )
+    joined = DataFrame(session, L.Join(inv1.plan, inv2.plan, "inner", condition))
+    return (
+        joined
+        .filter(Column(E.Comparison(
+            ">", DataFrame._resolve_output(inv1.plan, "cov1"),
+            E.lit_of(cov_threshold))))
+        .filter(Column(E.Comparison(
+            ">", DataFrame._resolve_output(inv2.plan, "cov2"),
+            E.lit_of(1.0))))
+        .select(
+            Column(left_wh), Column(left_item),
+            Column(DataFrame._resolve_output(inv1.plan, "d_moy")),
+            Column(DataFrame._resolve_output(inv1.plan, "mean")),
+            Column(DataFrame._resolve_output(inv1.plan, "cov1")),
+            Column(DataFrame._resolve_output(inv2.plan, "d_moy")).alias("d_moy2"),
+            Column(DataFrame._resolve_output(inv2.plan, "mean")).alias("mean2"),
+            Column(DataFrame._resolve_output(inv2.plan, "cov2")),
+        )
+        .order_by(Column(left_wh), Column(left_item))
+    )

@@ -1,0 +1,202 @@
+"""Seeded TPC-DS-like data generators.
+
+Scaled-down but shape-faithful: ``size_gb`` is the nominal dataset label (the
+x-axis of Figures 4, 5 and 7); row counts grow linearly with it while the
+dimension tables stay near-constant, like real TPC-DS scale factors.  The
+inventory quantity distribution mixes stable and volatile items so q39's
+coefficient-of-variation predicate (cov > 1) selects a meaningful subset.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+#: d_date_sk of 1999-01-01; three generated years end at BASE + 3*365 - 1
+DATE_SK_BASE = 2451000
+DAYS_PER_YEAR = 365
+FIRST_YEAR = 1999
+NUM_YEARS = 3
+
+#: rows per nominal GB for each fact table
+INVENTORY_ROWS_PER_GB = 600
+SALES_ROWS_PER_GB = 260
+
+_CATEGORIES = ("Books", "Electronics", "Home", "Sports", "Music", "Shoes")
+_CITIES = ("Fairview", "Midway", "Oak Grove", "Centerville", "Union")
+_FIRST_NAMES = ("James", "Mary", "Robert", "Linda", "Michael", "Susan",
+                "David", "Karen", "John", "Lisa")
+_LAST_NAMES = ("Smith", "Johnson", "Brown", "Davis", "Miller", "Wilson",
+               "Taylor", "Thomas", "Moore", "White")
+
+
+def date_sk_range_for_year(year: int) -> Tuple[int, int]:
+    """Inclusive d_date_sk bounds of one generated year."""
+    offset = (year - FIRST_YEAR) * DAYS_PER_YEAR
+    start = DATE_SK_BASE + offset
+    return start, start + DAYS_PER_YEAR - 1
+
+
+def month_of_day_offset(day_of_year: int) -> int:
+    """1-12 from a 0-364 day offset (uniform 30/31-day months)."""
+    return min(12, day_of_year // 31 + 1)
+
+
+@dataclass
+class TpcdsGenerator:
+    """Deterministic generator for all eight tables."""
+
+    size_gb: int = 5
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.size_gb <= 0:
+            raise ValueError("size_gb must be positive")
+        self.num_warehouses = 4
+        # inventory is a weekly snapshot of every (item, warehouse) pair, so
+        # the item count is what scales the fact table with size_gb
+        snapshots = (NUM_YEARS * DAYS_PER_YEAR) // 7
+        self.num_items = max(
+            6, (INVENTORY_ROWS_PER_GB * self.size_gb)
+            // (snapshots * self.num_warehouses)
+        )
+        self.num_customers = max(30, 12 * self.size_gb)
+
+    def _rng(self, table: str) -> random.Random:
+        return random.Random(f"{self.seed}:{table}:{self.size_gb}")
+
+    # -- dimensions -------------------------------------------------------------
+    def date_dim(self) -> List[tuple]:
+        rows = []
+        for offset in range(NUM_YEARS * DAYS_PER_YEAR):
+            sk = DATE_SK_BASE + offset
+            year = FIRST_YEAR + offset // DAYS_PER_YEAR
+            day_of_year = offset % DAYS_PER_YEAR
+            moy = month_of_day_offset(day_of_year)
+            dom = day_of_year % 31 + 1
+            qoy = (moy - 1) // 3 + 1
+            rows.append((sk, f"{year}-{moy:02d}-{dom:02d}", year, moy, dom, qoy))
+        return rows
+
+    def item(self) -> List[tuple]:
+        rng = self._rng("item")
+        rows = []
+        for sk in range(1, self.num_items + 1):
+            category = _CATEGORIES[sk % len(_CATEGORIES)]
+            rows.append((
+                sk,
+                f"AAAAAAAA{sk:08d}",
+                f"{category} item number {sk}",
+                category,
+                f"brand-{sk % 7}",
+                round(rng.uniform(0.5, 300.0), 2),
+            ))
+        return rows
+
+    def warehouse(self) -> List[tuple]:
+        rng = self._rng("warehouse")
+        return [
+            (
+                sk,
+                f"Warehouse-{sk}",
+                rng.randint(50_000, 1_000_000),
+                _CITIES[sk % len(_CITIES)],
+            )
+            for sk in range(1, self.num_warehouses + 1)
+        ]
+
+    def customer(self) -> List[tuple]:
+        rng = self._rng("customer")
+        rows = []
+        for sk in range(1, self.num_customers + 1):
+            rows.append((
+                sk,
+                f"CUST{sk:012d}",
+                rng.choice(_FIRST_NAMES),
+                rng.choice(_LAST_NAMES),
+            ))
+        return rows
+
+    # -- facts -------------------------------------------------------------------
+    def inventory(self) -> List[tuple]:
+        """Weekly snapshots of every (item, warehouse), like real TPC-DS.
+
+        Items alternate between *stable* stock levels (gaussian, cov well
+        under 1) and *volatile* ones (zero-inflated exponential, cov above 1)
+        so q39's coefficient-of-variation predicate splits the population.
+        """
+        rng = self._rng("inventory")
+        rows = []
+        for offset in range(0, NUM_YEARS * DAYS_PER_YEAR, 7):
+            date_sk = DATE_SK_BASE + offset
+            for item_sk in range(1, self.num_items + 1):
+                for warehouse_sk in range(1, self.num_warehouses + 1):
+                    if item_sk % 3 == 0:
+                        quantity = 0 if rng.random() < 0.4 else int(
+                            rng.expovariate(1 / 250.0)
+                        )
+                    else:
+                        quantity = max(0, int(rng.gauss(500, 120)))
+                    rows.append((date_sk, item_sk, warehouse_sk, quantity))
+        return rows
+
+    def _hot_events(self) -> List[Tuple[int, int]]:
+        """(date_sk, customer_sk) purchases likely to hit all three channels.
+
+        q38 counts customers buying through store AND catalog AND web; a
+        shared event pool (same seed for every channel) makes the three-way
+        intersection non-degenerate, like TPC-DS's correlated purchases.
+        """
+        rng = self._rng("hot-events")
+        total = max(10, SALES_ROWS_PER_GB * self.size_gb // 6)
+        first_sk = DATE_SK_BASE
+        last_sk = DATE_SK_BASE + NUM_YEARS * DAYS_PER_YEAR - 1
+        return [
+            (rng.randint(first_sk, last_sk), rng.randint(1, self.num_customers))
+            for __ in range(total)
+        ]
+
+    def _sales(self, table: str) -> List[tuple]:
+        rng = self._rng(table)
+        total = SALES_ROWS_PER_GB * self.size_gb
+        first_sk = DATE_SK_BASE
+        last_sk = DATE_SK_BASE + NUM_YEARS * DAYS_PER_YEAR - 1
+        rows = []
+        number = 0
+        for date_sk, customer_sk in self._hot_events():
+            if rng.random() < 0.6:
+                number += 1
+                rows.append((
+                    date_sk, number, customer_sk,
+                    rng.randint(1, self.num_items),
+                    rng.randint(1, 40),
+                    round(rng.uniform(1.0, 250.0), 2),
+                ))
+        while number < total:
+            number += 1
+            rows.append((
+                rng.randint(first_sk, last_sk),
+                number,
+                rng.randint(1, self.num_customers),
+                rng.randint(1, self.num_items),
+                rng.randint(1, 40),
+                round(rng.uniform(1.0, 250.0), 2),
+            ))
+        rows.sort()
+        return rows
+
+    def store_sales(self) -> List[tuple]:
+        return self._sales("store_sales")
+
+    def catalog_sales(self) -> List[tuple]:
+        return self._sales("catalog_sales")
+
+    def web_sales(self) -> List[tuple]:
+        return self._sales("web_sales")
+
+    def rows_for(self, table: str) -> List[tuple]:
+        generator = getattr(self, table, None)
+        if generator is None:
+            raise ValueError(f"unknown TPC-DS table {table!r}")
+        return generator()

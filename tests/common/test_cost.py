@@ -1,0 +1,26 @@
+from repro.common.cost import DEFAULT_COST_MODEL, CostModel
+
+
+def test_defaults_are_positive():
+    cost = CostModel()
+    assert cost.scan_bytes_per_sec > 0
+    assert cost.network_bytes_per_sec > 0
+    assert cost.task_launch_s > 0
+
+
+def test_coder_factors():
+    cost = CostModel()
+    assert cost.coder_factor("PrimitiveType") == 1.0
+    assert cost.coder_factor("Avro") > cost.coder_factor("Phoenix") > 1.0
+
+
+def test_unknown_coder_gets_default_factor():
+    assert CostModel().coder_factor("MyCustomCoder") == 1.2
+
+
+def test_with_overrides_returns_new_model():
+    base = CostModel()
+    tweaked = base.with_overrides(task_launch_s=9.0)
+    assert tweaked.task_launch_s == 9.0
+    assert base.task_launch_s != 9.0
+    assert DEFAULT_COST_MODEL.task_launch_s == base.task_launch_s

@@ -1,0 +1,71 @@
+import pytest
+
+from repro.common.metrics import CostLedger, MetricsRegistry
+
+
+def test_counters_accumulate():
+    metrics = MetricsRegistry()
+    metrics.incr("a", 2)
+    metrics.incr("a", 3)
+    assert metrics.get("a") == 5
+
+
+def test_missing_counter_default():
+    assert MetricsRegistry().get("nope", 7.0) == 7.0
+
+
+def test_peak_keeps_maximum():
+    metrics = MetricsRegistry()
+    metrics.record_peak("mem", 10)
+    metrics.record_peak("mem", 4)
+    metrics.record_peak("mem", 12)
+    assert metrics.peak("mem") == 12
+
+
+def test_merge_combines_counters_and_peaks():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.incr("x", 1)
+    b.incr("x", 2)
+    a.record_peak("p", 5)
+    b.record_peak("p", 9)
+    a.merge(b)
+    assert a.get("x") == 3
+    assert a.peak("p") == 9
+
+
+def test_snapshot_includes_peak_prefix():
+    metrics = MetricsRegistry()
+    metrics.incr("c")
+    metrics.record_peak("p", 1)
+    snap = metrics.snapshot()
+    assert snap["c"] == 1
+    assert snap["peak.p"] == 1
+
+
+def test_reset():
+    metrics = MetricsRegistry()
+    metrics.incr("c")
+    metrics.reset()
+    assert metrics.get("c") == 0
+
+
+def test_ledger_charges_time_and_counters():
+    ledger = CostLedger()
+    ledger.charge(0.5, "ops", 2)
+    ledger.charge(0.25)
+    assert ledger.seconds == 0.75
+    assert ledger.metrics.get("ops") == 2
+
+
+def test_ledger_rejects_negative_time():
+    with pytest.raises(ValueError):
+        CostLedger().charge(-0.1)
+
+
+def test_ledger_merge():
+    a, b = CostLedger(), CostLedger()
+    a.charge(1.0, "x")
+    b.charge(2.0, "x")
+    a.merge(b)
+    assert a.seconds == 3.0
+    assert a.metrics.get("x") == 2

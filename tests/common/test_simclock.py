@@ -1,0 +1,37 @@
+import pytest
+
+from repro.common.simclock import SimClock
+
+
+def test_starts_at_zero_by_default():
+    assert SimClock().now() == 0.0
+
+
+def test_advance_accumulates():
+    clock = SimClock()
+    clock.advance(1.5)
+    clock.advance(2.5)
+    assert clock.now() == 4.0
+
+
+def test_advance_rejects_negative():
+    with pytest.raises(ValueError):
+        SimClock().advance(-1)
+
+
+def test_advance_to_is_monotone():
+    clock = SimClock(10.0)
+    clock.advance_to(5.0)  # no-op backwards
+    assert clock.now() == 10.0
+    clock.advance_to(12.0)
+    assert clock.now() == 12.0
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        SimClock(-1)
+
+
+def test_millis():
+    clock = SimClock(1.2345)
+    assert clock.now_millis() == 1234

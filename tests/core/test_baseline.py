@@ -1,0 +1,136 @@
+"""The vanilla Spark SQL baseline's capability downgrades, explicitly."""
+
+import json
+
+import pytest
+
+from repro.baselines import BASELINE_FORMAT, SparkSqlGenericHBaseRelation
+from repro.core.catalog import HBaseTableCatalog
+from repro.core.relation import DEFAULT_FORMAT
+from repro.sql.sources import GreaterThan, In, lookup_provider
+from repro.sql.types import DoubleType, IntegerType, StructField, StructType
+
+CATALOG = json.dumps({
+    "table": {"namespace": "default", "name": "base", "tableCoder": "PrimitiveType"},
+    "rowkey": "k",
+    "columns": {
+        "k": {"cf": "rowkey", "col": "k", "type": "int"},
+        "a": {"cf": "cf1", "col": "a", "type": "double"},
+        "b": {"cf": "cf2", "col": "b", "type": "double"},
+    },
+})
+SCHEMA = StructType([
+    StructField("k", IntegerType),
+    StructField("a", DoubleType),
+    StructField("b", DoubleType),
+])
+
+
+@pytest.fixture
+def loaded(linked):
+    cluster, session = linked
+    options = {
+        HBaseTableCatalog.tableCatalog: CATALOG,
+        HBaseTableCatalog.newTable: "3",
+        "hbase.zookeeper.quorum": cluster.quorum,
+    }
+    rows = [(i, float(i), float(-i)) for i in range(90)]
+    session.create_dataframe(rows, SCHEMA).write \
+        .format(DEFAULT_FORMAT).options(options).save()
+    return cluster, session, options
+
+
+def baseline_relation(session, options):
+    return lookup_provider(BASELINE_FORMAT).create_relation(options, session)
+
+
+def test_every_filter_unhandled(loaded):
+    cluster, session, options = loaded
+    relation = baseline_relation(session, options)
+    filters = [GreaterThan("k", 5), In("a", (1.0,))]
+    assert list(relation.unhandled_filters(filters)) == filters
+
+
+def test_no_size_statistics(loaded):
+    cluster, session, options = loaded
+    assert baseline_relation(session, options).size_in_bytes() is None
+
+
+def test_all_toggles_off(loaded):
+    cluster, session, options = loaded
+    relation = baseline_relation(session, options)
+    assert not relation.pushdown_enabled
+    assert not relation.pruning_enabled
+    assert not relation.column_pruning_enabled
+    assert not relation.fusion_enabled
+    assert not relation.connection_cache_enabled
+    assert relation.locality_enabled  # TableInputFormat does report hosts
+
+
+def test_full_scan_regardless_of_predicate(loaded):
+    cluster, session, options = loaded
+    df = session.read.format(BASELINE_FORMAT).options(options).load()
+    narrow = df.filter("k = 1").run()
+    # every row is visited even for a point predicate
+    assert narrow.metrics.get("hbase.rows_visited") == 90
+    assert [tuple(r) for r in narrow.rows] == [(1, 1.0, -1.0)]
+
+
+def test_decodes_every_column_even_when_projected(loaded):
+    cluster, session, options = loaded
+    df = session.read.format(BASELINE_FORMAT).options(options).load()
+    projected = df.select("k").run()
+    # 90 rows x (1 key + 2 data cells): the generic path decodes them all
+    assert projected.metrics.get("shc.cells_decoded") == 90 * 3
+
+
+def test_shc_decodes_only_whats_needed(loaded):
+    cluster, session, options = loaded
+    df = session.read.format(DEFAULT_FORMAT).options(options).load()
+    projected = df.select("k", "a").run()
+    assert projected.metrics.get("shc.cells_decoded") == 90 * 2
+
+
+def test_connection_per_task(loaded):
+    cluster, session, options = loaded
+    df = session.read.format(BASELINE_FORMAT).options(options).load()
+    run = df.run()
+    # one connection setup per scan task (no cache): >= number of regions
+    assert run.metrics.get("shc.connection_setups") >= 3
+
+
+def test_costlier_generic_conversion(loaded):
+    cluster, session, options = loaded
+    shc = lookup_provider(DEFAULT_FORMAT).create_relation(options, session)
+    base = baseline_relation(session, options)
+    assert base.decode_cell_cost() > shc.decode_cell_cost()
+    assert base.encode_cell_cost() > shc.encode_cell_cost()
+
+
+def test_same_answers_as_shc(loaded):
+    cluster, session, options = loaded
+    for where in ("k between 10 and 20", "a > 50.0 or b > -3.0", "k % 7 = 0"):
+        shc_df = session.read.format(DEFAULT_FORMAT).options(options).load()
+        base_df = session.read.format(BASELINE_FORMAT).options(options).load()
+        assert sorted(map(tuple, shc_df.filter(where).collect())) == \
+            sorted(map(tuple, base_df.filter(where).collect()))
+
+
+def test_baseline_write_slower_than_shc(linked):
+    cluster, session = linked
+    rows = [(i, float(i), float(-i)) for i in range(200)]
+
+    def write(fmt, table_suffix):
+        catalog = CATALOG.replace('"name": "base"', f'"name": "base{table_suffix}"')
+        result = session.create_dataframe(rows, SCHEMA).write.format(fmt) \
+            .options({
+                HBaseTableCatalog.tableCatalog: catalog,
+                HBaseTableCatalog.newTable: "3",
+                "hbase.zookeeper.quorum": cluster.quorum,
+            }).save()
+        return result
+
+    shc = write(DEFAULT_FORMAT, "1")
+    base = write(BASELINE_FORMAT, "2")
+    assert base.seconds > shc.seconds
+    assert base.rows_written == shc.rows_written == 200

@@ -1,0 +1,178 @@
+import json
+
+import pytest
+
+from repro.common.errors import CatalogError
+from repro.core.catalog import HBaseSparkConf, HBaseTableCatalog
+from repro.sql.types import DoubleType, IntegerType, StringType
+
+PAPER_CATALOG = """{
+  "table":{"namespace":"default", "name":"actives",
+           "tableCoder":"PrimitiveType", "Version":"2.0"},
+  "rowkey":"key",
+  "columns":{
+    "col0":{"cf":"rowkey", "col":"key", "type":"string"},
+    "user_id":{"cf":"cf1", "col":"col1", "type":"tinyint"},
+    "visit_pages":{"cf":"cf2", "col":"col2", "type":"string"},
+    "stay_time":{"cf":"cf3", "col":"col3", "type":"double"},
+    "time":{"cf":"cf4", "col":"col4", "type":"time"}
+  }
+}"""
+
+
+def test_parse_paper_code1():
+    catalog = HBaseTableCatalog.from_json(PAPER_CATALOG)
+    assert catalog.name == "actives"
+    assert catalog.namespace == "default"
+    assert catalog.table_coder == "PrimitiveType"
+    assert catalog.version == "2.0"
+    assert catalog.row_key == ["col0"]
+    assert catalog.column("stay_time").family == "cf3"
+    assert catalog.column("stay_time").dtype is DoubleType
+
+
+def test_sql_schema_keys_first():
+    catalog = HBaseTableCatalog.from_json(PAPER_CATALOG)
+    schema = catalog.sql_schema()
+    assert schema.names[0] == "col0"
+    assert set(schema.names) == {"col0", "user_id", "visit_pages", "stay_time", "time"}
+
+
+def test_families_exclude_rowkey():
+    catalog = HBaseTableCatalog.from_json(PAPER_CATALOG)
+    assert catalog.families() == ["cf1", "cf2", "cf3", "cf4"]
+
+
+def make(rowkey="k1", columns=None):
+    columns = columns or {
+        "k1": {"cf": "rowkey", "col": "k1", "type": "int"},
+        "d": {"cf": "f", "col": "d", "type": "string"},
+    }
+    return json.dumps({
+        "table": {"namespace": "default", "name": "t"},
+        "rowkey": rowkey,
+        "columns": columns,
+    })
+
+
+def test_composite_rowkey():
+    catalog = HBaseTableCatalog.from_json(make(
+        rowkey="k1:k2",
+        columns={
+            "k1": {"cf": "rowkey", "col": "k1", "type": "int"},
+            "k2": {"cf": "rowkey", "col": "k2", "type": "string"},
+            "d": {"cf": "f", "col": "d", "type": "double"},
+        },
+    ))
+    assert catalog.row_key == ["k1", "k2"]
+    assert catalog.key_width("k1") == 4
+    assert catalog.key_width("k2") is None  # terminal string: variable
+
+
+def test_variable_width_non_terminal_dimension_needs_length():
+    with pytest.raises(CatalogError):
+        HBaseTableCatalog.from_json(make(
+            rowkey="k1:k2",
+            columns={
+                "k1": {"cf": "rowkey", "col": "k1", "type": "string"},
+                "k2": {"cf": "rowkey", "col": "k2", "type": "int"},
+                "d": {"cf": "f", "col": "d", "type": "double"},
+            },
+        ))
+
+
+def test_declared_length_satisfies_composite_constraint():
+    catalog = HBaseTableCatalog.from_json(make(
+        rowkey="k1:k2",
+        columns={
+            "k1": {"cf": "rowkey", "col": "k1", "type": "string", "length": 8},
+            "k2": {"cf": "rowkey", "col": "k2", "type": "int"},
+            "d": {"cf": "f", "col": "d", "type": "double"},
+        },
+    ))
+    assert catalog.key_width("k1") == 8
+
+
+def test_bad_json_rejected():
+    with pytest.raises(CatalogError):
+        HBaseTableCatalog.from_json("{nope")
+
+
+def test_missing_sections_rejected():
+    with pytest.raises(CatalogError):
+        HBaseTableCatalog.from_json(json.dumps({"rowkey": "k", "columns": {}}))
+    with pytest.raises(CatalogError):
+        HBaseTableCatalog.from_json(json.dumps(
+            {"table": {"name": "t"}, "columns": {"a": {"cf": "f", "col": "a", "type": "int"}}}
+        ))
+
+
+def test_rowkey_must_reference_defined_column():
+    with pytest.raises(CatalogError):
+        HBaseTableCatalog.from_json(make(rowkey="ghost"))
+
+
+def test_rowkey_column_must_use_rowkey_cf():
+    with pytest.raises(CatalogError):
+        HBaseTableCatalog.from_json(make(
+            rowkey="k1",
+            columns={
+                "k1": {"cf": "f", "col": "k1", "type": "int"},
+                "d": {"cf": "f", "col": "d", "type": "string"},
+            },
+        ))
+
+
+def test_stray_rowkey_cf_column_rejected():
+    with pytest.raises(CatalogError):
+        HBaseTableCatalog.from_json(make(
+            rowkey="k1",
+            columns={
+                "k1": {"cf": "rowkey", "col": "k1", "type": "int"},
+                "k2": {"cf": "rowkey", "col": "k2", "type": "int"},
+                "d": {"cf": "f", "col": "d", "type": "string"},
+            },
+        ))
+
+
+def test_column_needs_type_or_avro():
+    with pytest.raises(CatalogError):
+        HBaseTableCatalog.from_json(make(
+            columns={
+                "k1": {"cf": "rowkey", "col": "k1", "type": "int"},
+                "d": {"cf": "f", "col": "d"},
+            },
+        ))
+
+
+def test_avro_column_defaults_to_binary():
+    catalog = HBaseTableCatalog.from_json(make(
+        columns={
+            "k1": {"cf": "rowkey", "col": "k1", "type": "int"},
+            "d": {"cf": "f", "col": "d", "avro": '{"type": "string"}'},
+        },
+    ))
+    assert catalog.column("d").avro_schema is not None
+
+
+def test_unknown_column_lookup():
+    catalog = HBaseTableCatalog.from_json(make())
+    with pytest.raises(CatalogError):
+        catalog.column("ghost")
+
+
+def test_conf_keys_exist():
+    assert HBaseSparkConf.TIMESTAMP
+    assert HBaseSparkConf.MAX_VERSIONS
+    assert HBaseTableCatalog.tableCatalog == "catalog"
+
+
+def test_qualified_name_default_namespace_elided():
+    catalog = HBaseTableCatalog.from_json(PAPER_CATALOG)
+    assert catalog.qualified_name == "actives"
+
+
+def test_qualified_name_custom_namespace():
+    custom = PAPER_CATALOG.replace('"namespace":"default"', '"namespace":"prod"')
+    catalog = HBaseTableCatalog.from_json(custom)
+    assert catalog.qualified_name == "prod:actives"

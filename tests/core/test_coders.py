@@ -1,0 +1,179 @@
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import CoderError
+from repro.core.coders import AvroCoder, PhoenixCoder, PrimitiveTypeCoder, get_coder, register_coder
+from repro.core.coders.base import ByteRange, FieldCoder
+from repro.sql.types import (
+    BooleanType,
+    ByteType,
+    DoubleType,
+    FloatType,
+    IntegerType,
+    LongType,
+    ShortType,
+    StringType,
+    TimestampType,
+)
+
+CODERS = [PrimitiveTypeCoder(), PhoenixCoder(), AvroCoder()]
+
+INT_TYPES = [
+    (ByteType, st.integers(-(2**7), 2**7 - 1)),
+    (ShortType, st.integers(-(2**15), 2**15 - 1)),
+    (IntegerType, st.integers(-(2**31), 2**31 - 1)),
+    (LongType, st.integers(-(2**63), 2**63 - 1)),
+]
+
+
+@pytest.mark.parametrize("coder", CODERS, ids=lambda c: c.name)
+@given(value=st.integers(-(2**31), 2**31 - 1))
+def test_int_roundtrip(coder, value):
+    assert coder.decode(coder.encode(value, IntegerType), IntegerType) == value
+
+
+@pytest.mark.parametrize("coder", CODERS, ids=lambda c: c.name)
+@given(value=st.floats(allow_nan=False))
+def test_double_roundtrip(coder, value):
+    assert coder.decode(coder.encode(value, DoubleType), DoubleType) == value
+
+
+@pytest.mark.parametrize("coder", CODERS, ids=lambda c: c.name)
+@given(value=st.text(max_size=40))
+def test_string_roundtrip(coder, value):
+    assert coder.decode(coder.encode(value, StringType), StringType) == value
+
+
+@pytest.mark.parametrize("coder", CODERS, ids=lambda c: c.name)
+def test_bool_roundtrip(coder):
+    for value in (True, False):
+        assert coder.decode(coder.encode(value, BooleanType), BooleanType) is value
+
+
+@pytest.mark.parametrize("coder", CODERS, ids=lambda c: c.name)
+def test_null_rejected(coder):
+    with pytest.raises(CoderError):
+        coder.encode(None, IntegerType)
+
+
+def test_phoenix_is_fully_order_preserving():
+    coder = PhoenixCoder()
+    for dtype in (IntegerType, LongType, DoubleType, StringType):
+        assert coder.order_preserving(dtype)
+
+
+def test_primitive_order_preserving_only_for_strings_and_bools():
+    coder = PrimitiveTypeCoder()
+    assert coder.order_preserving(StringType)
+    assert coder.order_preserving(BooleanType)
+    assert not coder.order_preserving(IntegerType)
+    assert not coder.order_preserving(DoubleType)
+
+
+def test_avro_preserves_no_order():
+    coder = AvroCoder()
+    assert not coder.order_preserving(IntegerType)
+    assert not coder.order_preserving(StringType)
+
+
+def _covers(ranges, encoded: bytes) -> bool:
+    for r in ranges:
+        lo_ok = r.lo is None or encoded > r.lo or (r.lo_inclusive and encoded == r.lo)
+        hi_ok = r.hi is None or encoded < r.hi or (r.hi_inclusive and encoded == r.hi)
+        if lo_ok and hi_ok:
+            return True
+    return False
+
+
+OPS = {
+    "=": lambda a, b: a == b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+}
+
+
+@pytest.mark.parametrize("coder", [PrimitiveTypeCoder(), PhoenixCoder()],
+                         ids=lambda c: c.name)
+@pytest.mark.parametrize("op", sorted(OPS))
+@given(value=st.integers(-1000, 1000), bound=st.integers(-1000, 1000))
+@settings(max_examples=60)
+def test_int_byte_ranges_exact(coder, op, value, bound):
+    """The core pushdown-safety property: byte ranges == value predicate."""
+    ranges = coder.byte_ranges(op, bound, IntegerType)
+    assert ranges is not None
+    encoded = coder.encode(value, IntegerType)
+    assert _covers(ranges, encoded) == OPS[op](value, bound)
+
+
+@pytest.mark.parametrize("coder", [PrimitiveTypeCoder(), PhoenixCoder()],
+                         ids=lambda c: c.name)
+@pytest.mark.parametrize("op", sorted(OPS))
+@given(value=st.floats(-1e6, 1e6, allow_nan=False),
+       bound=st.floats(-1e6, 1e6, allow_nan=False))
+@settings(max_examples=60)
+def test_double_byte_ranges_exact(coder, op, value, bound):
+    ranges = coder.byte_ranges(op, bound, DoubleType)
+    assert ranges is not None
+    encoded = coder.encode(value, DoubleType)
+    assert _covers(ranges, encoded) == OPS[op](value, bound)
+
+
+@given(value=st.text(max_size=10), bound=st.text(max_size=10))
+def test_primitive_string_ranges_exact(value, bound):
+    coder = PrimitiveTypeCoder()
+    for op, fn in OPS.items():
+        ranges = coder.byte_ranges(op, bound, StringType)
+        assert _covers(ranges, coder.encode(value, StringType)) == fn(value, bound)
+
+
+def test_avro_only_equality_ranges():
+    coder = AvroCoder()
+    assert coder.byte_ranges("=", 5, IntegerType) is not None
+    assert coder.byte_ranges(">", 5, IntegerType) is None
+
+
+def test_primitive_nan_range_is_empty():
+    assert PrimitiveTypeCoder().byte_ranges(">", float("nan"), DoubleType) == []
+
+
+def test_byte_range_is_point():
+    assert ByteRange(b"a", True, b"a", True).is_point()
+    assert not ByteRange(b"a", True, b"b", True).is_point()
+    assert not ByteRange(b"a", False, b"a", True).is_point()
+
+
+def test_registry_roundtrip():
+    assert get_coder("PrimitiveType").name == "PrimitiveType"
+    assert get_coder("Phoenix").name == "Phoenix"
+    assert get_coder("Avro").name == "Avro"
+    with pytest.raises(CoderError):
+        get_coder("Missing")
+
+
+def test_custom_coder_registration():
+    class ReverseStringCoder(FieldCoder):
+        name = "ReverseString"
+
+        def encode(self, value, dtype):
+            return value[::-1].encode("utf-8")
+
+        def decode(self, data, dtype):
+            return data.decode("utf-8")[::-1]
+
+    register_coder(ReverseStringCoder())
+    coder = get_coder("ReverseString")
+    assert coder.decode(coder.encode("abc", StringType), StringType) == "abc"
+
+
+def test_avro_encoded_width_variable():
+    assert AvroCoder().encoded_width(IntegerType) is None
+    assert PrimitiveTypeCoder().encoded_width(IntegerType) == 4
+
+
+def test_timestamp_type_encodes_as_long():
+    coder = PrimitiveTypeCoder()
+    assert len(coder.encode(1_600_000_000_000, TimestampType)) == 8

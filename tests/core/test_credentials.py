@@ -1,0 +1,110 @@
+import pytest
+
+from repro.common.errors import SecurityError
+from repro.common.metrics import CostLedger
+from repro.common.simclock import SimClock
+from repro.core.credentials import CredentialsConf, SHCCredentialsManager
+from repro.hbase.cluster import HBaseCluster
+from repro.hbase.security import KeyDistributionCenter, UserGroupInformation
+
+
+@pytest.fixture
+def secure_env(clock):
+    kdc = KeyDistributionCenter(clock)
+    keytab = kdc.register_principal("ambari-qa@EXAMPLE.COM")
+    cluster = HBaseCluster("secure1", ["h1"], clock=clock, secure=True, kdc=kdc)
+    return cluster, keytab
+
+
+def test_fetch_and_cache(secure_env, clock):
+    cluster, keytab = secure_env
+    manager = SHCCredentialsManager()
+    t1 = manager.get_token_for_cluster(cluster, keytab)
+    t2 = manager.get_token_for_cluster(cluster, keytab)
+    assert t1 == t2
+    assert manager.fetches == 1 and manager.cache_hits == 1
+
+
+def test_fetch_charges_ledger(secure_env, clock):
+    cluster, keytab = secure_env
+    manager = SHCCredentialsManager()
+    ledger = CostLedger()
+    manager.get_token_for_cluster(cluster, keytab, ledger)
+    assert ledger.seconds == cluster.cost.token_fetch_s
+
+
+def test_refresh_after_fraction_elapsed(secure_env, clock):
+    cluster, keytab = secure_env
+    manager = SHCCredentialsManager(CredentialsConf(refresh_time_fraction=0.5))
+    token = manager.get_token_for_cluster(cluster, keytab)
+    lifetime = token.expiry_time - token.issue_time
+    clock.advance(lifetime * 0.6)
+    renewed = manager.get_token_for_cluster(cluster, keytab)
+    assert renewed.expiry_time > token.expiry_time
+    assert manager.renewals == 1
+
+
+def test_expired_token_refetched(secure_env, clock):
+    cluster, keytab = secure_env
+    manager = SHCCredentialsManager()
+    token = manager.get_token_for_cluster(cluster, keytab)
+    clock.advance((token.expiry_time - token.issue_time) + 1)
+    fresh = manager.get_token_for_cluster(cluster, keytab)
+    assert manager.fetches >= 1
+    authority = cluster.token_authority
+    authority.validate(fresh)
+
+
+def test_refetch_after_max_lifetime(secure_env, clock):
+    cluster, keytab = secure_env
+    manager = SHCCredentialsManager()
+    token = manager.get_token_for_cluster(cluster, keytab)
+    clock.advance(token.max_lifetime + 1)
+    fresh = manager.get_token_for_cluster(cluster, keytab)
+    assert fresh.token_id != token.token_id
+    assert manager.fetches == 2
+
+
+def test_multiple_clusters_cached_independently(clock):
+    kdc = KeyDistributionCenter(clock)
+    keytab = kdc.register_principal("u@R")
+    c1 = HBaseCluster("sec-a", ["h1"], clock=clock, secure=True, kdc=kdc)
+    c2 = HBaseCluster("sec-b", ["h1"], clock=clock, secure=True, kdc=kdc)
+    manager = SHCCredentialsManager()
+    t1 = manager.get_token_for_cluster(c1, keytab)
+    t2 = manager.get_token_for_cluster(c2, keytab)
+    assert t1.service != t2.service
+    assert manager.cached_services() == ["hbase/sec-a", "hbase/sec-b"]
+
+
+def test_insecure_cluster_rejected(clock):
+    cluster = HBaseCluster("plain", ["h1"], clock=clock)
+    manager = SHCCredentialsManager()
+    with pytest.raises(SecurityError):
+        manager.get_token_for_cluster(cluster, None)
+
+
+def test_apply_to_ugi(secure_env):
+    cluster, keytab = secure_env
+    manager = SHCCredentialsManager()
+    token = manager.get_token_for_cluster(cluster, keytab)
+    ugi = UserGroupInformation("ambari-qa")
+    manager.apply_to_ugi(ugi, token)
+    assert ugi.get_token(cluster.service_name) == token
+
+
+def test_is_usable_respects_expire_fraction(secure_env, clock):
+    cluster, keytab = secure_env
+    manager = SHCCredentialsManager(CredentialsConf(expire_time_fraction=0.9))
+    token = manager.get_token_for_cluster(cluster, keytab)
+    lifetime = token.expiry_time - token.issue_time
+    assert manager.is_usable(token, clock.now())
+    assert not manager.is_usable(token, clock.now() + lifetime * 0.95)
+
+
+def test_serialization_helpers(secure_env):
+    cluster, keytab = secure_env
+    manager = SHCCredentialsManager()
+    token = manager.get_token_for_cluster(cluster, keytab)
+    data = manager.serialize_token(token)
+    assert manager.deserialize_token(data) == token

@@ -1,0 +1,142 @@
+"""The Huawei-style coprocessor connector (section III.C's comparison point)."""
+
+import json
+
+import pytest
+
+from repro.core.catalog import HBaseTableCatalog
+from repro.core.relation import DEFAULT_FORMAT
+from repro.extensions import HUAWEI_FORMAT
+from repro.sql.types import DoubleType, IntegerType, StringType, StructField, StructType
+
+CATALOG = json.dumps({
+    "table": {"namespace": "default", "name": "metrics", "tableCoder": "Phoenix"},
+    "rowkey": "k",
+    "columns": {
+        "k": {"cf": "rowkey", "col": "k", "type": "int"},
+        "grp": {"cf": "cf1", "col": "grp", "type": "string"},
+        "v": {"cf": "cf2", "col": "v", "type": "double"},
+    },
+})
+SCHEMA = StructType([
+    StructField("k", IntegerType),
+    StructField("grp", StringType),
+    StructField("v", DoubleType),
+])
+ROWS = [(i, "g%d" % (i % 3), float(i % 17)) for i in range(120)]
+
+
+@pytest.fixture
+def loaded(linked):
+    cluster, session = linked
+    options = {
+        HBaseTableCatalog.tableCatalog: CATALOG,
+        HBaseTableCatalog.newTable: "3",
+        "hbase.zookeeper.quorum": cluster.quorum,
+    }
+    session.create_dataframe(ROWS, SCHEMA).write \
+        .format(DEFAULT_FORMAT).options(options).save()
+    return cluster, session, options
+
+
+def views(session, options):
+    for fmt, name in ((DEFAULT_FORMAT, "shc_t"), (HUAWEI_FORMAT, "hw_t")):
+        session.read.format(fmt).options(options).load() \
+            .create_or_replace_temp_view(name)
+
+
+AGG_QUERIES = [
+    "select grp, count(*), sum(v), min(v), max(v), avg(v) from {t} group by grp",
+    "select grp, stddev(v) from {t} where k > 20 group by grp",
+    "select count(*) from {t}",
+    "select grp, avg(v) from {t} where k between 10 and 90 and v > 2 group by grp",
+    "select grp, sum(v) / count(*) from {t} group by grp",
+]
+
+
+@pytest.mark.parametrize("template", AGG_QUERIES)
+def test_coprocessor_aggregation_matches_shc(loaded, template):
+    cluster, session, options = loaded
+    views(session, options)
+    shc = session.sql(template.format(t="shc_t")).collect()
+    huawei = session.sql(template.format(t="hw_t")).collect()
+    shc_rows = sorted(map(tuple, shc))
+    hw_rows = sorted(map(tuple, huawei))
+    assert len(shc_rows) == len(hw_rows)
+    for a, b in zip(shc_rows, hw_rows):
+        for va, vb in zip(a, b):
+            if isinstance(va, float):
+                assert va == pytest.approx(vb, rel=1e-9)
+            else:
+                assert va == vb
+
+
+def test_coprocessor_plan_is_used(loaded):
+    cluster, session, options = loaded
+    views(session, options)
+    plan = session.sql("select grp, count(*) from hw_t group by grp").explain()
+    assert "CoprocessorAggregate" in plan
+
+
+def test_no_scan_bytes_cross_to_engine(loaded):
+    cluster, session, options = loaded
+    views(session, options)
+    run = session.sql("select grp, avg(v) from hw_t group by grp").run()
+    assert run.metrics.get("hbase.coprocessor_calls") > 0
+    assert run.metrics.get("hbase.bytes_returned") == 0
+    assert run.metrics.get("hbase.server_side_decodes") > 0
+
+
+def test_coprocessor_faster_on_wide_aggregation(loaded):
+    cluster, session, options = loaded
+    views(session, options)
+    sql = "select grp, avg(v), stddev(v) from {t} group by grp"
+    shc = session.sql(sql.format(t="shc_t")).run()
+    huawei = session.sql(sql.format(t="hw_t")).run()
+    assert huawei.seconds < shc.seconds
+
+
+def test_unsupported_shapes_fall_back(loaded):
+    """Distinct aggregates and expression groupings use the normal path."""
+    cluster, session, options = loaded
+    views(session, options)
+    for sql in (
+        "select grp, count(distinct k) from hw_t group by grp",
+        "select k % 2, count(*) from hw_t group by k % 2",
+        "select grp, sum(v + 1) from hw_t group by grp",
+    ):
+        plan = session.sql(sql).explain()
+        assert "CoprocessorAggregate" not in plan
+        # and the answers still match SHC
+        shc_sql = sql.replace("hw_t", "shc_t")
+        assert sorted(map(tuple, session.sql(sql).collect())) == \
+            sorted(map(tuple, session.sql(shc_sql).collect()))
+
+
+def test_join_queries_fall_back(loaded):
+    cluster, session, options = loaded
+    views(session, options)
+    sql = """
+        select a.grp, count(*) from hw_t a join hw_t b on a.k = b.k
+        group by a.grp
+    """
+    plan = session.sql(sql).explain()
+    assert "CoprocessorAggregate" not in plan
+
+
+def test_pruning_applies_to_coprocessor_scans(loaded):
+    cluster, session, options = loaded
+    views(session, options)
+    narrow = session.sql(
+        "select count(*) from hw_t where k between 100 and 110").run()
+    full = session.sql("select count(*) from hw_t").run()
+    assert narrow.metrics.get("hbase.bytes_scanned") < \
+        full.metrics.get("hbase.bytes_scanned")
+    assert narrow.rows[0][0] == 11
+
+
+def test_global_aggregate_over_empty_selection(loaded):
+    cluster, session, options = loaded
+    views(session, options)
+    rows = session.sql("select count(*) from hw_t where k > 99999").collect()
+    assert [tuple(r) for r in rows] == [(0,)]

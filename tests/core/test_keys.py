@@ -1,0 +1,85 @@
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import CoderError
+from repro.core.catalog import HBaseTableCatalog
+from repro.core.coders import get_coder
+from repro.core.keys import decode_rowkey, encode_key_dimension, encode_rowkey, prefix_successor
+
+
+def composite_catalog(coder="PrimitiveType"):
+    return HBaseTableCatalog.from_json(json.dumps({
+        "table": {"namespace": "default", "name": "t", "tableCoder": coder},
+        "rowkey": "a:b:c",
+        "columns": {
+            "a": {"cf": "rowkey", "col": "a", "type": "int"},
+            "b": {"cf": "rowkey", "col": "b", "type": "string", "length": 6},
+            "c": {"cf": "rowkey", "col": "c", "type": "string"},
+            "d": {"cf": "f", "col": "d", "type": "double"},
+        },
+    }))
+
+
+@given(a=st.integers(-(2**31), 2**31 - 1),
+       b=st.text(alphabet=st.characters(min_codepoint=1, max_codepoint=127),
+                 max_size=6),
+       c=st.text(max_size=12))
+def test_composite_roundtrip(a, b, c):
+    catalog = composite_catalog()
+    coder = get_coder("PrimitiveType")
+    key = encode_rowkey(catalog, coder, {"a": a, "b": b, "c": c})
+    decoded = decode_rowkey(catalog, coder, key)
+    assert decoded == {"a": a, "b": b, "c": c}
+
+
+def test_padding_to_declared_length():
+    catalog = composite_catalog()
+    coder = get_coder("PrimitiveType")
+    part = encode_key_dimension(catalog, coder, "b", "ab")
+    assert len(part) == 6
+    assert part == b"ab\x00\x00\x00\x00"
+
+
+def test_overlong_value_rejected():
+    catalog = composite_catalog()
+    coder = get_coder("PrimitiveType")
+    with pytest.raises(CoderError):
+        encode_key_dimension(catalog, coder, "b", "toolongvalue")
+
+
+def test_null_key_dimension_rejected():
+    catalog = composite_catalog()
+    coder = get_coder("PrimitiveType")
+    with pytest.raises(CoderError):
+        encode_rowkey(catalog, coder, {"a": 1, "b": None, "c": "x"})
+
+
+def test_missing_key_dimension_rejected():
+    catalog = composite_catalog()
+    coder = get_coder("PrimitiveType")
+    with pytest.raises(CoderError):
+        encode_rowkey(catalog, coder, {"a": 1, "c": "x"})
+
+
+def test_composite_keys_sort_by_leading_dimension():
+    catalog = composite_catalog(coder="Phoenix")
+    coder = get_coder("Phoenix")
+    k1 = encode_rowkey(catalog, coder, {"a": -5, "b": "zz", "c": "zz"})
+    k2 = encode_rowkey(catalog, coder, {"a": 3, "b": "aa", "c": "aa"})
+    assert k1 < k2  # Phoenix encoding: numeric order == byte order
+
+
+def test_prefix_successor_basic():
+    assert prefix_successor(b"abc") == b"abd"
+    assert prefix_successor(b"a\xff") == b"b"
+    assert prefix_successor(b"\xff\xff") is None
+
+
+@given(st.binary(min_size=1, max_size=6).filter(lambda b: b != b"\xff" * len(b)),
+       st.binary(max_size=4))
+def test_prefix_successor_bounds_all_extensions(prefix, suffix):
+    successor = prefix_successor(prefix)
+    assert successor is not None
+    assert prefix + suffix < successor

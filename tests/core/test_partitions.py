@@ -1,0 +1,70 @@
+from repro.core.partitions import build_partitions
+from repro.core.ranges import ScanRange
+from repro.hbase.master import RegionLocation
+
+
+def locations():
+    """Four regions on two servers: [,g) [g,n) [n,t) [t,)."""
+    bounds = [(b"", b"g"), (b"g", b"n"), (b"n", b"t"), (b"t", b"")]
+    out = []
+    for i, (start, end) in enumerate(bounds):
+        server = f"rs{i % 2}"
+        out.append(RegionLocation(f"region{i}", "t", start, end, server,
+                                  f"host{i % 2}"))
+    return out
+
+
+def test_full_scan_covers_every_region_fused_by_server():
+    partitions = build_partitions(locations(), [ScanRange()])
+    assert len(partitions) == 2  # one per region server
+    regions = [w.location.region_name for p in partitions for w in p.work]
+    assert sorted(regions) == ["region0", "region1", "region2", "region3"]
+
+
+def test_pruning_skips_non_overlapping_regions():
+    partitions = build_partitions(locations(), [ScanRange(b"h", b"i")])
+    regions = [w.location.region_name for p in partitions for w in p.work]
+    assert regions == ["region1"]
+
+
+def test_range_clamped_to_region_bounds():
+    partitions = build_partitions(locations(), [ScanRange(b"e", b"k")])
+    ranges = {
+        w.location.region_name: w.ranges
+        for p in partitions for w in p.work
+    }
+    assert ranges["region0"][0] == ScanRange(b"e", b"g")
+    assert ranges["region1"][0] == ScanRange(b"g", b"k")
+
+
+def test_empty_ranges_mean_no_partitions():
+    assert build_partitions(locations(), []) == []
+
+
+def test_fusion_disabled_one_partition_per_scan():
+    ranges = [ScanRange(b"a", b"b"), ScanRange(b"h", b"i")]
+    fused = build_partitions(locations(), ranges, fusion_enabled=True)
+    unfused = build_partitions(locations(), ranges, fusion_enabled=False)
+    assert len(unfused) == 2
+    assert len(fused) == 2  # both scans happen to hit different servers
+    multi = build_partitions(
+        locations(), [ScanRange(b"a", b"b"), ScanRange(b"o", b"p")],
+        fusion_enabled=True,
+    )
+    assert len(multi) == 1  # region0 and region2 share rs0 -> fused
+
+
+def test_point_ranges_counted_as_gets():
+    partitions = build_partitions(
+        locations(), [ScanRange(b"h", b"h\x00", point=True), ScanRange(b"a", b"c")]
+    )
+    gets = sum(p.num_gets() for p in partitions)
+    scans = sum(p.num_scans() for p in partitions)
+    assert gets == 1 and scans == 1
+
+
+def test_partition_hosts_follow_servers():
+    partitions = build_partitions(locations(), [ScanRange()])
+    for p in partitions:
+        for w in p.work:
+            assert w.location.host == p.host

@@ -1,0 +1,46 @@
+import pytest
+
+from repro.common.errors import EngineError
+from repro.engine.cluster import ComputeCluster, YarnResourceManager
+
+
+def test_yarn_grants_up_to_cap():
+    rm = YarnResourceManager(total_executors=20, max_executors_per_app=10)
+    assert rm.grant(4) == 4
+    assert rm.grant(10) == 10
+    assert rm.grant(24) == 10  # the Figure 6 plateau
+
+
+def test_yarn_total_limits_too():
+    rm = YarnResourceManager(total_executors=6, max_executors_per_app=10)
+    assert rm.grant(9) == 6
+
+
+def test_yarn_rejects_bad_requests():
+    rm = YarnResourceManager(4, 4)
+    with pytest.raises(EngineError):
+        rm.grant(0)
+    with pytest.raises(EngineError):
+        YarnResourceManager(0, 4)
+
+
+def test_executors_round_robin_hosts():
+    cluster = ComputeCluster(["h1", "h2"], executors_requested=4,
+                             cores_per_executor=1)
+    hosts = [e.host for e in cluster.executors]
+    assert hosts == ["h1", "h2", "h1", "h2"]
+
+
+def test_slots_expand_cores():
+    cluster = ComputeCluster(["h1"], executors_requested=2, cores_per_executor=3)
+    assert len(cluster.slots()) == 6
+
+
+def test_empty_hosts_rejected():
+    with pytest.raises(EngineError):
+        ComputeCluster([])
+
+
+def test_hosts_with_executors():
+    cluster = ComputeCluster(["a", "b", "c"], executors_requested=2)
+    assert cluster.hosts_with_executors() == ["a", "b"]

@@ -1,0 +1,69 @@
+import pytest
+
+from repro.common.cost import DEFAULT_COST_MODEL
+from repro.engine.cluster import ComputeCluster
+from repro.engine.rdd import ParallelCollectionRDD
+from repro.engine.scheduler import TaskScheduler
+
+
+@pytest.fixture
+def scheduler():
+    return TaskScheduler(ComputeCluster(["h1", "h2"], executors_requested=2),
+                         DEFAULT_COST_MODEL)
+
+
+def test_parallel_collection_partitions_data():
+    rdd = ParallelCollectionRDD(range(10), num_partitions=3)
+    assert len(rdd.partitions()) == 3
+
+
+def test_map_and_filter(scheduler):
+    rdd = ParallelCollectionRDD(range(10), 2).map(lambda x: x * 2) \
+        .filter(lambda x: x > 10)
+    assert sorted(scheduler.collect(rdd)) == [12, 14, 16, 18]
+
+
+def test_map_partitions_receives_context(scheduler):
+    hosts = []
+
+    def fn(rows, ctx):
+        hosts.append(ctx.host)
+        return rows
+
+    rdd = ParallelCollectionRDD(range(4), 2).map_partitions(fn)
+    scheduler.collect(rdd)
+    assert len(hosts) == 2
+    assert all(h in ("h1", "h2") for h in hosts)
+
+
+def test_union_concatenates(scheduler):
+    a = ParallelCollectionRDD([1, 2], 1)
+    b = ParallelCollectionRDD([3, 4], 2)
+    union = a.union(b)
+    assert len(union.partitions()) == 3
+    assert sorted(scheduler.collect(union)) == [1, 2, 3, 4]
+
+
+def test_partition_by_groups_keys(scheduler):
+    rdd = ParallelCollectionRDD(range(20), 4).partition_by(
+        3, key_fn=lambda x: x % 3,
+        post_shuffle=lambda rows, ctx: [sorted(rows)],
+    )
+    groups = scheduler.collect(rdd)
+    flattened = sorted(x for g in groups for x in g)
+    assert flattened == list(range(20))
+    for group in groups:
+        assert len({x % 3 for x in group}) == 1
+
+
+def test_preferred_locations_from_hosts():
+    rdd = ParallelCollectionRDD(range(4), 2, hosts=["h1", "h2"])
+    assert rdd.preferred_locations(rdd.partitions()[0]) == ("h1",)
+    assert rdd.preferred_locations(rdd.partitions()[1]) == ("h2",)
+
+
+def test_invalid_partition_counts():
+    with pytest.raises(ValueError):
+        ParallelCollectionRDD([1], 0)
+    with pytest.raises(ValueError):
+        ParallelCollectionRDD([1], 1).partition_by(0, key_fn=lambda x: x)

@@ -1,0 +1,116 @@
+import pytest
+
+from repro.common.cost import DEFAULT_COST_MODEL
+from repro.common.errors import FatalTaskError
+from repro.engine.cluster import ComputeCluster
+from repro.engine.rdd import ParallelCollectionRDD
+from repro.engine.scheduler import TaskScheduler
+
+
+def make_scheduler(hosts=("h1", "h2"), executors=2, locality=True):
+    cluster = ComputeCluster(list(hosts), executors_requested=executors)
+    return TaskScheduler(cluster, DEFAULT_COST_MODEL, locality_enabled=locality)
+
+
+def test_job_result_rows_and_stages():
+    scheduler = make_scheduler()
+    rdd = ParallelCollectionRDD(range(10), 4).map(lambda x: x + 1)
+    result = scheduler.run_job(rdd)
+    assert sorted(result.rows()) == list(range(1, 11))
+    assert len(result.stages) == 1
+    assert result.stages[0].kind == "result"
+    assert result.stages[0].num_tasks == 4
+
+
+def test_shuffle_creates_map_stage_and_meters_bytes():
+    scheduler = make_scheduler()
+    rdd = ParallelCollectionRDD(range(10), 2).partition_by(2, key_fn=lambda x: x)
+    result = scheduler.run_job(rdd)
+    kinds = [s.kind for s in result.stages]
+    assert kinds == ["shuffle-map", "result"]
+    assert result.metrics.get("engine.shuffle_write_bytes") > 0
+    assert result.metrics.get("engine.shuffle_read_bytes") > 0
+
+
+def test_duration_includes_task_launch_overhead():
+    scheduler = make_scheduler()
+    rdd = ParallelCollectionRDD(range(4), 4)
+    result = scheduler.run_job(rdd)
+    # 4 tasks over 4 slots -> at least one task launch on the critical path
+    assert result.seconds >= DEFAULT_COST_MODEL.task_launch_s
+
+
+def test_more_slots_shrink_makespan():
+    def run(executors):
+        scheduler = make_scheduler(executors=executors)
+        rdd = ParallelCollectionRDD(range(64), 16).map_partitions(
+            lambda rows, ctx: (ctx.ledger.charge(1.0), rows)[1]
+        )
+        return scheduler.run_job(rdd).seconds
+
+    assert run(8) < run(1)
+
+
+def test_locality_placement_prefers_hosts():
+    scheduler = make_scheduler(hosts=("h1", "h2"), executors=2)
+    rdd = ParallelCollectionRDD(range(8), 4, hosts=["h1", "h2"])
+    result = scheduler.run_job(rdd)
+    assert result.metrics.get("engine.local_tasks") == 4
+
+
+def test_locality_disabled_ignores_preferences():
+    scheduler = make_scheduler(locality=False)
+    rdd = ParallelCollectionRDD(range(8), 8, hosts=["h1"])
+    result = scheduler.run_job(rdd)
+    # round-robin over both hosts: some tasks land off-host
+    assert result.stages[0].local_tasks < 8
+
+
+def test_task_retry_on_transient_failure():
+    scheduler = make_scheduler()
+    attempts = {"n": 0}
+
+    def flaky(rows, ctx):
+        attempts["n"] += 1
+        if attempts["n"] <= 2:
+            raise RuntimeError("transient")
+        return rows
+
+    rdd = ParallelCollectionRDD([1, 2, 3], 1).map_partitions(flaky)
+    result = scheduler.run_job(rdd)
+    assert sorted(result.rows()) == [1, 2, 3]
+    assert result.metrics.get("engine.task_failures") == 2
+
+
+def test_task_fails_after_max_retries():
+    scheduler = make_scheduler()
+
+    def broken(rows, ctx):
+        raise RuntimeError("always")
+
+    rdd = ParallelCollectionRDD([1], 1).map_partitions(broken)
+    with pytest.raises(FatalTaskError):
+        scheduler.run_job(rdd)
+
+
+def test_shuffle_not_rematerialized_across_jobs():
+    scheduler = make_scheduler()
+    counter = {"n": 0}
+
+    def counting(rows, ctx):
+        counter["n"] += 1
+        return rows
+
+    shuffled = ParallelCollectionRDD(range(4), 2).map_partitions(counting) \
+        .partition_by(2, key_fn=lambda x: x)
+    scheduler.run_job(shuffled)
+    first = counter["n"]
+    scheduler.run_job(shuffled)  # map side cached in the block store
+    assert counter["n"] == first
+
+
+def test_peak_stage_bytes_recorded():
+    scheduler = make_scheduler()
+    rdd = ParallelCollectionRDD(["x" * 100] * 10, 2)
+    result = scheduler.run_job(rdd)
+    assert result.metrics.peak("engine.peak_stage_bytes") > 0

@@ -1,0 +1,54 @@
+from hypothesis import given, strategies as st
+
+from repro.engine.shuffle import ShuffleBlockStore, estimate_size, stable_hash
+
+
+def test_estimate_size_primitives():
+    assert estimate_size(None) == 1
+    assert estimate_size(True) == 1
+    assert estimate_size(5) == 8
+    assert estimate_size(1.5) == 8
+    assert estimate_size("abcd") == 8
+    assert estimate_size(b"abcd") == 8
+
+
+def test_estimate_size_containers_recursive():
+    assert estimate_size((1, 2)) == 16 + 16
+    assert estimate_size([1]) == 16 + 8
+    assert estimate_size({"a": 1}) == 16 + 5 + 8
+
+
+@given(st.tuples(st.integers(), st.text(max_size=10), st.floats(allow_nan=False)))
+def test_estimate_size_positive(row):
+    assert estimate_size(row) > 0
+
+
+@given(st.one_of(st.integers(), st.text(), st.binary(),
+                 st.tuples(st.integers(), st.text())))
+def test_stable_hash_deterministic_and_nonnegative(value):
+    assert stable_hash(value) == stable_hash(value)
+    assert stable_hash(value) >= 0
+
+
+def test_stable_hash_spreads_keys():
+    buckets = {stable_hash(f"key{i}") % 8 for i in range(100)}
+    assert len(buckets) == 8
+
+
+def test_block_store_fetch_by_reduce_partition():
+    store = ShuffleBlockStore()
+    store.put_block(1, 0, 0, ["a"])
+    store.put_block(1, 1, 0, ["b"])
+    store.put_block(1, 0, 1, ["c"])
+    store.put_block(2, 0, 0, ["other"])
+    assert sorted(store.fetch(1, 0)) == ["a", "b"]
+    assert list(store.fetch(1, 1)) == ["c"]
+
+
+def test_block_store_clear_by_shuffle():
+    store = ShuffleBlockStore()
+    store.put_block(1, 0, 0, ["a"])
+    store.put_block(2, 0, 0, ["b"])
+    store.clear(1)
+    assert list(store.fetch(1, 0)) == []
+    assert list(store.fetch(2, 0)) == ["b"]

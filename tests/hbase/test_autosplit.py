@@ -1,0 +1,94 @@
+import json
+
+import pytest
+
+from repro.core.catalog import HBaseTableCatalog
+from repro.core.relation import DEFAULT_FORMAT
+from repro.hbase import ConnectionFactory, Put, Scan
+from repro.hbase.cluster import HBaseCluster
+from repro.sql.session import SparkSession
+from repro.sql.types import IntegerType, StringType, StructField, StructType
+
+
+@pytest.fixture
+def splitting_cluster(clock):
+    return HBaseCluster(
+        "autosplit", ["h1", "h2", "h3"], clock=clock,
+        flush_threshold=2_000, region_max_bytes=6_000,
+    )
+
+
+def test_region_splits_when_outgrown(splitting_cluster):
+    cluster = splitting_cluster
+    cluster.create_table("big", ["f"])
+    table = ConnectionFactory.create_connection(
+        cluster.configuration()).get_table("big")
+    for i in range(400):
+        table.put(Put(b"row%04d" % i).add_column("f", "q", b"x" * 40))
+    assert cluster._pending_splits
+    report = cluster.run_maintenance()
+    assert report["splits"] >= 1
+    assert len(cluster.region_locations("big")) >= 2
+
+
+def test_split_preserves_all_rows(splitting_cluster):
+    cluster = splitting_cluster
+    cluster.create_table("big", ["f"])
+    table = ConnectionFactory.create_connection(
+        cluster.configuration()).get_table("big")
+    for i in range(300):
+        table.put(Put(b"row%04d" % i).add_column("f", "q", b"x" * 40))
+    cluster.run_maintenance()
+    fresh = ConnectionFactory.create_connection(
+        cluster.configuration()).get_table("big")
+    assert len(fresh.scan(Scan())) == 300
+
+
+def test_maintenance_balances_after_splits(splitting_cluster):
+    cluster = splitting_cluster
+    cluster.create_table("big", ["f"])
+    table = ConnectionFactory.create_connection(
+        cluster.configuration()).get_table("big")
+    for i in range(500):
+        table.put(Put(b"row%04d" % i).add_column("f", "q", b"x" * 40))
+    cluster.run_maintenance()
+    counts = [len(s.regions) for s in cluster.region_servers.values()]
+    assert max(counts) - min(counts) <= 1
+
+
+def test_write_path_runs_maintenance(clock):
+    cluster = HBaseCluster("autosplit2", ["h1", "h2"], clock=clock,
+                           flush_threshold=1_500, region_max_bytes=4_000)
+    session = SparkSession(["h1", "h2"], clock=clock)
+    catalog = json.dumps({
+        "table": {"namespace": "default", "name": "grown"},
+        "rowkey": "k",
+        "columns": {
+            "k": {"cf": "rowkey", "col": "k", "type": "int"},
+            "v": {"cf": "f", "col": "v", "type": "string"},
+        },
+    })
+    options = {
+        HBaseTableCatalog.tableCatalog: catalog,
+        HBaseTableCatalog.newTable: "1",
+        "hbase.zookeeper.quorum": cluster.quorum,
+    }
+    schema = StructType([StructField("k", IntegerType),
+                         StructField("v", StringType)])
+    rows = [(i, "payload-%04d" % i) for i in range(400)]
+    session.create_dataframe(rows, schema).write \
+        .format(DEFAULT_FORMAT).options(options).save()
+    # the single initial region outgrew the threshold and was split
+    assert len(cluster.region_locations("grown")) > 1
+    df = session.read.format(DEFAULT_FORMAT).options(options).load()
+    assert df.count() == 400
+
+
+def test_no_threshold_means_no_splits(hbase_cluster):
+    hbase_cluster.create_table("t", ["f"])
+    table = ConnectionFactory.create_connection(
+        hbase_cluster.configuration()).get_table("t")
+    for i in range(300):
+        table.put(Put(b"r%04d" % i).add_column("f", "q", b"x" * 50))
+    hbase_cluster.run_maintenance()
+    assert len(hbase_cluster.region_locations("t")) == 1

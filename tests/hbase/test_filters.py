@@ -1,0 +1,93 @@
+import pytest
+
+from repro.hbase.cell import Cell
+from repro.hbase.filters import (
+    CompareOp,
+    FilterList,
+    FilterListOp,
+    PageFilter,
+    PrefixFilter,
+    RowFilter,
+    SingleColumnValueFilter,
+)
+
+
+def cells_for(value: bytes, family="f", qualifier="q"):
+    return [Cell(b"row", family, qualifier, 1, value)]
+
+
+def test_compare_op_semantics():
+    assert CompareOp.LESS.evaluate(b"a", b"b")
+    assert CompareOp.LESS_OR_EQUAL.evaluate(b"a", b"a")
+    assert CompareOp.EQUAL.evaluate(b"a", b"a")
+    assert CompareOp.NOT_EQUAL.evaluate(b"a", b"b")
+    assert CompareOp.GREATER_OR_EQUAL.evaluate(b"b", b"b")
+    assert CompareOp.GREATER.evaluate(b"b", b"a")
+
+
+def test_row_filter():
+    f = RowFilter(CompareOp.GREATER_OR_EQUAL, b"m")
+    assert f.filter_row(b"z", [])
+    assert not f.filter_row(b"a", [])
+
+
+def test_prefix_filter():
+    f = PrefixFilter(b"user-")
+    assert f.filter_row(b"user-1", [])
+    assert not f.filter_row(b"item-1", [])
+
+
+def test_scvf_compares_column_value():
+    f = SingleColumnValueFilter("f", "q", CompareOp.EQUAL, b"x")
+    assert f.filter_row(b"r", cells_for(b"x"))
+    assert not f.filter_row(b"r", cells_for(b"y"))
+
+
+def test_scvf_filter_if_missing_true_drops_rows_without_column():
+    f = SingleColumnValueFilter("f", "q", CompareOp.EQUAL, b"x",
+                                filter_if_missing=True)
+    assert not f.filter_row(b"r", cells_for(b"x", qualifier="other"))
+
+
+def test_scvf_filter_if_missing_false_keeps_rows_without_column():
+    f = SingleColumnValueFilter("f", "q", CompareOp.EQUAL, b"x",
+                                filter_if_missing=False)
+    assert f.filter_row(b"r", cells_for(b"x", qualifier="other"))
+
+
+def test_filter_list_and():
+    f = FilterList(FilterListOp.MUST_PASS_ALL, [
+        SingleColumnValueFilter("f", "q", CompareOp.GREATER, b"a"),
+        SingleColumnValueFilter("f", "q", CompareOp.LESS, b"z"),
+    ])
+    assert f.filter_row(b"r", cells_for(b"m"))
+    assert not f.filter_row(b"r", cells_for(b"z"))
+
+
+def test_filter_list_or():
+    f = FilterList(FilterListOp.MUST_PASS_ONE, [
+        SingleColumnValueFilter("f", "q", CompareOp.EQUAL, b"a"),
+        SingleColumnValueFilter("f", "q", CompareOp.EQUAL, b"b"),
+    ])
+    assert f.filter_row(b"r", cells_for(b"b"))
+    assert not f.filter_row(b"r", cells_for(b"c"))
+
+
+def test_filter_list_cost_accumulates():
+    inner = SingleColumnValueFilter("f", "q", CompareOp.EQUAL, b"a")
+    f = FilterList(FilterListOp.MUST_PASS_ALL, [inner, inner, inner])
+    assert f.cells_evaluated() == 3
+
+
+def test_page_filter_limits_rows():
+    f = PageFilter(2)
+    assert f.filter_row(b"a", [])
+    assert f.filter_row(b"b", [])
+    assert not f.filter_row(b"c", [])
+    f.reset()
+    assert f.filter_row(b"d", [])
+
+
+def test_page_filter_rejects_bad_size():
+    with pytest.raises(ValueError):
+        PageFilter(0)

@@ -1,0 +1,65 @@
+from hypothesis import given, strategies as st
+
+from repro.hbase.cell import Cell
+from repro.hbase.hfile import BloomFilter, StoreFile
+
+
+def cell(row: bytes, ts: int = 1) -> Cell:
+    return Cell(row, "f", "q", ts, b"value")
+
+
+def test_store_file_sorts_cells():
+    sf = StoreFile([cell(b"b"), cell(b"a"), cell(b"c")])
+    assert [c.row for c in sf.scan()] == [b"a", b"b", b"c"]
+
+
+def test_scan_range():
+    sf = StoreFile([cell(bytes([i])) for i in range(10)])
+    rows = [c.row for c in sf.scan(bytes([3]), bytes([7]))]
+    assert rows == [bytes([i]) for i in range(3, 7)]
+
+
+def test_first_last_row():
+    sf = StoreFile([cell(b"m"), cell(b"a"), cell(b"z")])
+    assert sf.first_row == b"a"
+    assert sf.last_row == b"z"
+    assert StoreFile([]).first_row is None
+
+
+def test_bloom_has_no_false_negatives():
+    rows = [f"row{i}".encode() for i in range(200)]
+    sf = StoreFile([cell(r) for r in rows])
+    assert all(sf.might_contain_row(r) for r in rows)
+
+
+def test_bloom_rejects_most_absent_rows():
+    sf = StoreFile([cell(f"row{i}".encode()) for i in range(200)])
+    misses = sum(
+        1 for i in range(1000) if not sf.might_contain_row(f"no{i}".encode())
+    )
+    assert misses > 900  # < 10% false positive rate
+
+
+def test_scanned_bytes_block_granular():
+    cells = [cell(bytes([i])) for i in range(200)]
+    sf = StoreFile(cells, block_cells=64)
+    full = sf.scanned_bytes()
+    assert full == sf.size_bytes
+    narrow = sf.scanned_bytes(bytes([10]), bytes([11]))
+    # one block's worth, not the whole file
+    assert 0 < narrow < full
+    block_bytes = sum(c.heap_size() for c in cells[:64])
+    assert narrow == block_bytes
+
+
+def test_scanned_bytes_empty_range():
+    sf = StoreFile([cell(bytes([i])) for i in range(10)])
+    assert sf.scanned_bytes(bytes([200]), None) == 0
+
+
+@given(st.sets(st.binary(min_size=1, max_size=6), min_size=1, max_size=50))
+def test_bloom_filter_property(keys):
+    bloom = BloomFilter(len(keys))
+    for key in keys:
+        bloom.add(key)
+    assert all(bloom.might_contain(k) for k in keys)

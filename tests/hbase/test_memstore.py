@@ -1,0 +1,54 @@
+from hypothesis import given, strategies as st
+
+from repro.hbase.cell import Cell
+from repro.hbase.memstore import MemStore
+
+
+def cell(row: bytes, ts: int = 1) -> Cell:
+    return Cell(row, "f", "q", ts, b"v")
+
+
+def test_add_keeps_sorted_order():
+    store = MemStore()
+    for row in (b"c", b"a", b"b"):
+        store.add(cell(row))
+    assert [c.row for c in store.scan()] == [b"a", b"b", b"c"]
+
+
+def test_bulk_add_equals_individual_adds():
+    a, b = MemStore(), MemStore()
+    cells = [cell(bytes([x])) for x in (5, 1, 9, 3)]
+    for c in cells:
+        a.add(c)
+    b.add_all(cells)
+    assert [c.row for c in a.scan()] == [c.row for c in b.scan()]
+
+
+def test_scan_range_is_half_open():
+    store = MemStore()
+    store.add_all([cell(b"a"), cell(b"b"), cell(b"c")])
+    assert [c.row for c in store.scan(b"a", b"c")] == [b"a", b"b"]
+
+
+def test_size_tracking():
+    store = MemStore()
+    store.add(cell(b"row"))
+    assert store.size_bytes == cell(b"row").heap_size()
+    store.clear()
+    assert store.size_bytes == 0
+    assert len(store) == 0
+
+
+def test_snapshot_returns_sorted_cells():
+    store = MemStore()
+    store.add_all([cell(b"b"), cell(b"a")])
+    snapshot = store.snapshot()
+    assert [c.row for c in snapshot] == [b"a", b"b"]
+
+
+@given(st.lists(st.binary(min_size=1, max_size=4), min_size=1, max_size=30))
+def test_scan_always_sorted(rows):
+    store = MemStore()
+    store.add_all([cell(r) for r in rows])
+    scanned = [c.row for c in store.scan()]
+    assert scanned == sorted(rows)

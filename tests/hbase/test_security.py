@@ -1,0 +1,121 @@
+import pytest
+
+from repro.common.errors import SecurityError, TokenExpiredError
+from repro.common.simclock import SimClock
+from repro.hbase.security import (
+    DelegationToken,
+    KeyDistributionCenter,
+    Keytab,
+    KeytabStore,
+    TokenAuthority,
+    UserGroupInformation,
+)
+
+
+@pytest.fixture
+def kdc_clock():
+    clock = SimClock()
+    return KeyDistributionCenter(clock), clock
+
+
+def test_login_with_valid_keytab(kdc_clock):
+    kdc, clock = kdc_clock
+    keytab = kdc.register_principal("user@REALM")
+    tgt = kdc.login(keytab)
+    assert tgt.principal == "user@REALM"
+    assert not tgt.is_expired(clock.now())
+
+
+def test_login_with_wrong_secret_rejected(kdc_clock):
+    kdc, __ = kdc_clock
+    kdc.register_principal("user@REALM")
+    with pytest.raises(SecurityError):
+        kdc.login(Keytab("user@REALM", "forged"))
+
+
+def test_login_unknown_principal_rejected(kdc_clock):
+    kdc, __ = kdc_clock
+    with pytest.raises(SecurityError):
+        kdc.login(Keytab("ghost@REALM", "x"))
+
+
+def test_token_issue_and_validate(kdc_clock):
+    kdc, clock = kdc_clock
+    authority = TokenAuthority("hbase/c1", kdc, clock, token_lifetime_s=100)
+    keytab = kdc.register_principal("user@REALM")
+    token = authority.issue_token(keytab)
+    authority.validate(token)  # no raise
+
+
+def test_expired_token_rejected(kdc_clock):
+    kdc, clock = kdc_clock
+    authority = TokenAuthority("hbase/c1", kdc, clock, token_lifetime_s=100)
+    token = authority.issue_token(kdc.register_principal("u@R"))
+    clock.advance(101)
+    with pytest.raises(TokenExpiredError):
+        authority.validate(token)
+
+
+def test_token_for_wrong_service_rejected(kdc_clock):
+    kdc, clock = kdc_clock
+    a1 = TokenAuthority("hbase/c1", kdc, clock)
+    a2 = TokenAuthority("hbase/c2", kdc, clock)
+    token = a1.issue_token(kdc.register_principal("u@R"))
+    with pytest.raises(SecurityError):
+        a2.validate(token)
+
+
+def test_missing_token_rejected(kdc_clock):
+    kdc, clock = kdc_clock
+    authority = TokenAuthority("hbase/c1", kdc, clock)
+    with pytest.raises(SecurityError):
+        authority.validate(None)
+
+
+def test_renew_extends_expiry(kdc_clock):
+    kdc, clock = kdc_clock
+    authority = TokenAuthority("hbase/c1", kdc, clock, token_lifetime_s=100)
+    token = authority.issue_token(kdc.register_principal("u@R"))
+    clock.advance(80)
+    renewed = authority.renew_token(token)
+    assert renewed.expiry_time > token.expiry_time
+    clock.advance(50)
+    authority.validate(renewed)  # still valid after original would expire
+
+
+def test_renew_past_max_lifetime_rejected(kdc_clock):
+    kdc, clock = kdc_clock
+    authority = TokenAuthority("hbase/c1", kdc, clock,
+                               token_lifetime_s=10, max_lifetime_s=20)
+    token = authority.issue_token(kdc.register_principal("u@R"))
+    clock.advance(25)
+    with pytest.raises(TokenExpiredError):
+        authority.renew_token(token)
+
+
+def test_token_serialization_roundtrip(kdc_clock):
+    kdc, clock = kdc_clock
+    authority = TokenAuthority("hbase/c1", kdc, clock)
+    token = authority.issue_token(kdc.register_principal("u@R"))
+    assert DelegationToken.deserialize(token.serialize()) == token
+
+
+def test_deserialize_garbage_rejected():
+    with pytest.raises(SecurityError):
+        DelegationToken.deserialize(b"not a token")
+
+
+def test_ugi_token_bag():
+    ugi = UserGroupInformation("user")
+    token = DelegationToken(1, "hbase/c1", "user", 0, 100, 1000)
+    ugi.add_token(token)
+    assert ugi.get_token("hbase/c1") == token
+    assert ugi.get_token("hbase/other") is None
+
+
+def test_keytab_store():
+    keytab = Keytab("u@R", "s")
+    KeytabStore.install("/etc/security/u.keytab", keytab)
+    assert KeytabStore.load("/etc/security/u.keytab") == keytab
+    with pytest.raises(SecurityError):
+        KeytabStore.load("/missing")

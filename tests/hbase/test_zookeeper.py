@@ -1,0 +1,100 @@
+import pytest
+
+from repro.hbase.zookeeper import ZooKeeper, ZooKeeperError
+
+
+def test_create_get_set_delete():
+    zk = ZooKeeper()
+    zk.create("/a", b"1")
+    assert zk.get("/a") == b"1"
+    zk.set("/a", b"2")
+    assert zk.get("/a") == b"2"
+    zk.delete("/a")
+    assert not zk.exists("/a")
+
+
+def test_create_requires_parent():
+    zk = ZooKeeper()
+    with pytest.raises(ZooKeeperError):
+        zk.create("/a/b")
+
+
+def test_duplicate_create_rejected():
+    zk = ZooKeeper()
+    zk.create("/a")
+    with pytest.raises(ZooKeeperError):
+        zk.create("/a")
+
+
+def test_delete_with_children_rejected():
+    zk = ZooKeeper()
+    zk.create("/a")
+    zk.create("/a/b")
+    with pytest.raises(ZooKeeperError):
+        zk.delete("/a")
+
+
+def test_children_sorted():
+    zk = ZooKeeper()
+    zk.create("/a")
+    zk.create("/a/c2")
+    zk.create("/a/c1")
+    assert zk.children("/a") == ["c1", "c2"]
+
+
+def test_sequential_nodes_get_increasing_suffixes():
+    zk = ZooKeeper()
+    zk.create("/e")
+    p1 = zk.create("/e/n-", sequential=True)
+    p2 = zk.create("/e/n-", sequential=True)
+    assert p1 < p2
+
+
+def test_ephemeral_requires_session():
+    zk = ZooKeeper()
+    with pytest.raises(ZooKeeperError):
+        zk.create("/x", ephemeral=True)
+
+
+def test_session_expiry_removes_ephemerals():
+    zk = ZooKeeper()
+    session = zk.create_session()
+    zk.create("/tmp", ephemeral=True, session_id=session)
+    zk.expire_session(session)
+    assert not zk.exists("/tmp")
+
+
+def test_watch_fires_on_change_and_delete():
+    zk = ZooKeeper()
+    events = []
+    zk.create("/w", b"0")
+    zk.watch("/w", lambda event, path: events.append(event))
+    zk.set("/w", b"1")
+    zk.delete("/w")
+    assert events == ["changed", "deleted"]
+
+
+def test_leader_election_lowest_sequence_wins():
+    zk = ZooKeeper()
+    s1, s2 = zk.create_session(), zk.create_session()
+    zk.elect("/election", "m1", s1)
+    zk.elect("/election", "m2", s2)
+    assert zk.leader("/election") == "m1"
+    zk.expire_session(s1)
+    assert zk.leader("/election") == "m2"
+
+
+def test_leader_none_when_no_candidates():
+    assert ZooKeeper().leader("/nope") is None
+
+
+def test_json_helpers():
+    zk = ZooKeeper()
+    zk.set_json("/hbase/meta", {"a": 1})
+    assert zk.get_json("/hbase/meta") == {"a": 1}
+
+
+def test_ensure_path_creates_ancestors():
+    zk = ZooKeeper()
+    zk.ensure_path("/a/b/c")
+    assert zk.exists("/a/b/c")

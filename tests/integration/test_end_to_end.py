@@ -1,0 +1,288 @@
+"""Cross-layer integration tests: the paper's scenarios end to end."""
+
+import json
+
+import pytest
+
+from repro.baselines import BASELINE_FORMAT
+from repro.core.catalog import HBaseSparkConf, HBaseTableCatalog
+from repro.core.relation import DEFAULT_FORMAT
+from repro.hbase.cluster import HBaseCluster
+from repro.hbase.security import KeyDistributionCenter, KeytabStore
+from repro.sql.session import SparkSession
+from repro.sql.types import DoubleType, IntegerType, StringType, StructField, StructType
+
+ACTIVES_CATALOG = json.dumps({
+    "table": {"namespace": "default", "name": "actives", "tableCoder": "PrimitiveType"},
+    "rowkey": "key",
+    "columns": {
+        "col0": {"cf": "rowkey", "col": "key", "type": "string"},
+        "visit_pages": {"cf": "cf2", "col": "col2", "type": "string"},
+        "stay_time": {"cf": "cf3", "col": "col3", "type": "double"},
+    },
+})
+ACTIVES_SCHEMA = StructType([
+    StructField("col0", StringType),
+    StructField("visit_pages", StringType),
+    StructField("stay_time", DoubleType),
+])
+
+
+def test_paper_quickstart_flow(linked):
+    """Write -> read -> Code 3's filter+select -> Code 4's SQL count."""
+    cluster, session = linked
+    rows = [(f"row{i:03d}", f"page{i % 4}", float(i)) for i in range(200)]
+    options = {
+        HBaseTableCatalog.tableCatalog: ACTIVES_CATALOG,
+        HBaseTableCatalog.newTable: "5",
+        "hbase.zookeeper.quorum": cluster.quorum,
+    }
+    session.create_dataframe(rows, ACTIVES_SCHEMA).write \
+        .format(DEFAULT_FORMAT).options(options).save()
+    assert len(cluster.region_locations("actives")) == 5
+
+    df = session.read.format(DEFAULT_FORMAT).options(options).load()
+    # Code 3: df.filter($"col0" <= "row120").select("col0", "col1")
+    filtered = df.filter("col0 <= 'row120'").select("col0", "visit_pages")
+    assert filtered.count() == 121
+
+    # Code 4: createOrReplaceTempView + select count(1)
+    df.create_or_replace_temp_view("actives")
+    count = session.sql("select count(*) from actives").collect()[0][0]
+    assert count == 200
+
+
+def test_multi_cluster_secure_join(clock):
+    """The section V.B.2 scenario: one app joins two secure HBase clusters."""
+    kdc = KeyDistributionCenter(clock)
+    keytab = kdc.register_principal("ambari-qa@EXAMPLE.COM")
+    KeytabStore.install("smokeuser.headless.keytab", keytab)
+    cluster_a = HBaseCluster("sec-a", ["h1", "h2"], clock=clock, secure=True, kdc=kdc)
+    cluster_b = HBaseCluster("sec-b", ["h3", "h4"], clock=clock, secure=True, kdc=kdc)
+    session = SparkSession(["h1", "h2", "h3", "h4"], clock=clock, conf={
+        HBaseSparkConf.CREDENTIALS_ENABLED: "true",
+        HBaseSparkConf.PRINCIPAL: "ambari-qa@EXAMPLE.COM",
+        HBaseSparkConf.KEYTAB: "smokeuser.headless.keytab",
+    })
+
+    events_catalog = json.dumps({
+        "table": {"namespace": "default", "name": "events"},
+        "rowkey": "eid",
+        "columns": {
+            "eid": {"cf": "rowkey", "col": "eid", "type": "int"},
+            "uid": {"cf": "cf0", "col": "uid", "type": "int"},
+            "action": {"cf": "cf1", "col": "action", "type": "string"},
+        },
+    })
+    users_catalog = json.dumps({
+        "table": {"namespace": "default", "name": "users"},
+        "rowkey": "uid",
+        "columns": {
+            "uid": {"cf": "rowkey", "col": "uid", "type": "int"},
+            "name": {"cf": "cf1", "col": "name", "type": "string"},
+        },
+    })
+    events_schema = StructType([StructField("eid", IntegerType),
+                                StructField("uid", IntegerType),
+                                StructField("action", StringType)])
+    users_schema = StructType([StructField("uid", IntegerType),
+                               StructField("name", StringType)])
+
+    events_opts = {HBaseTableCatalog.tableCatalog: events_catalog,
+                   HBaseTableCatalog.newTable: "2",
+                   "hbase.zookeeper.quorum": cluster_a.quorum}
+    users_opts = {HBaseTableCatalog.tableCatalog: users_catalog,
+                  HBaseTableCatalog.newTable: "2",
+                  "hbase.zookeeper.quorum": cluster_b.quorum}
+
+    session.create_dataframe(
+        [(10, 1, "buy"), (11, 2, "view"), (12, 1, "view")], events_schema
+    ).write.format(DEFAULT_FORMAT).options(events_opts).save()
+    session.create_dataframe([(1, "alice"), (2, "bob")], users_schema).write \
+        .format(DEFAULT_FORMAT).options(users_opts).save()
+
+    session.read.format(DEFAULT_FORMAT).options(events_opts).load() \
+        .create_or_replace_temp_view("events")
+    session.read.format(DEFAULT_FORMAT).options(users_opts).load() \
+        .create_or_replace_temp_view("users")
+    rows = session.sql("""
+        select name, count(*) n from events join users on events.uid = users.uid
+        group by name order by name
+    """).collect()
+    assert [(r.name, r.n) for r in rows] == [("alice", 2), ("bob", 1)]
+
+
+def test_secure_cluster_rejects_unconfigured_session(clock):
+    kdc = KeyDistributionCenter(clock)
+    kdc.register_principal("u@R")
+    cluster = HBaseCluster("sec-x", ["h1"], clock=clock, secure=True, kdc=kdc)
+    session = SparkSession(["h1"], clock=clock)  # no credentials configured
+    catalog = json.dumps({
+        "table": {"namespace": "default", "name": "t"},
+        "rowkey": "k",
+        "columns": {"k": {"cf": "rowkey", "col": "k", "type": "int"},
+                    "v": {"cf": "f", "col": "v", "type": "int"}},
+    })
+    from repro.common.errors import FatalTaskError, HBaseError
+
+    df = session.create_dataframe(
+        [(1, 2)],
+        StructType([StructField("k", IntegerType), StructField("v", IntegerType)]),
+    )
+    # the auth failure surfaces from inside a task, so the scheduler reports
+    # it as a fatal task error after exhausting retries
+    with pytest.raises((HBaseError, FatalTaskError)):
+        df.write.format(DEFAULT_FORMAT).options({
+            HBaseTableCatalog.tableCatalog: catalog,
+            "hbase.zookeeper.quorum": cluster.quorum,
+        }).save()
+
+
+def test_query_survives_region_server_crash(linked):
+    """Fault tolerance: crash a server, rerun the query, same answer."""
+    cluster, session = linked
+    rows = [(f"r{i:03d}", "p", float(i)) for i in range(90)]
+    options = {
+        HBaseTableCatalog.tableCatalog: ACTIVES_CATALOG,
+        HBaseTableCatalog.newTable: "3",
+        "hbase.zookeeper.quorum": cluster.quorum,
+    }
+    session.create_dataframe(rows, ACTIVES_SCHEMA).write \
+        .format(DEFAULT_FORMAT).options(options).save()
+    df = session.read.format(DEFAULT_FORMAT).options(options).load()
+    before = df.count()
+
+    victim = cluster.region_locations("actives")[0].server_id
+    cluster.kill_region_server(victim)
+
+    # fresh relation (fresh meta lookup) sees the reassigned regions
+    df2 = session.read.format(DEFAULT_FORMAT).options(options).load()
+    assert df2.count() == before == 90
+
+
+def test_avro_coder_end_to_end(linked):
+    cluster, session = linked
+    catalog = json.dumps({
+        "table": {"namespace": "default", "name": "avrotable", "tableCoder": "Avro"},
+        "rowkey": "key",
+        "columns": {
+            "key": {"cf": "rowkey", "col": "key", "type": "string"},
+            "payload": {"cf": "cf1", "col": "col1", "type": "string"},
+            "weight": {"cf": "cf2", "col": "col2", "type": "double"},
+        },
+    })
+    schema = StructType([StructField("key", StringType),
+                         StructField("payload", StringType),
+                         StructField("weight", DoubleType)])
+    options = {HBaseTableCatalog.tableCatalog: catalog,
+               HBaseTableCatalog.newTable: "2",
+               "hbase.zookeeper.quorum": cluster.quorum}
+    rows = [(f"k{i}", f"data-{i}", i / 7.0) for i in range(40)]
+    session.create_dataframe(rows, schema).write \
+        .format(DEFAULT_FORMAT).options(options).save()
+    df = session.read.format(DEFAULT_FORMAT).options(options).load()
+    got = df.filter("weight > 2.0").collect()
+    expected = sorted(r for r in rows if r[2] > 2.0)
+    assert sorted(map(tuple, got)) == expected
+
+
+def test_baseline_rejects_avro(linked):
+    cluster, session = linked
+    from repro.common.errors import AnalysisError
+
+    catalog = json.dumps({
+        "table": {"namespace": "default", "name": "avrotable2", "tableCoder": "Avro"},
+        "rowkey": "key",
+        "columns": {
+            "key": {"cf": "rowkey", "col": "key", "type": "string"},
+            "v": {"cf": "cf1", "col": "v", "type": "string"},
+        },
+    })
+    with pytest.raises(AnalysisError):
+        session.read.format(BASELINE_FORMAT).options({
+            HBaseTableCatalog.tableCatalog: catalog,
+            "hbase.zookeeper.quorum": cluster.quorum,
+        }).load()
+
+
+def test_phoenix_coder_roundtrip_and_pushdown(linked):
+    cluster, session = linked
+    catalog = json.dumps({
+        "table": {"namespace": "default", "name": "phx", "tableCoder": "Phoenix"},
+        "rowkey": "k",
+        "columns": {
+            "k": {"cf": "rowkey", "col": "k", "type": "int"},
+            "v": {"cf": "f", "col": "v", "type": "double"},
+        },
+    })
+    schema = StructType([StructField("k", IntegerType), StructField("v", DoubleType)])
+    options = {HBaseTableCatalog.tableCatalog: catalog,
+               HBaseTableCatalog.newTable: "3",
+               "hbase.zookeeper.quorum": cluster.quorum}
+    rows = [(i, float(-i)) for i in range(-30, 30)]
+    session.create_dataframe(rows, schema).write \
+        .format(DEFAULT_FORMAT).options(options).save()
+    df = session.read.format(DEFAULT_FORMAT).options(options).load()
+    got = df.filter("k >= -5 and k < 5").run()
+    assert sorted(r[0] for r in got.rows) == list(range(-5, 5))
+    # Phoenix ordering: a negative-to-positive range is ONE contiguous scan
+    full = df.run()
+    assert got.metrics.get("hbase.rows_visited") < full.metrics.get("hbase.rows_visited")
+
+
+def test_concurrent_queries_same_hbase_table(linked):
+    cluster, session = linked
+    rows = [(f"r{i:02d}", f"p{i % 2}", float(i)) for i in range(40)]
+    options = {
+        HBaseTableCatalog.tableCatalog: ACTIVES_CATALOG,
+        HBaseTableCatalog.newTable: "2",
+        "hbase.zookeeper.quorum": cluster.quorum,
+    }
+    session.create_dataframe(rows, ACTIVES_SCHEMA).write \
+        .format(DEFAULT_FORMAT).options(options).save()
+    session.read.format(DEFAULT_FORMAT).options(options).load() \
+        .create_or_replace_temp_view("actives")
+    futures = [
+        session.submit_sql(
+            "select visit_pages, count(*) n from actives group by visit_pages")
+        for __ in range(4)
+    ]
+    results = [f.result(timeout=30) for f in futures]
+    session.shutdown()
+    for result in results:
+        assert sorted((r[0], r[1]) for r in result.rows) == [("p0", 20), ("p1", 20)]
+
+
+def test_concurrent_hbase_queries_stress(linked):
+    """Thread-pool execution over HBase-backed views stays correct."""
+    cluster, session = linked
+    rows = [(f"r{i:03d}", f"p{i % 4}", float(i)) for i in range(120)]
+    options = {
+        HBaseTableCatalog.tableCatalog: ACTIVES_CATALOG,
+        HBaseTableCatalog.newTable: "3",
+        "hbase.zookeeper.quorum": cluster.quorum,
+    }
+    session.create_dataframe(rows, ACTIVES_SCHEMA).write \
+        .format(DEFAULT_FORMAT).options(options).save()
+    session.read.format(DEFAULT_FORMAT).options(options).load() \
+        .create_or_replace_temp_view("actives")
+    queries = [
+        "select visit_pages, count(*) n from actives group by visit_pages",
+        "select count(*) from actives where col0 >= 'r060'",
+        "select avg(stay_time) from actives where visit_pages = 'p1'",
+        "select max(stay_time) from actives",
+    ] * 3
+    futures = [session.submit_sql(q) for q in queries]
+    results = [f.result(timeout=60) for f in futures]
+    session.shutdown()
+    # spot-check a few
+    by_query = dict(zip(queries, results))
+    assert by_query["select count(*) from actives where col0 >= 'r060'"] \
+        .rows[0][0] == 60
+    grouped = sorted(
+        (r[0], r[1])
+        for r in by_query[
+            "select visit_pages, count(*) n from actives group by visit_pages"
+        ].rows
+    )
+    assert grouped == [("p0", 30), ("p1", 30), ("p2", 30), ("p3", 30)]

@@ -1,0 +1,37 @@
+"""Every example script must run cleanly end to end (they are the docs)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    args = [sys.executable, str(script)]
+    if script.name == "tpcds_comparison.py":
+        args.append("5")  # smallest size keeps the suite fast
+    proc = subprocess.run(args, capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples should narrate what they do"
+
+
+def test_expected_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert {"quickstart.py", "weblog_analytics.py",
+            "multi_cluster_secure_join.py", "tpcds_comparison.py"} <= names
+
+
+def test_cli_demo_module_runs():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli"],
+        input="select count(*) from actives\n.quit\n",
+        capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == 0
+    assert "100" in proc.stdout

@@ -1,0 +1,162 @@
+import pytest
+
+from repro.common.errors import AnalysisError
+from repro.sql import expressions as E
+from repro.sql import logical as L
+from repro.sql.analyzer import Analyzer, Catalog, fresh_plan
+from repro.sql.parser import parse
+from repro.sql.types import DoubleType, IntegerType, StringType, StructField, StructType
+
+SCHEMA = StructType([
+    StructField("k", IntegerType),
+    StructField("g", StringType),
+    StructField("v", DoubleType),
+])
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.register("t", L.LocalRelation(SCHEMA, [(1, "a", 1.0)]))
+    cat.register("u", L.LocalRelation(SCHEMA, [(1, "a", 2.0)]))
+    return cat
+
+
+@pytest.fixture
+def analyzer(catalog):
+    return Analyzer(catalog)
+
+
+def test_resolves_relation_and_columns(analyzer):
+    plan = analyzer.analyze(parse("select k, v from t"))
+    assert isinstance(plan, L.Project)
+    assert [a.name for a in plan.output] == ["k", "v"]
+
+
+def test_unknown_table_rejected(analyzer):
+    with pytest.raises(AnalysisError):
+        analyzer.analyze(parse("select k from ghost"))
+
+
+def test_unknown_column_rejected(analyzer):
+    with pytest.raises(AnalysisError):
+        analyzer.analyze(parse("select nope from t"))
+
+
+def test_star_expansion(analyzer):
+    plan = analyzer.analyze(parse("select * from t"))
+    assert [a.name for a in plan.output] == ["k", "g", "v"]
+
+
+def test_qualified_star_expansion(analyzer):
+    plan = analyzer.analyze(parse("select a.* from t a join u b on a.k = b.k"))
+    assert [a.name for a in plan.output] == ["k", "g", "v"]
+
+
+def test_qualified_column_resolution(analyzer):
+    plan = analyzer.analyze(parse("select a.k from t a join u b on a.k = b.k"))
+    assert len(plan.output) == 1
+
+
+def test_ambiguous_column_rejected(analyzer):
+    with pytest.raises(AnalysisError):
+        analyzer.analyze(parse("select k from t a join u b on a.k = b.k"))
+
+
+def test_self_join_gets_fresh_ids(analyzer):
+    plan = analyzer.analyze(parse(
+        "select a.k from t a join t b on a.k = b.k"))
+    join = plan.children[0]
+    left_ids = {attr.attr_id for attr in join.left.output}
+    right_ids = {attr.attr_id for attr in join.right.output}
+    assert not left_ids & right_ids
+
+
+def test_fresh_plan_remaps_consistently(catalog):
+    original = catalog.lookup("t")
+    copy = fresh_plan(original)
+    assert [a.name for a in copy.output] == [a.name for a in original.output]
+    assert all(
+        a.attr_id != b.attr_id for a, b in zip(copy.output, original.output)
+    )
+
+
+def test_group_by_validation(analyzer):
+    with pytest.raises(AnalysisError):
+        analyzer.analyze(parse("select v, count(*) from t group by g"))
+
+
+def test_group_by_passthrough_allowed(analyzer):
+    plan = analyzer.analyze(parse("select g, count(*) c from t group by g"))
+    agg = plan if isinstance(plan, L.Aggregate) else plan.children[0]
+    assert isinstance(agg, L.Aggregate)
+
+
+def test_having_on_select_alias(analyzer):
+    plan = analyzer.analyze(parse(
+        "select g, avg(v) m from t group by g having m > 1"))
+    assert isinstance(plan, L.Filter)
+
+
+def test_having_with_hidden_aggregate(analyzer):
+    plan = analyzer.analyze(parse(
+        "select g from t group by g having count(*) > 1"))
+    # hidden aggregate column -> Project(visible) over Filter over Aggregate
+    assert isinstance(plan, L.Project)
+    assert [a.name for a in plan.output] == ["g"]
+    assert isinstance(plan.children[0], L.Filter)
+    extended = plan.children[0].children[0]
+    assert isinstance(extended, L.Aggregate)
+    assert len(extended.aggregate_list) == 2
+
+
+def test_order_by_hidden_column(analyzer):
+    plan = analyzer.analyze(parse("select g from t order by k"))
+    # ordering column k is not in the select list: hidden pass-through
+    assert [a.name for a in plan.output] == ["g"]
+
+
+def test_unnamed_expression_gets_alias(analyzer):
+    plan = analyzer.analyze(parse("select v * 2 from t"))
+    assert isinstance(plan.project_list[0], E.Alias)
+
+
+def test_set_operation_arity_checked(analyzer):
+    with pytest.raises(AnalysisError):
+        analyzer.analyze(parse("select k from t union select k, v from u"))
+
+
+def test_subquery_scoping(analyzer):
+    plan = analyzer.analyze(parse(
+        "select x from (select k x from t where v > 0) sub where x > 1"))
+    assert [a.name for a in plan.output] == ["x"]
+
+
+def test_catalog_case_insensitive_lookup(catalog):
+    assert catalog.lookup("T") is not None
+
+
+def test_catalog_drop(catalog):
+    catalog.drop("t")
+    with pytest.raises(AnalysisError):
+        catalog.lookup("t")
+
+
+def test_incomparable_types_rejected(analyzer):
+    with pytest.raises(AnalysisError):
+        analyzer.analyze(parse("select k from t where k > 'x'"))
+    with pytest.raises(AnalysisError):
+        analyzer.analyze(parse("select k from t where g < 5"))
+    with pytest.raises(AnalysisError):
+        analyzer.analyze(parse("select k from t where k in (1, 'x')"))
+
+
+def test_null_literal_comparisons_allowed(analyzer):
+    plan = analyzer.analyze(parse("select k from t where k = null"))
+    assert plan is not None
+
+
+def test_numeric_cross_type_comparisons_allowed(analyzer):
+    # int column vs double literal: numeric widening applies
+    plan = analyzer.analyze(parse("select k from t where k > 1.5 and v < 3"))
+    assert plan is not None

@@ -1,0 +1,71 @@
+import io
+
+import pytest
+
+from repro.cli import SqlShell
+from repro.sql.types import DoubleType, StringType, StructField, StructType
+
+SCHEMA = StructType([StructField("g", StringType), StructField("v", DoubleType)])
+
+
+@pytest.fixture
+def shell_io(session):
+    session.create_dataframe(
+        [("a", 1.0), ("b", 2.0), ("a", 3.0)], SCHEMA
+    ).create_or_replace_temp_view("t")
+
+    def run(script: str) -> str:
+        out = io.StringIO()
+        shell = SqlShell(session, stdin=io.StringIO(script), stdout=out)
+        shell.run()
+        return out.getvalue()
+
+    return run
+
+
+def test_select_renders_table(shell_io):
+    out = shell_io("select g, count(*) n from t group by g order by g;\n.quit\n")
+    assert "| a" in out and "| b" in out
+    assert "(2 rows" in out
+
+
+def test_tables_command(shell_io):
+    out = shell_io(".tables\n.quit\n")
+    # the prompt is written without a newline, so the view name follows it
+    assert "shc> t\n" in out
+
+
+def test_schema_command(shell_io):
+    out = shell_io(".schema t\n.quit\n")
+    assert "g  string" in out
+    assert "v  double" in out
+
+
+def test_schema_unknown_view(shell_io):
+    out = shell_io(".schema ghost\n.quit\n")
+    assert "error:" in out
+
+
+def test_explain_command(shell_io):
+    out = shell_io(".explain select g from t where v > 1\n.quit\n")
+    assert "Physical Plan" in out
+
+
+def test_sql_error_is_reported_not_raised(shell_io):
+    out = shell_io("select nope from t\n.quit\n")
+    assert "error:" in out
+
+
+def test_timing_toggle(shell_io):
+    out = shell_io(".timing off\nselect count(*) from t\n.quit\n")
+    assert "simulated s" not in out.split(".timing off")[-1].split("shc>")[1]
+
+
+def test_unknown_command(shell_io):
+    out = shell_io(".bogus\n.quit\n")
+    assert "unknown command" in out
+
+
+def test_eof_exits(shell_io):
+    out = shell_io("")  # immediate EOF
+    assert "SHC SQL shell" in out

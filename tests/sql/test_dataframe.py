@@ -1,0 +1,180 @@
+import pytest
+
+from repro.common.errors import AnalysisError
+from repro.sql.functions import avg, col, count, lit, max_, min_, stddev, sum_, when
+from repro.sql.types import (
+    DoubleType,
+    IntegerType,
+    StringType,
+    StructField,
+    StructType,
+)
+
+SCHEMA = StructType([
+    StructField("k", IntegerType),
+    StructField("g", StringType),
+    StructField("v", DoubleType),
+])
+DATA = [(i, "g%d" % (i % 2), float(i)) for i in range(10)]
+
+
+@pytest.fixture
+def df(session):
+    return session.create_dataframe(DATA, SCHEMA)
+
+
+def test_schema_and_columns(df):
+    assert df.columns == ["k", "g", "v"]
+    assert df.schema.field("v").dtype is DoubleType
+
+
+def test_select_by_name_and_column(df):
+    rows = df.select("k", (col("v") * 2).alias("d")).filter(col("k") < 2).collect()
+    assert [(r.k, r.d) for r in rows] == [(0, 0.0), (1, 2.0)]
+
+
+def test_filter_string_and_column_equivalent(df):
+    a = df.filter("k >= 8").collect()
+    b = df.filter(col("k") >= 8).collect()
+    assert a == b and len(a) == 2
+
+
+def test_column_operators(df):
+    rows = df.filter((col("k") > 2) & ~(col("g") == "g0") | (col("k") == 0)) \
+        .select("k").collect()
+    keys = sorted(r.k for r in rows)
+    assert keys == [0, 3, 5, 7, 9]
+
+
+def test_isin_between_like(df):
+    assert len(df.filter(col("k").isin(1, 2, 3)).collect()) == 3
+    assert len(df.filter(col("k").between(2, 4)).collect()) == 3
+    assert len(df.filter(col("g").like("g%")).collect()) == 10
+
+
+def test_with_column(df):
+    rows = df.with_column("d", col("v") + 1).filter("k = 1").collect()
+    assert rows[0].d == 2.0
+
+
+def test_group_by_agg(df):
+    rows = (df.group_by("g")
+            .agg(count().alias("n"), avg("v").alias("m"),
+                 sum_("v").alias("s"), min_("k").alias("lo"),
+                 max_("k").alias("hi"), stddev("v").alias("sd"))
+            .order_by("g").collect())
+    assert rows[0].n == 5
+    assert rows[0].lo == 0 and rows[0].hi == 8
+
+
+def test_grouped_count(df):
+    rows = df.group_by("g").count().order_by("g").collect()
+    assert [(r.g, r["count"]) for r in rows] == [("g0", 5), ("g1", 5)]
+
+
+def test_global_agg(df):
+    rows = df.agg(count().alias("n")).collect()
+    assert rows[0].n == 10
+
+
+def test_join_on_names(session, df):
+    other_schema = StructType([StructField("k", IntegerType),
+                               StructField("tag", StringType)])
+    other = session.create_dataframe([(1, "one"), (3, "three")], other_schema)
+    rows = df.join(other, on="k").select("k", "tag").order_by("k").collect()
+    assert [(r.k, r.tag) for r in rows] == [(1, "one"), (3, "three")]
+
+
+def test_join_on_condition(session, df):
+    other_schema = StructType([StructField("kk", IntegerType)])
+    other = session.create_dataframe([(2,)], other_schema)
+    rows = df.join(other, on=col("k") == col("kk")).select("k").collect()
+    assert [r.k for r in rows] == [2]
+
+
+def test_order_by_desc_and_limit(df):
+    rows = df.order_by(col("k").desc()).limit(3).collect()
+    assert [r.k for r in rows] == [9, 8, 7]
+
+
+def test_distinct_union_intersect(df):
+    gs = df.select("g").distinct()
+    assert gs.count() == 2
+    doubled = gs.union(gs)
+    assert doubled.count() == 4
+    assert gs.intersect(gs).count() == 2
+
+
+def test_count(df):
+    assert df.count() == 10
+    assert df.filter("k > 7").count() == 2
+
+
+def test_when_otherwise(df):
+    rows = df.select(
+        "k", when(col("k") < 5, "low").otherwise("high").alias("bucket")
+    ).filter("k = 4 or k = 5").order_by("k").collect()
+    assert [r.bucket for r in rows] == ["low", "high"]
+
+
+def test_temp_view_roundtrip(session, df):
+    df.create_or_replace_temp_view("view1")
+    assert session.sql("select count(*) from view1").collect()[0][0] == 10
+
+
+def test_show_renders_table(df, capsys):
+    df.limit(1).show()
+    out = capsys.readouterr().out
+    assert "k" in out and "+" in out
+
+
+def test_explain_mentions_plans(df):
+    text = df.filter("k > 1").explain()
+    assert "Optimized Logical Plan" in text
+    assert "Physical Plan" in text
+
+
+def test_select_empty_rejected(df):
+    with pytest.raises(AnalysisError):
+        df.select()
+
+
+def test_bad_save_mode_rejected(df):
+    with pytest.raises(AnalysisError):
+        df.write.mode("upsert")
+
+
+def test_row_run_returns_stats(df):
+    result = df.filter("k > 5").run()
+    assert result.seconds > 0
+    assert len(result.rows) == 4
+    assert result.schema.names == ["k", "g", "v"]
+
+
+def test_expr_and_select_expr(df):
+    from repro.sql.functions import expr
+
+    rows = df.filter(expr("k % 2 = 0 and v > 3")) \
+        .select_expr("k * 10 as deca", "upper(g) as gg") \
+        .order_by("deca").collect()
+    assert [(r.deca, r.gg) for r in rows] == [(40, "G0"), (60, "G0"), (80, "G0")]
+
+
+def test_select_expr_alias_optional(df):
+    rows = df.select_expr("k + 1").limit(1).collect()
+    assert rows[0][0] == 1
+
+
+def test_drop_columns(df):
+    out = df.drop("g")
+    assert out.columns == ["k", "v"]
+    assert df.drop("nope").columns == ["k", "g", "v"]
+    with pytest.raises(AnalysisError):
+        df.drop("k", "g", "v")
+
+
+def test_with_column_renamed(df):
+    out = df.with_column_renamed("v", "value")
+    assert out.columns == ["k", "g", "value"]
+    rows = out.filter("value > 8").collect()
+    assert [r.value for r in rows] == [9.0]

@@ -1,0 +1,97 @@
+"""SQL INSERT INTO / INSERT OVERWRITE against HBase-backed views."""
+
+import json
+
+import pytest
+
+from repro.common.errors import AnalysisError, ParseError
+from repro.core.catalog import HBaseTableCatalog
+from repro.core.relation import DEFAULT_FORMAT
+from repro.sql.parser import parse
+from repro.sql.types import DoubleType, IntegerType, StringType, StructField, StructType
+
+CATALOG = json.dumps({
+    "table": {"namespace": "default", "name": "kv"},
+    "rowkey": "k",
+    "columns": {
+        "k": {"cf": "rowkey", "col": "k", "type": "int"},
+        "v": {"cf": "f", "col": "v", "type": "string"},
+        "w": {"cf": "g", "col": "w", "type": "double"},
+    },
+})
+SCHEMA = StructType([
+    StructField("k", IntegerType),
+    StructField("v", StringType),
+    StructField("w", DoubleType),
+])
+
+
+@pytest.fixture
+def ready(linked):
+    cluster, session = linked
+    options = {
+        HBaseTableCatalog.tableCatalog: CATALOG,
+        HBaseTableCatalog.newTable: "2",
+        "hbase.zookeeper.quorum": cluster.quorum,
+    }
+    session.create_dataframe([(1, "a", 1.0)], SCHEMA).write \
+        .format(DEFAULT_FORMAT).options(options).save()
+    session.read.format(DEFAULT_FORMAT).options(options).load() \
+        .create_or_replace_temp_view("kv")
+    return session
+
+
+def test_insert_values(ready):
+    result = ready.sql("insert into kv values (2, 'b', 2.5), (3, null, 3.0)")
+    assert result.collect()[0].rows_written == 2
+    rows = ready.sql("select * from kv order by k").collect()
+    assert [tuple(r) for r in rows] == [
+        (1, "a", 1.0), (2, "b", 2.5), (3, None, 3.0),
+    ]
+
+
+def test_insert_select(ready):
+    ready.sql("insert into kv select k + 100, upper(v), w * 2 from kv")
+    rows = ready.sql("select * from kv where k > 100").collect()
+    assert [tuple(r) for r in rows] == [(101, "A", 2.0)]
+
+
+def test_insert_overwrite_replaces(ready):
+    ready.sql("insert overwrite kv values (9, 'z', 0.0)")
+    rows = ready.sql("select * from kv").collect()
+    assert [tuple(r) for r in rows] == [(9, "z", 0.0)]
+
+
+def test_insert_table_keyword_optional(ready):
+    ready.sql("insert into table kv values (5, 'e', 5.0)")
+    assert ready.sql("select count(*) from kv").collect()[0][0] == 2
+
+
+def test_values_numeric_coercion(ready):
+    # integer literal into a double column must coerce
+    ready.sql("insert into kv values (7, 'g', 4)")
+    row = ready.sql("select w from kv where k = 7").collect()[0]
+    assert row.w == 4.0 and isinstance(row.w, float)
+
+
+def test_arity_mismatch_rejected(ready):
+    with pytest.raises(AnalysisError):
+        ready.sql("insert into kv values (1, 'x')")
+    with pytest.raises(AnalysisError):
+        ready.sql("insert into kv select k, v from kv")
+
+
+def test_inconsistent_values_rows_rejected(ready):
+    with pytest.raises(ParseError):
+        parse("insert into kv values (1, 'a', 1.0), (2, 'b')")
+
+
+def test_insert_into_non_writable_view_rejected(ready):
+    ready.sql("select k, v, w from kv").createOrReplaceTempView("derived")
+    with pytest.raises(AnalysisError):
+        ready.sql("insert into derived values (1, 'x', 1.0)")
+
+
+def test_values_outside_insert_rejected(ready):
+    with pytest.raises(ParseError):
+        ready.sql("values (1, 2)")

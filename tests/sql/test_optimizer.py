@@ -1,0 +1,148 @@
+import pytest
+
+from repro.sql import expressions as E
+from repro.sql import logical as L
+from repro.sql.analyzer import Analyzer, Catalog
+from repro.sql.optimizer import (
+    combine_filters,
+    constant_folding,
+    eliminate_subquery_aliases,
+    optimize,
+    prune_columns,
+    push_down_predicates,
+)
+from repro.sql.parser import parse
+from repro.sql.types import DoubleType, IntegerType, StringType, StructField, StructType
+
+SCHEMA = StructType([
+    StructField("k", IntegerType),
+    StructField("g", StringType),
+    StructField("v", DoubleType),
+])
+
+
+@pytest.fixture
+def analyzer():
+    catalog = Catalog()
+    catalog.register("t", L.LocalRelation(SCHEMA, []))
+    catalog.register("u", L.LocalRelation(SCHEMA, []))
+    return Analyzer(catalog)
+
+
+def analyzed(analyzer, sql):
+    return analyzer.analyze(parse(sql))
+
+
+def find(plan, node_type):
+    return plan.collect_nodes(lambda n: isinstance(n, node_type))
+
+
+def test_subquery_aliases_removed(analyzer):
+    plan = optimize(analyzed(analyzer, "select k from t"))
+    assert not find(plan, L.SubqueryAlias)
+
+
+def test_adjacent_filters_combined(analyzer):
+    plan = analyzed(analyzer, "select x from (select k x from t where k > 1) s where x < 9")
+    optimized = optimize(plan)
+    filters = find(optimized, L.Filter)
+    assert len(filters) == 1
+    assert isinstance(filters[0].condition, E.And)
+
+
+def test_filter_pushed_through_project_with_substitution(analyzer):
+    plan = analyzed(analyzer,
+                    "select d from (select v * 2 as d from t) s where d > 4")
+    optimized = optimize(plan)
+    filters = find(optimized, L.Filter)
+    assert len(filters) == 1
+    # the filter now sits below the Project, on the substituted expression
+    assert isinstance(filters[0].children[0], (L.LocalRelation, L.Project))
+    refs = filters[0].condition.references()
+    v_attr_id = None
+    for rel in find(optimized, L.LocalRelation):
+        for attr in rel.output:
+            if attr.name == "v":
+                v_attr_id = attr.attr_id
+    assert v_attr_id in refs
+
+
+def test_filter_split_into_join_sides(analyzer):
+    plan = analyzed(analyzer, """
+        select a.k from t a join u b on a.k = b.k
+        where a.v > 1 and b.v < 2 and a.g = b.g
+    """)
+    optimized = optimize(plan)
+    joins = find(optimized, L.Join)
+    assert len(joins) == 1
+    join = joins[0]
+    # one pushed filter on each side
+    assert isinstance(join.left, L.Filter) or find(join.left, L.Filter)
+    assert isinstance(join.right, L.Filter) or find(join.right, L.Filter)
+    # the cross-side predicate a.g = b.g must NOT be pushed below the join:
+    # it stays as a Filter above the Join (or in the join condition)
+    above = optimized.collect_nodes(
+        lambda n: isinstance(n, L.Filter) and find(n, L.Join)
+    )
+    assert above, "cross-side predicate must remain above the join"
+    side_filters = find(join.left, L.Filter) + find(join.right, L.Filter)
+    assert len(side_filters) == 2  # one pushed filter per side
+
+
+def test_left_join_right_side_filter_not_pushed(analyzer):
+    plan = analyzed(analyzer, """
+        select a.k from t a left join u b on a.k = b.k where b.v < 2
+    """)
+    optimized = push_down_predicates(eliminate_subquery_aliases(plan))
+    join = find(optimized, L.Join)[0]
+    assert not find(join.right, L.Filter)
+
+
+def test_filter_pushed_below_aggregate_on_grouping_column(analyzer):
+    plan = analyzed(analyzer, """
+        select g, n from (select g, count(*) n from t group by g) s
+        where g = 'x' and n > 1
+    """)
+    optimized = optimize(plan)
+    aggregate = find(optimized, L.Aggregate)[0]
+    inner_filters = find(aggregate.children[0], L.Filter)
+    assert inner_filters, "grouping predicate should sink below the aggregate"
+    assert "'x'" in repr(inner_filters[0].condition)
+
+
+def test_constant_folding(analyzer):
+    plan = analyzed(analyzer, "select k from t where 1 + 1 = 2 and k > 0")
+    optimized = optimize(plan)
+    condition = find(optimized, L.Filter)[0].condition
+    # the tautology folds away leaving only k > 0
+    assert "1 + 1" not in repr(condition)
+    assert isinstance(condition, E.Comparison)
+
+
+def test_column_pruning_inserts_minimal_project(analyzer):
+    plan = analyzed(analyzer, "select g from t where k > 1")
+    optimized = optimize(plan)
+    relation = find(optimized, L.LocalRelation)[0]
+    # find the Project directly above the relation
+    parents = optimized.collect_nodes(
+        lambda n: isinstance(n, L.Project) and n.children[0] is relation
+    )
+    assert parents
+    assert {a.name for a in parents[0].output} <= {"g", "k"}
+
+
+def test_pruning_keeps_distinct_full_width(analyzer):
+    plan = analyzed(analyzer, "select distinct g, v from t")
+    optimized = optimize(plan)
+    assert [a.name for a in optimized.output] == ["g", "v"]
+
+
+def test_optimize_preserves_output_schema(analyzer):
+    for sql in (
+        "select k, g from t where v > 0 order by k limit 3",
+        "select g, count(*) c from t group by g having c > 1",
+        "select a.k from t a join u b on a.k = b.k",
+    ):
+        plan = analyzed(analyzer, sql)
+        assert [a.name for a in optimize(plan).output] == \
+            [a.name for a in plan.output]

@@ -1,0 +1,170 @@
+import pytest
+
+from repro.sql import logical as L
+from repro.sql import physical as P
+from repro.sql.analyzer import Analyzer, Catalog
+from repro.sql.optimizer import optimize
+from repro.sql.parser import parse
+from repro.sql.planner import Planner, UNKNOWN_SIZE, estimate_plan_size
+from repro.sql.sources import BaseRelation, EqualTo, GreaterThan
+from repro.sql.types import DoubleType, IntegerType, StringType, StructField, StructType
+
+SCHEMA = StructType([
+    StructField("k", IntegerType),
+    StructField("g", StringType),
+    StructField("v", DoubleType),
+])
+
+CONF = {"sql.shuffle.partitions": 4, "sql.autoBroadcastJoinThreshold": 1024}
+
+
+class FakeRelation(BaseRelation):
+    """Scriptable relation for planner tests."""
+
+    def __init__(self, size=None, handled_filters=()):
+        self._size = size
+        self._handled = set(handled_filters)
+        self.offered = None
+
+    @property
+    def schema(self):
+        return SCHEMA
+
+    def size_in_bytes(self):
+        return self._size
+
+    def unhandled_filters(self, filters):
+        return [f for f in filters if f not in self._handled]
+
+    def build_scan(self, required_columns, filters):
+        from repro.engine.rdd import ParallelCollectionRDD
+
+        self.offered = list(filters)
+        return ParallelCollectionRDD([], 1)
+
+
+def plan_for(sql, relations):
+    catalog = Catalog()
+    for name, relation in relations.items():
+        catalog.register(name, L.LogicalRelation(relation, name))
+    analyzed = Analyzer(catalog).analyze(parse(sql))
+    return Planner(CONF).plan(optimize(analyzed))
+
+
+def find(plan, node_type):
+    found = []
+
+    def visit(node):
+        if isinstance(node, node_type):
+            found.append(node)
+        for child in node.children:
+            visit(child)
+
+    visit(plan)
+    return found
+
+
+def test_scan_collapses_project_filter_stack():
+    relation = FakeRelation()
+    physical = plan_for("select g from t where k > 1", {"t": relation})
+    scans = find(physical, P.DataSourceScanExec)
+    assert len(scans) == 1
+    assert scans[0].pushed_filters == [GreaterThan("k", 1)]
+
+
+def test_unhandled_filters_stay_as_residual():
+    relation = FakeRelation()  # handles nothing
+    physical = plan_for("select g from t where k > 1", {"t": relation})
+    scan = find(physical, P.DataSourceScanExec)[0]
+    assert scan.residual is not None
+
+
+def test_handled_filters_get_no_residual():
+    pushed = GreaterThan("k", 1)
+    relation = FakeRelation(handled_filters=[pushed])
+    physical = plan_for("select g from t where k > 1", {"t": relation})
+    scan = find(physical, P.DataSourceScanExec)[0]
+    assert scan.residual is None
+
+
+def test_untranslatable_predicate_is_residual_only():
+    relation = FakeRelation()
+    physical = plan_for("select g from t where k + 1 = 2", {"t": relation})
+    scan = find(physical, P.DataSourceScanExec)[0]
+    assert scan.pushed_filters == []
+    assert scan.residual is not None
+
+
+def test_required_columns_pruned():
+    relation = FakeRelation()
+    physical = plan_for("select g from t where k > 1", {"t": relation})
+    scan = find(physical, P.DataSourceScanExec)[0]
+    assert {a.name for a in scan.output} == {"g", "k"}
+
+
+def test_small_relation_broadcast():
+    small = FakeRelation(size=100)
+    big = FakeRelation(size=10**9)
+    physical = plan_for(
+        "select a.g from t a join u b on a.k = b.k",
+        {"t": big, "u": small})
+    assert find(physical, P.BroadcastHashJoinExec)
+    assert not find(physical, P.ShuffledHashJoinExec)
+
+
+def test_unknown_size_forces_shuffle_join():
+    physical = plan_for(
+        "select a.g from t a join u b on a.k = b.k",
+        {"t": FakeRelation(), "u": FakeRelation()})
+    assert find(physical, P.ShuffledHashJoinExec)
+    assert not find(physical, P.BroadcastHashJoinExec)
+
+
+def test_small_left_side_swapped_into_broadcast():
+    small = FakeRelation(size=100)
+    big = FakeRelation(size=10**9)
+    physical = plan_for(
+        "select a.g from t a join u b on a.k = b.k",
+        {"t": small, "u": big})
+    joins = find(physical, P.BroadcastHashJoinExec)
+    assert joins
+    # output order restored: left columns first
+    top_project = find(physical, P.ProjectExec)
+    assert top_project
+
+
+def test_non_equi_join_uses_nested_loop():
+    physical = plan_for(
+        "select a.g from t a join u b on a.k < b.k",
+        {"t": FakeRelation(size=10), "u": FakeRelation(size=10)})
+    assert find(physical, P.BroadcastNestedLoopJoinExec)
+
+
+def test_aggregate_and_sort_operators():
+    physical = plan_for(
+        "select g, count(*) c from t group by g order by c desc limit 5",
+        {"t": FakeRelation()})
+    assert find(physical, P.HashAggregateExec)
+    assert find(physical, P.SortExec)
+    assert find(physical, P.LimitExec)
+
+
+def test_union_and_intersect_operators():
+    rels = {"t": FakeRelation(), "u": FakeRelation()}
+    union_all = plan_for("select k from t union all select k from u", rels)
+    assert find(union_all, P.UnionExec)
+    assert not find(union_all, P.DistinctExec)
+    union = plan_for("select k from t union select k from u", rels)
+    assert find(union, P.DistinctExec)
+    intersect = plan_for("select k from t intersect select k from u", rels)
+    assert find(intersect, P.IntersectExec)
+
+
+def test_estimate_plan_size_propagation():
+    relation = L.LogicalRelation(FakeRelation(size=1000), "t")
+    assert estimate_plan_size(relation) == 1000
+    filtered = L.Filter(parse("select k from t").project_list[0], relation)
+    assert estimate_plan_size(filtered) == 250
+    unknown = L.LogicalRelation(FakeRelation(), "t")
+    assert estimate_plan_size(unknown) == UNKNOWN_SIZE
+    assert estimate_plan_size(L.Filter(None, unknown)) == UNKNOWN_SIZE // 4

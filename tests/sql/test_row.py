@@ -1,0 +1,41 @@
+import pytest
+
+from repro.common.errors import AnalysisError
+from repro.sql.row import Row
+from repro.sql.types import IntegerType, StringType, StructField, StructType
+
+SCHEMA = StructType([StructField("id", IntegerType), StructField("name", StringType)])
+
+
+def test_access_by_index_and_name():
+    row = Row((1, "a"), SCHEMA)
+    assert row[0] == 1
+    assert row["name"] == "a"
+    assert row.name == "a"
+
+
+def test_wrong_arity_rejected():
+    with pytest.raises(AnalysisError):
+        Row((1,), SCHEMA)
+
+
+def test_as_dict_and_iteration():
+    row = Row((1, "a"), SCHEMA)
+    assert row.as_dict() == {"id": 1, "name": "a"}
+    assert list(row) == [1, "a"]
+    assert len(row) == 2
+
+
+def test_equality_with_row_and_tuple():
+    assert Row((1, "a"), SCHEMA) == Row((1, "a"), SCHEMA)
+    assert Row((1, "a"), SCHEMA) == (1, "a")
+    assert Row((1, "a"), SCHEMA) != Row((2, "a"), SCHEMA)
+
+
+def test_hashable():
+    assert len({Row((1, "a"), SCHEMA), Row((1, "a"), SCHEMA)}) == 1
+
+
+def test_missing_attribute_raises_attribute_error():
+    with pytest.raises(AttributeError):
+        Row((1, "a"), SCHEMA).ghost

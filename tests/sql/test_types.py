@@ -1,0 +1,72 @@
+import pytest
+
+from repro.common.errors import AnalysisError
+from repro.sql.types import (
+    DoubleType,
+    IntegerType,
+    LongType,
+    StringType,
+    StructField,
+    StructType,
+    TimestampType,
+    is_numeric,
+    type_from_name,
+)
+
+
+def test_type_lookup_by_catalog_names():
+    assert type_from_name("string") is StringType
+    assert type_from_name("int") is IntegerType
+    assert type_from_name("bigint") is LongType
+    assert type_from_name("double") is DoubleType
+    assert type_from_name("time") is TimestampType
+
+
+def test_type_lookup_aliases_and_case():
+    assert type_from_name("TIMESTAMP") is TimestampType
+    assert type_from_name("Integer") is IntegerType
+    assert type_from_name("varchar") is StringType
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(AnalysisError):
+        type_from_name("uuid")
+
+
+def test_is_numeric():
+    assert is_numeric(IntegerType)
+    assert is_numeric(DoubleType)
+    assert not is_numeric(StringType)
+
+
+def test_struct_type_lookup():
+    schema = StructType([StructField("a", IntegerType), StructField("b", StringType)])
+    assert schema.field_index("b") == 1
+    assert schema.field("a").dtype is IntegerType
+    assert "a" in schema and "c" not in schema
+    assert schema.names == ["a", "b"]
+
+
+def test_struct_type_add_returns_new():
+    schema = StructType()
+    grown = schema.add("x", IntegerType)
+    assert len(schema) == 0
+    assert len(grown) == 1
+
+
+def test_duplicate_names_allowed_but_ambiguous_lookup_fails():
+    schema = StructType([StructField("v", IntegerType), StructField("v", StringType)])
+    assert len(schema) == 2
+    with pytest.raises(AnalysisError):
+        schema.field_index("v")
+
+
+def test_missing_column_lookup_fails():
+    with pytest.raises(AnalysisError):
+        StructType().field_index("ghost")
+
+
+def test_fixed_widths():
+    assert IntegerType.fixed_width == 4
+    assert LongType.fixed_width == 8
+    assert StringType.fixed_width is None

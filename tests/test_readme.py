@@ -1,0 +1,21 @@
+"""The README's quickstart code block must actually run."""
+
+import pathlib
+import re
+
+
+def test_readme_quickstart_executes(capsys):
+    readme = (pathlib.Path(__file__).parents[1] / "README.md").read_text()
+    blocks = re.findall(r"```python\n(.*?)```", readme, re.DOTALL)
+    assert blocks, "README lost its quickstart code block"
+    namespace = {}
+    exec(compile(blocks[0], "README.md", "exec"), namespace)  # noqa: S102
+    out = capsys.readouterr().out
+    assert "visit_pages" in out  # the final .show() rendered a table
+
+
+def test_readme_mentions_key_entry_points():
+    readme = (pathlib.Path(__file__).parents[1] / "README.md").read_text()
+    for needle in ("DESIGN.md", "EXPERIMENTS.md", "pytest benchmarks/",
+                   "HBaseTableCatalog", "SHCCredentialsManager"):
+        assert needle in readme

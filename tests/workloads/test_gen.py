@@ -1,0 +1,132 @@
+import pytest
+
+from repro.workloads.tpcds_gen import (
+    DATE_SK_BASE,
+    DAYS_PER_YEAR,
+    NUM_YEARS,
+    TpcdsGenerator,
+    date_sk_range_for_year,
+    month_of_day_offset,
+)
+from repro.workloads.tpcds_schema import TABLES, catalog_json
+
+
+def test_date_dim_covers_three_years():
+    rows = TpcdsGenerator(5).date_dim()
+    assert len(rows) == NUM_YEARS * DAYS_PER_YEAR
+    years = {r[2] for r in rows}
+    assert years == {1999, 2000, 2001}
+    assert all(1 <= r[3] <= 12 for r in rows)
+
+
+def test_date_sk_range_for_year():
+    lo, hi = date_sk_range_for_year(2001)
+    assert lo == DATE_SK_BASE + 2 * DAYS_PER_YEAR
+    assert hi - lo == DAYS_PER_YEAR - 1
+    rows = {r[0]: r[2] for r in TpcdsGenerator(5).date_dim()}
+    assert rows[lo] == 2001 and rows[hi] == 2001
+
+
+def test_month_of_day_offset_bounds():
+    assert month_of_day_offset(0) == 1
+    assert month_of_day_offset(364) == 12
+
+
+def test_generator_is_deterministic():
+    a = TpcdsGenerator(5, seed=7).inventory()
+    b = TpcdsGenerator(5, seed=7).inventory()
+    assert a == b
+    c = TpcdsGenerator(5, seed=8).inventory()
+    assert a != c
+
+
+def test_inventory_scales_with_size():
+    small = len(TpcdsGenerator(5).inventory())
+    large = len(TpcdsGenerator(30).inventory())
+    assert large > 3 * small
+
+
+def test_inventory_snapshots_cover_item_warehouse_grid():
+    gen = TpcdsGenerator(5)
+    rows = gen.inventory()
+    first_date = rows[0][0]
+    combos = {(r[1], r[2]) for r in rows if r[0] == first_date}
+    assert len(combos) == gen.num_items * gen.num_warehouses
+
+
+def test_inventory_has_volatile_and_stable_items():
+    import statistics
+
+    gen = TpcdsGenerator(10)
+    rows = gen.inventory()
+    by_item = {}
+    for __, item_sk, __w, qty in rows:
+        by_item.setdefault(item_sk, []).append(qty)
+    covs = {}
+    for item_sk, quantities in by_item.items():
+        mean = statistics.mean(quantities)
+        if mean > 0:
+            covs[item_sk] = statistics.stdev(quantities) / mean
+    assert any(c > 1 for c in covs.values())
+    assert any(c < 0.5 for c in covs.values())
+
+
+def test_item_and_warehouse_reference_integrity():
+    gen = TpcdsGenerator(5)
+    items = {r[0] for r in gen.item()}
+    warehouses = {r[0] for r in gen.warehouse()}
+    for __, item_sk, warehouse_sk, __q in gen.inventory():
+        assert item_sk in items
+        assert warehouse_sk in warehouses
+
+
+def test_sales_reference_integrity():
+    gen = TpcdsGenerator(5)
+    customers = {r[0] for r in gen.customer()}
+    for row in gen.store_sales():
+        assert row[2] in customers
+
+
+def test_sales_keys_unique():
+    gen = TpcdsGenerator(5)
+    for table in ("store_sales", "catalog_sales", "web_sales"):
+        rows = gen.rows_for(table)
+        keys = {(r[0], r[1]) for r in rows}
+        assert len(keys) == len(rows)
+
+
+def test_hot_events_appear_in_all_channels():
+    gen = TpcdsGenerator(5)
+    def pairs(rows, customer_idx=2):
+        return {(r[0], r[customer_idx]) for r in rows}
+    store = pairs(gen.store_sales())
+    catalog = pairs(gen.catalog_sales())
+    web = pairs(gen.web_sales())
+    assert store & catalog & web  # three-way intersection non-empty
+
+
+def test_rows_match_schema_arity():
+    gen = TpcdsGenerator(5)
+    for name, spec in TABLES.items():
+        rows = gen.rows_for(name)
+        assert rows, name
+        assert all(len(r) == len(spec.columns) for r in rows[:50])
+
+
+def test_unknown_table_rejected():
+    with pytest.raises(ValueError):
+        TpcdsGenerator(5).rows_for("ghost")
+
+
+def test_bad_size_rejected():
+    with pytest.raises(ValueError):
+        TpcdsGenerator(0)
+
+
+def test_catalog_json_layout():
+    import json
+
+    catalog = json.loads(catalog_json(TABLES["inventory"]))
+    assert catalog["rowkey"] == "inv_date_sk:inv_item_sk:inv_warehouse_sk"
+    assert catalog["columns"]["inv_quantity_on_hand"]["cf"] == "cf1"
+    assert catalog["columns"]["inv_date_sk"]["cf"] == "rowkey"

@@ -9,6 +9,7 @@ actually performed, never hard-coded.
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from typing import Dict, Iterator, Mapping, Tuple
 
@@ -18,48 +19,66 @@ class MetricsRegistry:
 
     Counters only accumulate (:meth:`incr`); gauges track a maximum
     (:meth:`record_peak`), which is how peak memory is metered.
+
+    Thread-safe: a registry may be shared by concurrently running tasks
+    (the HBase cluster's registry is hit from every executor thread), so
+    read-modify-write on the underlying dicts happens under a lock.  Merging
+    snapshots the source registry first, so two registries never need to be
+    locked at once.
     """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._counters: Dict[str, float] = defaultdict(float)
         self._peaks: Dict[str, float] = defaultdict(float)
 
     # -- counters ---------------------------------------------------------
     def incr(self, name: str, amount: float = 1.0) -> None:
         """Add ``amount`` to counter ``name``."""
-        self._counters[name] += amount
+        with self._lock:
+            self._counters[name] += amount
 
     def get(self, name: str, default: float = 0.0) -> float:
         """Current value of counter ``name``."""
-        return self._counters.get(name, default)
+        with self._lock:
+            return self._counters.get(name, default)
 
     # -- peak gauges ------------------------------------------------------
     def record_peak(self, name: str, value: float) -> None:
         """Record ``value`` for gauge ``name`` keeping only the maximum seen."""
-        if value > self._peaks[name]:
-            self._peaks[name] = value
+        with self._lock:
+            if value > self._peaks[name]:
+                self._peaks[name] = value
 
     def peak(self, name: str, default: float = 0.0) -> float:
         """Maximum value recorded for gauge ``name``."""
-        return self._peaks.get(name, default)
+        with self._lock:
+            return self._peaks.get(name, default)
 
     # -- plumbing ---------------------------------------------------------
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold ``other``'s counters and peaks into this registry."""
-        for name, value in other._counters.items():
-            self._counters[name] += value
-        for name, value in other._peaks.items():
-            self.record_peak(name, value)
+        with other._lock:
+            counters = dict(other._counters)
+            peaks = dict(other._peaks)
+        with self._lock:
+            for name, value in counters.items():
+                self._counters[name] += value
+            for name, value in peaks.items():
+                if value > self._peaks[name]:
+                    self._peaks[name] = value
 
     def reset(self) -> None:
         """Zero every counter and gauge."""
-        self._counters.clear()
-        self._peaks.clear()
+        with self._lock:
+            self._counters.clear()
+            self._peaks.clear()
 
     def snapshot(self) -> Mapping[str, float]:
         """An immutable view of all counters (peaks are prefixed ``peak.``)."""
-        out = dict(self._counters)
-        out.update({f"peak.{k}": v for k, v in self._peaks.items()})
+        with self._lock:
+            out = dict(self._counters)
+            out.update({f"peak.{k}": v for k, v in self._peaks.items()})
         return out
 
     def __iter__(self) -> Iterator[Tuple[str, float]]:
@@ -77,17 +96,23 @@ class CostLedger:
     ledger it is handed; the scheduler turns a task's ledger into that task's
     duration.  Ledgers also carry a :class:`MetricsRegistry` so per-query
     metrics (bytes scanned, RPCs, shuffle volume) fall out of the same pass.
+
+    A ledger is mostly owned by one task, but shared-state charges cross
+    threads -- a region server billing each writer for flushing the bytes it
+    contributed, say -- so the running total is updated under a lock.
     """
 
     def __init__(self, metrics: "MetricsRegistry | None" = None) -> None:
         self.seconds: float = 0.0
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._lock = threading.Lock()
 
     def charge(self, seconds: float, counter: str | None = None, amount: float = 1.0) -> None:
         """Add ``seconds`` of simulated work, optionally bumping a counter."""
         if seconds < 0:
             raise ValueError("cannot charge negative time")
-        self.seconds += seconds
+        with self._lock:
+            self.seconds += seconds
         if counter is not None:
             self.metrics.incr(counter, amount)
 
@@ -97,7 +122,8 @@ class CostLedger:
 
     def merge(self, other: "CostLedger") -> None:
         """Fold another ledger's time and counters into this one."""
-        self.seconds += other.seconds
+        with self._lock:
+            self.seconds += other.seconds
         self.metrics.merge(other.metrics)
 
     def __repr__(self) -> str:

@@ -9,13 +9,21 @@ connection eviction policy of section V.B.1) deterministic.
 
 from __future__ import annotations
 
+import threading
+
 
 class SimClock:
-    """A monotonically non-decreasing clock measured in float seconds."""
+    """A monotonically non-decreasing clock measured in float seconds.
+
+    Thread-safe: concurrent queries submitted through a session's thread
+    pool all advance the shared clock, so the read-modify-write in
+    :meth:`advance` is guarded by a lock.
+    """
 
     def __init__(self, start: float = 0.0) -> None:
         if start < 0:
             raise ValueError("clock cannot start before t=0")
+        self._lock = threading.Lock()
         self._now = float(start)
 
     def now(self) -> float:
@@ -26,14 +34,16 @@ class SimClock:
         """Move the clock forward by ``seconds`` and return the new time."""
         if seconds < 0:
             raise ValueError("cannot advance the clock backwards")
-        self._now += seconds
-        return self._now
+        with self._lock:
+            self._now += seconds
+            return self._now
 
     def advance_to(self, timestamp: float) -> float:
         """Move the clock forward to ``timestamp`` (no-op if already past it)."""
-        if timestamp > self._now:
-            self._now = timestamp
-        return self._now
+        with self._lock:
+            if timestamp > self._now:
+                self._now = timestamp
+            return self._now
 
     def now_millis(self) -> int:
         """Current time in integer milliseconds (HBase cell timestamps)."""

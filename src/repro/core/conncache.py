@@ -11,6 +11,7 @@ metered and shows up in the ablation benchmark.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -37,10 +38,18 @@ class _CacheEntry:
 
 
 class SHCConnectionCache:
-    """A reference-counted connection pool with lazy eviction."""
+    """A reference-counted connection pool with lazy eviction.
+
+    Thread-safe: with the parallel stage runner, every executor-slot thread
+    acquires and releases pooled connections concurrently, so the entry map
+    and the per-entry refcounts mutate only under the cache lock.  The lock
+    also closes the check-then-create race -- two tasks missing on the same
+    key would otherwise both pay connection setup and leak one connection.
+    """
 
     def __init__(self, close_delay_s: float = DEFAULT_CLOSE_DELAY_S) -> None:
         self.close_delay_s = close_delay_s
+        self._lock = threading.RLock()
         self._entries: Dict[str, _CacheEntry] = {}
         self.hits = 0
         self.misses = 0
@@ -55,55 +64,65 @@ class SHCConnectionCache:
     ) -> Connection:
         """Get a pooled connection, creating (and charging for) one on miss."""
         key = _cache_key(conf)
-        entry = self._entries.get(key)
-        if entry is not None and not entry.connection.closed:
-            self.hits += 1
-            entry.refcount += 1
-            entry.idle_since = None
-            if ugi is not None:
-                entry.connection.ugi = ugi
-            return entry.connection
-        self.misses += 1
-        if ledger is not None:
-            ledger.charge(cost.connection_setup_s, "shc.connection_setups")
-        connection = ConnectionFactory.create_connection(conf, ugi)
-        self._entries[key] = _CacheEntry(connection, refcount=1)
-        return connection
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and not entry.connection.closed:
+                self.hits += 1
+                entry.refcount += 1
+                entry.idle_since = None
+                if ugi is not None:
+                    entry.connection.ugi = ugi
+                return entry.connection
+            self.misses += 1
+            if ledger is not None:
+                ledger.charge(cost.connection_setup_s, "shc.connection_setups")
+            connection = ConnectionFactory.create_connection(conf, ugi)
+            self._entries[key] = _CacheEntry(connection, refcount=1)
+            return connection
 
     def release(self, conf: Configuration, clock: SimClock) -> None:
         """Drop one reference; idle connections become eviction candidates."""
-        entry = self._entries.get(_cache_key(conf))
-        if entry is None:
-            return
-        entry.refcount = max(0, entry.refcount - 1)
-        if entry.refcount == 0:
-            entry.idle_since = clock.now()
+        with self._lock:
+            entry = self._entries.get(_cache_key(conf))
+            if entry is None:
+                return
+            entry.refcount = max(0, entry.refcount - 1)
+            if entry.refcount == 0:
+                entry.idle_since = clock.now()
 
     def housekeeping(self, clock: SimClock) -> int:
         """The lazy deletion pass; returns how many connections were closed."""
         now = clock.now()
         evicted = 0
-        for key in list(self._entries):
-            entry = self._entries[key]
-            if (
-                entry.refcount == 0
-                and entry.idle_since is not None
-                and now - entry.idle_since >= self.close_delay_s
-            ):
-                entry.connection.close()
-                del self._entries[key]
-                evicted += 1
+        with self._lock:
+            for key in list(self._entries):
+                entry = self._entries[key]
+                if (
+                    entry.refcount == 0
+                    and entry.idle_since is not None
+                    and now - entry.idle_since >= self.close_delay_s
+                ):
+                    entry.connection.close()
+                    del self._entries[key]
+                    evicted += 1
         return evicted
 
     def size(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
+
+    def active_refcount(self) -> int:
+        """Total outstanding references across all pooled connections."""
+        with self._lock:
+            return sum(entry.refcount for entry in self._entries.values())
 
     def clear(self) -> None:
-        for entry in self._entries.values():
-            entry.connection.close()
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            for entry in self._entries.values():
+                entry.connection.close()
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
 
 #: process-wide cache instance used by HBaseRelation (tests may swap it)

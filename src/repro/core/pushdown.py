@@ -64,12 +64,12 @@ class PushdownCompiler:
         via_pruning: List[S.Filter] = []
         pushed: List[HFilter] = []
         for flt in filters:
-            hfilter, fully = self._compile_one(flt)
+            hfilter, fully, needs_pruning = self._compile_one(flt)
             if hfilter is not None:
                 pushed.append(hfilter)
             if fully:
                 handled.append(flt)
-                if hfilter is None and self._touches_first_dim(flt):
+                if needs_pruning:
                     via_pruning.append(flt)
             else:
                 unhandled.append(flt)
@@ -80,14 +80,21 @@ class PushdownCompiler:
             combined = FilterList(FilterListOp.MUST_PASS_ALL, pushed)
         return CompiledPushdown(combined, handled, unhandled, via_pruning)
 
-    def _touches_first_dim(self, flt: S.Filter) -> bool:
-        return self.catalog.row_key[0] in flt.references()
-
-    # -- one filter -> (hbase filter or None, fully handled?) ------------------
-    def _compile_one(self, flt: S.Filter) -> Tuple[Optional[HFilter], bool]:
+    # -- one filter -> (hbase filter or None, fully handled?, via pruning?) ----
+    #
+    # The third element marks "fully handled" claims that are only correct
+    # because range pruning restricts the scan (row-key atoms compiled to no
+    # server-side filter).  It must propagate through ANDs -- the claim
+    # survives even when the other conjunct produced a filter -- and it
+    # poisons ORs: pruning unions the branch ranges, so a branch whose
+    # row-key atom the *other* branch does not constrain is NOT enforced
+    # (``tag = 'a' OR (ts = 0 AND tag = 'b')`` scans everything).  Such an
+    # OR is still pushed as a weakened superset filter but reported
+    # not-fully-handled so the engine re-applies the exact predicate.
+    def _compile_one(self, flt: S.Filter) -> Tuple[Optional[HFilter], bool, bool]:
         if isinstance(flt, S.And):
-            left_f, left_ok = self._compile_one(flt.left)
-            right_f, right_ok = self._compile_one(flt.right)
+            left_f, left_ok, left_np = self._compile_one(flt.left)
+            right_f, right_ok, right_np = self._compile_one(flt.right)
             parts = [f for f in (left_f, right_f) if f is not None]
             # pushing a *subset* of an AND is always safe (superset of rows)
             combined = None
@@ -95,35 +102,39 @@ class PushdownCompiler:
                 combined = parts[0]
             elif parts:
                 combined = FilterList(FilterListOp.MUST_PASS_ALL, parts)
-            return combined, left_ok and right_ok
+            return combined, left_ok and right_ok, left_np or right_np
         if isinstance(flt, S.Or):
-            left_f, left_ok = self._compile_one(flt.left)
-            right_f, right_ok = self._compile_one(flt.right)
+            left_f, left_ok, left_np = self._compile_one(flt.left)
+            right_f, right_ok, right_np = self._compile_one(flt.right)
             # an OR may only be pushed when BOTH branches compiled
             if left_f is None or right_f is None:
-                return None, False
+                return None, False, False
+            fully = left_ok and right_ok and not (left_np or right_np)
             return FilterList(FilterListOp.MUST_PASS_ONE, [left_f, right_f]), \
-                left_ok and right_ok
+                fully, False
         if isinstance(flt, S.Not):
             # the paper's policy: negations (NOT IN, !=) stay in Spark
-            return None, False
+            return None, False, False
         if isinstance(flt, S.In):
             return self._compile_in(flt)
         if isinstance(flt, S.IsNotNull):
             # a relational NULL is an absent cell; rows lacking the column are
             # dropped by any filter_if_missing SCVF, but standalone existence
-            # checks stay in Spark (no native HBase filter for it)
-            return None, self._is_rowkey(flt.attribute)
+            # checks stay in Spark (no native HBase filter for it).  Row-key
+            # columns are present in every row, so the check is a tautology
+            # there -- handled without pruning's help.
+            return None, self._is_rowkey(flt.attribute), False
         if isinstance(flt, S.IsNull):
-            return None, False
+            return None, False, False
         if isinstance(flt, S.StringStartsWith):
-            return None, self._is_first_dim_ordered(flt.attribute)
+            ok = self._is_first_dim_ordered(flt.attribute)
+            return None, ok, ok
         if isinstance(flt, (S.EqualTo, S.GreaterThan, S.GreaterThanOrEqual,
                             S.LessThan, S.LessThanOrEqual)):
             return self._compile_comparison(flt)
-        return None, False
+        return None, False, False
 
-    def _compile_comparison(self, flt: S.AttributeFilter) -> Tuple[Optional[HFilter], bool]:
+    def _compile_comparison(self, flt: S.AttributeFilter) -> Tuple[Optional[HFilter], bool, bool]:
         name = flt.attribute
         op = _OP_FOR[type(flt)]
         if self._is_rowkey(name):
@@ -133,38 +144,39 @@ class PushdownCompiler:
             if name == self.catalog.row_key[0]:
                 column = self.catalog.column(name)
                 exact = self.coder.byte_ranges(op, flt.value, column.dtype) is not None
-                return None, exact
-            return None, False
+                return None, exact, exact
+            return None, False, False
         column = self.catalog.column(name)
         ranges = self._coder_for(name).byte_ranges(op, flt.value, column.dtype)
         if ranges is None:
-            return None, False
+            return None, False, False
         branches: List[HFilter] = []
         for br in ranges:
             branch = self._range_filter(column.family, column.qualifier, br)
             if branch is None:
-                return None, False
+                return None, False, False
             branches.append(branch)
         if not branches:
-            return None, False
+            return None, False, False
         if len(branches) == 1:
-            return branches[0], True
-        return FilterList(FilterListOp.MUST_PASS_ONE, branches), True
+            return branches[0], True, False
+        return FilterList(FilterListOp.MUST_PASS_ONE, branches), True, False
 
-    def _compile_in(self, flt: S.In) -> Tuple[Optional[HFilter], bool]:
+    def _compile_in(self, flt: S.In) -> Tuple[Optional[HFilter], bool, bool]:
         name = flt.attribute
         if self._is_rowkey(name):
-            return None, name == self.catalog.row_key[0]
+            first = name == self.catalog.row_key[0]
+            return None, first, first
         if len(flt.values) > MAX_PUSHED_IN_VALUES:
             # expensive point filters are not worth building server-side
-            return None, False
+            return None, False, False
         column = self.catalog.column(name)
         in_coder = self._coder_for(name)
         equals: List[HFilter] = []
         for v in flt.values:
             ranges = in_coder.byte_ranges("=", v, column.dtype)
             if ranges is None:
-                return None, False  # mistyped literal: engine filters
+                return None, False, False  # mistyped literal: engine filters
             if not ranges:
                 continue  # provably-empty option (e.g. 1.5 in an int column)
             equals.append(SingleColumnValueFilter(
@@ -174,10 +186,10 @@ class PushdownCompiler:
             # every option is unsatisfiable: nothing can match
             from repro.hbase.filters import RowFilter
 
-            return RowFilter(CompareOp.LESS, b""), True
+            return RowFilter(CompareOp.LESS, b""), True, False
         if len(equals) == 1:
-            return equals[0], True
-        return FilterList(FilterListOp.MUST_PASS_ONE, equals), True
+            return equals[0], True, False
+        return FilterList(FilterListOp.MUST_PASS_ONE, equals), True, False
 
     def _range_filter(self, family: str, qualifier: str,
                       br: ByteRange) -> Optional[HFilter]:

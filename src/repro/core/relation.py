@@ -240,12 +240,22 @@ class HBaseRelation(BaseRelation):
         self.credentials_manager.apply_to_ugi(ugi, token)
         return ugi
 
+    def connection_conf(self, host: str) -> Configuration:
+        """The connection configuration for a task running on ``host``.
+
+        The client host is part of the cache key (one JVM-local pool per
+        executor), so acquire and release must build it identically --
+        concurrent tasks on different hosts each hit their own pooled
+        connection.
+        """
+        return Configuration({
+            Configuration.QUORUM: self.quorum,
+            Configuration.CLIENT_HOST: host,
+        })
+
     def acquire_connection(self, ctx: "TaskContext"):
         """Per-task connection acquisition (executor-local cache keying)."""
-        conf = Configuration({
-            Configuration.QUORUM: self.quorum,
-            Configuration.CLIENT_HOST: ctx.host,
-        })
+        conf = self.connection_conf(ctx.host)
         ugi = self._ugi(ctx.ledger)
         if self.connection_cache_enabled:
             delay = self.options.get(HBaseSparkConf.CONNECTION_CLOSE_DELAY) \
@@ -261,11 +271,9 @@ class HBaseRelation(BaseRelation):
 
     def release_connection(self, ctx: "TaskContext") -> None:
         if self.connection_cache_enabled:
-            conf = Configuration({
-                Configuration.QUORUM: self.quorum,
-                Configuration.CLIENT_HOST: ctx.host,
-            })
-            self.connection_cache.release(conf, self.cluster.clock)
+            self.connection_cache.release(
+                self.connection_conf(ctx.host), self.cluster.clock
+            )
 
     def __repr__(self) -> str:
         return f"HBaseRelation({self.catalog.name} @ {self.quorum})"

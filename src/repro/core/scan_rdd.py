@@ -53,6 +53,20 @@ class HBaseTableScanRDD(RDD):
             catalog.column(c) for c in required_columns
             if not catalog.column(c).is_rowkey()
         ]
+        #: per-column decode plan, resolved once per RDD instead of per row:
+        #: (key_name, (family, qualifier), decode_fn, dtype) -- key columns
+        #: carry only key_name, data columns carry the other three
+        self._decode_plan: List[tuple] = []
+        for name in required_columns:
+            column = catalog.column(name)
+            if column.is_rowkey():
+                self._decode_plan.append((name, None, None, None))
+            else:
+                coder = relation.field_coder(name)
+                self._decode_plan.append(
+                    (None, (column.family, column.qualifier), coder.decode,
+                     column.dtype)
+                )
 
     # -- the three overridden methods ------------------------------------------
     def partitions(self) -> List[Partition]:
@@ -65,15 +79,26 @@ class HBaseTableScanRDD(RDD):
 
     def compute(self, partition: Partition,
                 ctx: "TaskContext") -> Iterator[tuple]:
+        """Stream decoded tuples straight out of the region scans.
+
+        No intermediate ``List[Result]`` is materialised: each region scan's
+        results are decoded and yielded as they are produced, through the
+        per-column decode plan resolved at RDD construction.  Decode cost is
+        charged for exactly the cells actually decoded -- a downstream
+        consumer that stops early (a LIMIT) never pays for rows it did not
+        pull -- via the ``finally`` block that runs when the generator
+        finishes or is closed.
+        """
         scan_partition: HBaseScanPartition = partition.payload
         relation = self.relation
         connection = relation.acquire_connection(ctx)
+        decode_cost = relation.decode_cell_cost()
+        decoded_cells = 0
         try:
             table = connection.get_table(relation.catalog.qualified_name)
             hbase_columns = self._hbase_columns()
             time_range = relation.time_range()
             max_versions = relation.max_versions()
-            results: List[Result] = []
             gets: List[Get] = []
             for work in scan_partition.work:
                 for scan_range in work.ranges:
@@ -84,15 +109,21 @@ class HBaseTableScanRDD(RDD):
                     else:
                         scan = Scan(scan_range.start, scan_range.stop)
                         self._configure_scan(scan, hbase_columns, time_range, max_versions)
-                        results.extend(
-                            table.scan_region(work.location, scan, ctx.ledger)
-                        )
+                        for result in table.scan_region(work.location, scan,
+                                                        ctx.ledger):
+                            values, ncells = self._decode_result(result)
+                            decoded_cells += ncells
+                            yield values
             if gets:
-                results.extend(
-                    r for r in table.bulk_get(gets, ctx.ledger) if not r.is_empty()
-                )
-            yield from self._decode(results, ctx)
+                for result in table.bulk_get(gets, ctx.ledger):
+                    if result.is_empty():
+                        continue
+                    values, ncells = self._decode_result(result)
+                    decoded_cells += ncells
+                    yield values
         finally:
+            ctx.ledger.charge(decode_cost * decoded_cells,
+                              "shc.cells_decoded", decoded_cells)
             relation.release_connection(ctx)
 
     # -- request shaping ---------------------------------------------------------
@@ -132,32 +163,29 @@ class HBaseTableScanRDD(RDD):
             get.set_max_versions(max_versions)
 
     # -- decoding ------------------------------------------------------------------
-    def _decode(self, results: List[Result], ctx: "TaskContext") -> Iterator[tuple]:
+    def _decode_result(self, result: Result) -> Tuple[tuple, int]:
+        """Decode one HBase row through the precomputed column plan.
+
+        Returns the positional tuple plus the number of cells decoded (for
+        the decode-cost charge the streaming ``compute`` accumulates).
+        """
         relation = self.relation
         catalog = relation.catalog
-        key_coder = relation.coder
-        decode_cost = relation.decode_cell_cost()
-        column_coders = {
-            name: relation.field_coder(name) for name in self.required_columns
-        }
         decoded_cells = 0
-        for result in results:
-            values = []
-            key_values = None
-            if self._key_columns:
-                key_values = decode_rowkey(catalog, key_coder, result.row)
-                decoded_cells += len(catalog.row_key)
-            cells = result.cells_map()
-            for name in self.required_columns:
-                column = catalog.column(name)
-                if column.is_rowkey():
-                    values.append(key_values[name])
+        key_values = None
+        if self._key_columns:
+            key_values = decode_rowkey(catalog, relation.coder, result.row)
+            decoded_cells += len(catalog.row_key)
+        cells = result.cells_map()
+        values = []
+        for key_name, fq, decode, dtype in self._decode_plan:
+            if key_name is not None:
+                values.append(key_values[key_name])
+            else:
+                raw = cells.get(fq)
+                if raw is None:
+                    values.append(None)
                 else:
-                    raw = cells.get((column.family, column.qualifier))
-                    if raw is None:
-                        values.append(None)
-                    else:
-                        values.append(column_coders[name].decode(raw, column.dtype))
-                        decoded_cells += 1
-            yield tuple(values)
-        ctx.ledger.charge(decode_cost * decoded_cells, "shc.cells_decoded", decoded_cells)
+                    values.append(decode(raw, dtype))
+                    decoded_cells += 1
+        return tuple(values), decoded_cells

@@ -65,13 +65,25 @@ class ComputeCluster:
             Executor(f"exec-{i}", self.hosts[i % len(self.hosts)], cores_per_executor)
             for i in range(granted)
         ]
+        self._slots: List[Executor] | None = None
 
     def slots(self) -> List[Executor]:
-        """One entry per task slot (an executor appears once per core)."""
-        expanded: List[Executor] = []
-        for executor in self.executors:
-            expanded.extend([executor] * executor.cores)
-        return expanded
+        """One entry per task slot (an executor appears once per core).
+
+        The expansion is computed once and a copy handed out: the parallel
+        stage runner sizes its worker pool off this list and indexes slots
+        by position, so the ordering must be stable for the cluster's life.
+        """
+        if self._slots is None:
+            expanded: List[Executor] = []
+            for executor in self.executors:
+                expanded.extend([executor] * executor.cores)
+            self._slots = expanded
+        return list(self._slots)
+
+    def num_slots(self) -> int:
+        """How many tasks can run concurrently across all executors."""
+        return len(self.slots())
 
     def hosts_with_executors(self) -> List[str]:
         return sorted({e.host for e in self.executors})

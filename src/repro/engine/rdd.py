@@ -177,6 +177,8 @@ class ShuffledRDD(RDD):
         return ()  # reduce tasks fetch from everywhere
 
     def compute(self, partition: Partition, ctx: "TaskContext") -> Iterator[object]:
+        # fetch_shuffle streams block by block; post_shuffle operators that
+        # stop early (LIMIT) therefore never pull -- or pay for -- the rest
         rows = ctx.fetch_shuffle(self.shuffle_id, partition.index)
         if self.post_shuffle is None:
             return iter(rows)

@@ -7,21 +7,37 @@ the executor's host (so an HBase scan knows whether it is co-located with the
 region server) and a cost ledger; the stage's simulated duration is the
 makespan of task durations over the executor slots the tasks were placed on.
 
+Execution itself is delegated to a stage runner (:mod:`repro.engine.runner`):
+by default a thread-pool runner with one worker per executor slot, so a
+stage's tasks genuinely overlap in wall-clock time, with event-driven
+locality-aware placement (delay scheduling).  ``StageInfo`` reports both the
+simulated makespan and the measured wall-clock per stage.
+
 Fault tolerance follows Spark: a failing task is retried on another slot up
 to ``max_task_retries`` times before the job aborts -- recomputation is free
-because compute() re-runs the lineage.
+because compute() re-runs the lineage.  Locality is counted against the host
+that *actually* ran the task, so a retry that rotated hosts is not
+misreported as node-local.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.common.cost import CostModel
 from repro.common.errors import FatalTaskError
 from repro.common.metrics import CostLedger, MetricsRegistry
-from repro.engine.cluster import ComputeCluster, Executor
+from repro.engine.cluster import ComputeCluster
 from repro.engine.rdd import Partition, RDD, ShuffledRDD
+from repro.engine.runner import (
+    DEFAULT_LOCALITY_WAIT_SKIPS,
+    SerialStageRunner,
+    StageRunner,
+    TaskOutcome,
+    TaskSpec,
+    ThreadPoolStageRunner,
+)
 from repro.engine.shuffle import ShuffleBlockStore, estimate_size, stable_hash
 
 
@@ -33,15 +49,21 @@ class TaskContext:
         self.ledger = ledger
         self._scheduler = scheduler
 
-    def fetch_shuffle(self, shuffle_id: int, reduce_partition: int) -> List[object]:
-        """Pull one reduce partition's rows, paying shuffle-read bandwidth."""
-        rows = list(self._scheduler.block_store.fetch(shuffle_id, reduce_partition))
-        nbytes = sum(estimate_size(r) for r in rows)
+    def fetch_shuffle(self, shuffle_id: int, reduce_partition: int) -> Iterator[object]:
+        """Stream one reduce partition's rows, paying shuffle-read bandwidth.
+
+        Rows are yielded block by block (one block per upstream map task) and
+        each block's bytes are charged as it is fetched, so a consumer that
+        stops early -- a LIMIT, say -- never pays for blocks it did not pull.
+        """
         cost = self._scheduler.cost
-        self.ledger.charge(
-            nbytes / cost.shuffle_bytes_per_sec, "engine.shuffle_read_bytes", nbytes
-        )
-        return rows
+        blocks = self._scheduler.block_store.blocks_for(shuffle_id, reduce_partition)
+        for __, rows in blocks:
+            nbytes = sum(estimate_size(r) for r in rows)
+            self.ledger.charge(
+                nbytes / cost.shuffle_bytes_per_sec, "engine.shuffle_read_bytes", nbytes
+            )
+            yield from rows
 
 
 @dataclass
@@ -51,9 +73,10 @@ class StageInfo:
     stage_id: int
     kind: str                 # "shuffle-map" or "result"
     num_tasks: int
-    duration_s: float
+    duration_s: float         # simulated makespan (paper-fidelity metric)
     local_tasks: int
     output_bytes: int
+    wall_clock_s: float = 0.0  # measured driver-side wall clock
 
 
 @dataclass
@@ -71,9 +94,21 @@ class JobResult:
             out.extend(part)
         return out
 
+    @property
+    def wall_clock_s(self) -> float:
+        """Measured wall-clock across all stages (simulated time is ``seconds``)."""
+        return sum(s.wall_clock_s for s in self.stages)
+
 
 class TaskScheduler:
-    """Runs RDD jobs over a compute cluster with simulated timing."""
+    """Runs RDD jobs over a compute cluster with simulated timing.
+
+    ``parallel`` selects the thread-pool stage runner (one worker per
+    executor slot, event-driven placement); with it off, tasks run serially
+    on the driver thread -- the measured baseline the parallelism ablation
+    compares against.  Either way the simulated cost ledger is identical
+    modulo placement.
+    """
 
     def __init__(
         self,
@@ -81,6 +116,9 @@ class TaskScheduler:
         cost_model: CostModel,
         locality_enabled: bool = True,
         max_task_retries: int = 3,
+        parallel: bool = True,
+        locality_wait_skips: int = DEFAULT_LOCALITY_WAIT_SKIPS,
+        realtime_scale: float = 0.0,
     ) -> None:
         self.cluster = cluster
         self.cost = cost_model
@@ -89,6 +127,15 @@ class TaskScheduler:
         self.block_store = ShuffleBlockStore()
         self._materialized_shuffles: set[int] = set()
         self._stage_ids = 0
+        self._slots = cluster.slots()
+        runner_cls = ThreadPoolStageRunner if parallel else SerialStageRunner
+        self._runner: StageRunner = runner_cls(
+            self._slots,
+            cost_model.task_launch_s,
+            locality_enabled=locality_enabled,
+            locality_wait_skips=locality_wait_skips,
+            realtime_scale=realtime_scale,
+        )
 
     # -- public API -------------------------------------------------------
     def run_job(self, rdd: RDD) -> JobResult:
@@ -190,74 +237,69 @@ class TaskScheduler:
         tasks: Sequence[Tuple[Callable[[TaskContext], object], Tuple[str, ...]]],
         kind: str,
     ) -> Tuple[List[object], StageInfo, MetricsRegistry]:
-        """Place, run and time a stage's tasks; returns results in order."""
+        """Hand a stage to the runner; fold outcomes into ordered results."""
         self._stage_ids += 1
+        specs = [
+            TaskSpec(index=i, body=body, preferred=preferred)
+            for i, (body, preferred) in enumerate(tasks)
+        ]
+        execution = self._runner.run(specs, self._run_with_retries)
+
         metrics = MetricsRegistry()
-        slots = self.cluster.slots()
-        slot_load_count = [0] * len(slots)
-        slot_busy_until = [0.0] * len(slots)
         results: List[object] = []
         local_tasks = 0
-
-        for runner, preferred in tasks:
-            slot_idx = self._place(slots, slot_load_count, preferred)
-            host = slots[slot_idx].host
-            if preferred and host in preferred:
-                local_tasks += 1
-            result, ledger = self._run_with_retries(runner, host, slot_idx, slots, metrics)
-            slot_load_count[slot_idx] += 1
-            slot_busy_until[slot_idx] += self.cost.task_launch_s + ledger.seconds
-            metrics.merge(ledger.metrics)
+        for outcome in execution.outcomes:          # already in task order
+            results.append(outcome.value)
+            metrics.merge(outcome.ledger.metrics)
             metrics.incr("engine.tasks", 1)
-            results.append(result)
-
-        duration = max(slot_busy_until, default=0.0)
+            if outcome.failures:
+                metrics.incr("engine.task_failures", outcome.failures)
+            if outcome.rehosted:
+                metrics.incr("engine.task_retries_rehosted", 1)
+            preferred = specs[outcome.index].preferred
+            if preferred and outcome.ran_on_host in preferred:
+                local_tasks += 1
         metrics.incr("engine.local_tasks", local_tasks)
         info = StageInfo(
             stage_id=self._stage_ids,
             kind=kind,
             num_tasks=len(tasks),
-            duration_s=duration,
+            duration_s=execution.sim_makespan_s,
             local_tasks=local_tasks,
             output_bytes=0,
+            wall_clock_s=execution.wall_clock_s,
         )
         return results, info, metrics
 
-    def _place(
-        self,
-        slots: Sequence[Executor],
-        slot_load_count: List[int],
-        preferred: Tuple[str, ...],
-    ) -> int:
-        """Pick a slot: least-loaded among preferred hosts, else least-loaded."""
-        candidates = range(len(slots))
-        if self.locality_enabled and preferred:
-            on_pref = [i for i in candidates if slots[i].host in preferred]
-            if on_pref:
-                return min(on_pref, key=lambda i: slot_load_count[i])
-        return min(candidates, key=lambda i: slot_load_count[i])
+    def _run_with_retries(self, spec: TaskSpec, host: str,
+                          slot_idx: int) -> TaskOutcome:
+        """Run one task, rotating hosts on failure like Spark's blacklisting.
 
-    def _run_with_retries(
-        self,
-        runner: Callable[[TaskContext], object],
-        host: str,
-        slot_idx: int,
-        slots: Sequence[Executor],
-        metrics: MetricsRegistry,
-    ) -> Tuple[object, CostLedger]:
+        The returned outcome records the host that *actually* ran the task so
+        locality accounting stays truthful across retries.
+        """
+        placed_host = host
         attempts = 0
         last_error: Optional[Exception] = None
         while attempts <= self.max_task_retries:
             ledger = CostLedger()
             ctx = TaskContext(host, ledger, self)
             try:
-                return runner(ctx), ledger
+                value = spec.body(ctx)
             except Exception as exc:  # noqa: BLE001 - task code is user code
                 attempts += 1
                 last_error = exc
-                metrics.incr("engine.task_failures", 1)
                 # Spark would retry on another executor; rotate hosts
-                host = slots[(slot_idx + attempts) % len(slots)].host
+                host = self._slots[(slot_idx + attempts) % len(self._slots)].host
+                continue
+            return TaskOutcome(
+                index=spec.index,
+                value=value,
+                ledger=ledger,
+                placed_host=placed_host,
+                ran_on_host=host,
+                failures=attempts,
+            )
         raise FatalTaskError(
             f"task failed after {attempts} attempts: {last_error}"
         ) from last_error

@@ -8,6 +8,7 @@ side against the shuffle bandwidth of the cost model.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Tuple
 
 _OBJ_OVERHEAD = 16
@@ -44,25 +45,47 @@ def estimate_size(value: object) -> int:
 
 
 class ShuffleBlockStore:
-    """Holds map-task output buckets between the two sides of an exchange."""
+    """Holds map-task output buckets between the two sides of an exchange.
+
+    Thread-safe: concurrent map tasks register blocks while reduce tasks of
+    an earlier shuffle stream theirs.  Blocks are indexed by
+    ``(shuffle_id, reduce_partition)`` so a fetch touches only its own
+    bucket instead of scanning every block in the store, and reads take a
+    snapshot under the lock so iteration never races a concurrent writer.
+    """
 
     def __init__(self) -> None:
-        self._blocks: Dict[Tuple[int, int, int], List[object]] = {}
+        self._lock = threading.Lock()
+        # (shuffle_id, reduce_partition) -> {map_partition: rows}
+        self._buckets: Dict[Tuple[int, int], Dict[int, List[object]]] = {}
 
     def put_block(self, shuffle_id: int, map_partition: int,
                   reduce_partition: int, rows: List[object]) -> None:
-        self._blocks[(shuffle_id, map_partition, reduce_partition)] = rows
+        with self._lock:
+            bucket = self._buckets.setdefault((shuffle_id, reduce_partition), {})
+            bucket[map_partition] = rows
+
+    def blocks_for(self, shuffle_id: int,
+                   reduce_partition: int) -> List[Tuple[int, List[object]]]:
+        """One ``(map_partition, rows)`` entry per upstream map output.
+
+        Deterministically ordered by map partition; the list is a snapshot,
+        so callers may consume it lazily without holding the lock.
+        """
+        with self._lock:
+            bucket = self._buckets.get((shuffle_id, reduce_partition), {})
+            return sorted(bucket.items())
 
     def fetch(self, shuffle_id: int, reduce_partition: int) -> Iterable[object]:
         """All rows destined for one reduce partition, across map outputs."""
-        for (sid, __, rid), rows in sorted(self._blocks.items()):
-            if sid == shuffle_id and rid == reduce_partition:
-                yield from rows
+        for __, rows in self.blocks_for(shuffle_id, reduce_partition):
+            yield from rows
 
     def clear(self, shuffle_id: int) -> None:
-        doomed = [k for k in self._blocks if k[0] == shuffle_id]
-        for key in doomed:
-            del self._blocks[key]
+        with self._lock:
+            doomed = [k for k in self._buckets if k[0] == shuffle_id]
+            for key in doomed:
+                del self._buckets[key]
 
 
 def stable_hash(value: object) -> int:

@@ -12,6 +12,7 @@ region server -- which is how data locality becomes measurable.
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
 
 import functools
@@ -230,7 +231,12 @@ class Result:
 # -- connections ----------------------------------------------------------------
 
 class Connection:
-    """A live client connection to one cluster, with a meta-location cache."""
+    """A live client connection to one cluster, with a meta-location cache.
+
+    A pooled connection is shared by every executor-slot thread of a task
+    runner, so the meta cache is guarded by a lock: lookups snapshot under
+    it and invalidation never races an in-progress read.
+    """
 
     _ids = itertools.count(1)
 
@@ -243,6 +249,7 @@ class Connection:
         self.client_host = conf.get(Configuration.CLIENT_HOST, "client")
         self.connection_id = next(Connection._ids)
         self.closed = False
+        self._meta_lock = threading.Lock()
         self._location_cache: Dict[str, List[RegionLocation]] = {}
         # connection setup really is heavyweight: ZooKeeper round trips + meta
         self.cluster.metrics.incr("hbase.connections_created")
@@ -255,17 +262,20 @@ class Connection:
     def region_locations(self, table_name: str) -> List[RegionLocation]:
         """Locations for a table, cached client-side like HBase's meta cache."""
         self._check_open()
-        cached = self._location_cache.get(table_name)
+        with self._meta_lock:
+            cached = self._location_cache.get(table_name)
         if cached is None:
             cached = self.cluster.active_master.region_locations(table_name)
-            self._location_cache[table_name] = cached
+            with self._meta_lock:
+                self._location_cache[table_name] = cached
         return cached
 
     def invalidate_location_cache(self, table_name: Optional[str] = None) -> None:
-        if table_name is None:
-            self._location_cache.clear()
-        else:
-            self._location_cache.pop(table_name, None)
+        with self._meta_lock:
+            if table_name is None:
+                self._location_cache.clear()
+            else:
+                self._location_cache.pop(table_name, None)
 
     def close(self) -> None:
         self.closed = True

@@ -10,6 +10,7 @@ measurable savings.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.common.cost import CostModel
@@ -39,6 +40,12 @@ class RegionServer:
         self.region_max_bytes: Optional[int] = None
         #: the cluster's HDFS, set at wiring time; placement is skipped if None
         self.hdfs = None
+        #: serialises WAL append + memstore apply + flush decisions; parallel
+        #: engine tasks write into the same regions concurrently
+        self._write_lock = threading.RLock()
+        #: per region: bytes each live ledger added to the memstore since the
+        #: last flush, so flush I/O is billed to the writers that caused it
+        self._flush_debts: Dict[str, Dict[int, Tuple[CostLedger, int]]] = {}
 
     # -- region lifecycle -----------------------------------------------------
     def open_region(self, region: Region, replay_wal: Optional[WriteAheadLog] = None) -> None:
@@ -55,11 +62,13 @@ class RegionServer:
         region = self.regions.pop(region_name, None)
         if region is None:
             raise RegionOfflineError(f"{region_name} not served by {self.server_id}")
+        self._flush_debts.pop(region_name, None)
         return region
 
     def crash(self) -> None:
         """Simulate process death: memstores are volatile and vanish."""
         self.alive = False
+        self._flush_debts.clear()
         for region in self.regions.values():
             for store in region.stores.values():
                 store.memstore.clear()
@@ -77,39 +86,69 @@ class RegionServer:
 
     # -- writes ---------------------------------------------------------------
     def put(self, region_name: str, cells: Sequence[Cell], ledger: CostLedger) -> None:
-        """WAL-log then apply a mutation batch; flush if the memstore is full."""
-        region = self._region(region_name)
-        batch = list(cells)
-        seq = self.wal.append(region_name, batch)
-        region.put_cells(batch)
-        payload = sum(c.heap_size() for c in batch)
-        ledger.charge(self.cost.wal_sync_cost_s, "hbase.wal_syncs")
-        ledger.charge(payload / self.cost.write_bytes_per_sec, "hbase.bytes_written", payload)
-        if region.should_flush():
-            written = region.flush()
-            self._place_new_files(region)
-            region.max_flushed_seq = seq
-            self.wal.mark_flushed(region_name, seq)
-            ledger.charge(written / self.cost.write_bytes_per_sec, "hbase.flushes")
-            if (
-                self.region_max_bytes is not None
-                and self.split_listener is not None
-                and region.size_bytes() >= self.region_max_bytes
-            ):
-                self.split_listener(region_name)
+        """WAL-log then apply a mutation batch; flush if the memstore is full.
+
+        Flush I/O is billed to the ledgers that filled the memstore, each in
+        proportion to the bytes it contributed, rather than entirely to the
+        put that happened to cross the threshold.  With concurrent writers
+        the threshold-crossing batch is a thread-timing lottery; per-byte
+        attribution keeps every task's simulated cost independent of how the
+        batches interleaved.
+        """
+        with self._write_lock:
+            region = self._region(region_name)
+            batch = list(cells)
+            seq = self.wal.append(region_name, batch)
+            region.put_cells(batch)
+            payload = sum(c.heap_size() for c in batch)
+            ledger.charge(self.cost.wal_sync_cost_s, "hbase.wal_syncs")
+            ledger.charge(payload / self.cost.write_bytes_per_sec,
+                          "hbase.bytes_written", payload)
+            debts = self._flush_debts.setdefault(region_name, {})
+            owed_ledger, owed = debts.get(id(ledger), (ledger, 0))
+            debts[id(ledger)] = (owed_ledger, owed + payload)
+            if region.should_flush():
+                written = region.flush()
+                self._place_new_files(region)
+                region.max_flushed_seq = seq
+                self.wal.mark_flushed(region_name, seq)
+                self._bill_flush(region_name, written, ledger)
+                if (
+                    self.region_max_bytes is not None
+                    and self.split_listener is not None
+                    and region.size_bytes() >= self.region_max_bytes
+                ):
+                    self.split_listener(region_name)
+
+    def _bill_flush(self, region_name: str, written: int,
+                    trigger: CostLedger) -> None:
+        """Split a flush's I/O cost across the writers that filled it."""
+        debts = self._flush_debts.pop(region_name, {})
+        billed = 0
+        for contributor, contributed in debts.values():
+            contributor.charge(contributed / self.cost.write_bytes_per_sec)
+            billed += contributed
+        # memstore bytes with no live debtor (WAL replay, increments) fall
+        # to the put that triggered the flush, as they always did
+        if written > billed:
+            trigger.charge((written - billed) / self.cost.write_bytes_per_sec)
+        trigger.count("hbase.flushes")
 
     def flush_region(self, region_name: str) -> None:
-        region = self._region(region_name)
-        region.flush()
-        self._place_new_files(region)
-        self.wal.mark_flushed(region_name, self.wal.append(region_name, []))
+        with self._write_lock:
+            region = self._region(region_name)
+            region.flush()
+            self._flush_debts.pop(region_name, None)
+            self._place_new_files(region)
+            self.wal.mark_flushed(region_name, self.wal.append(region_name, []))
 
     def compact_region(self, region_name: str, major: bool = False) -> None:
-        region = self._region(region_name)
-        region.compact(major=major)
-        # compactions write fresh files on THIS server's host, which is how
-        # HBase re-localises a region after it has been moved
-        self._place_new_files(region)
+        with self._write_lock:
+            region = self._region(region_name)
+            region.compact(major=major)
+            # compactions write fresh files on THIS server's host, which is how
+            # HBase re-localises a region after it has been moved
+            self._place_new_files(region)
 
     def _place_new_files(self, region: Region) -> None:
         if self.hdfs is None:
@@ -227,23 +266,24 @@ class RegionServer:
         """
         import struct
 
-        region = self._region(region_name)
-        ledger = ledger if ledger is not None else CostLedger()
-        current = 0
-        hit = self.get(region_name, row, columns={(family, qualifier)},
-                       ledger=ledger)
-        if hit is not None:
-            for cell in hit[1]:
-                if cell.family == family and cell.qualifier == qualifier:
-                    current = struct.unpack(">q", cell.value)[0]
-                    break
-        new_value = current + amount
-        cell = Cell(row, family, qualifier, timestamp,
-                    struct.pack(">q", new_value))
-        seq = self.wal.append(region_name, [cell])
-        region.put_cells([cell])
-        ledger.charge(self.cost.wal_sync_cost_s, "hbase.wal_syncs")
-        return new_value
+        with self._write_lock:
+            region = self._region(region_name)
+            ledger = ledger if ledger is not None else CostLedger()
+            current = 0
+            hit = self.get(region_name, row, columns={(family, qualifier)},
+                           ledger=ledger)
+            if hit is not None:
+                for cell in hit[1]:
+                    if cell.family == family and cell.qualifier == qualifier:
+                        current = struct.unpack(">q", cell.value)[0]
+                        break
+            new_value = current + amount
+            cell = Cell(row, family, qualifier, timestamp,
+                        struct.pack(">q", new_value))
+            self.wal.append(region_name, [cell])
+            region.put_cells([cell])
+            ledger.charge(self.cost.wal_sync_cost_s, "hbase.wal_syncs")
+            return new_value
 
     def check_and_put(self, region_name: str, row: bytes, family: str,
                       qualifier: str, expected: Optional[bytes],
@@ -251,19 +291,20 @@ class RegionServer:
                       ledger: Optional[CostLedger] = None) -> bool:
         """Atomic compare-and-set: apply ``put_cells`` iff the current value
         of ``(row, family, qualifier)`` equals ``expected`` (None = absent)."""
-        ledger = ledger if ledger is not None else CostLedger()
-        hit = self.get(region_name, row, columns={(family, qualifier)},
-                       ledger=ledger)
-        current = None
-        if hit is not None:
-            for cell in hit[1]:
-                if cell.family == family and cell.qualifier == qualifier:
-                    current = cell.value
-                    break
-        if current != expected:
-            return False
-        self.put(region_name, put_cells, ledger)
-        return True
+        with self._write_lock:
+            ledger = ledger if ledger is not None else CostLedger()
+            hit = self.get(region_name, row, columns={(family, qualifier)},
+                           ledger=ledger)
+            current = None
+            if hit is not None:
+                for cell in hit[1]:
+                    if cell.family == family and cell.qualifier == qualifier:
+                        current = cell.value
+                        break
+            if current != expected:
+                return False
+            self.put(region_name, put_cells, ledger)
+            return True
 
     # -- coprocessors -----------------------------------------------------------
     def exec_coprocessor(self, region_name: str, endpoint, params: dict,

@@ -15,6 +15,7 @@ vanilla connector diverge (SHC knows region sizes, a generic scan does not).
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.common.errors import AnalysisError
@@ -28,7 +29,13 @@ from repro.sql.sources import BaseRelation, Filter as SourceFilter
 
 
 class ExecContext:
-    """Per-query execution context: scheduler access + cost accounting."""
+    """Per-query execution context: scheduler access + cost accounting.
+
+    Accumulation is guarded by a lock: operators that run sub-jobs (the
+    broadcast joins) may be evaluated from a session thread-pool worker
+    while other plan fragments of the same query charge driver time, and
+    the accounting must stay consistent either way.
+    """
 
     def __init__(self, scheduler: TaskScheduler, cost, conf: Dict[str, object]) -> None:
         self.scheduler = scheduler
@@ -37,18 +44,23 @@ class ExecContext:
         self.metrics = MetricsRegistry()
         self.job_seconds = 0.0
         self.driver_seconds = 0.0
+        self.wall_seconds = 0.0
         self.all_stages = []
+        self._lock = threading.Lock()
 
     def run_job(self, rdd: RDD) -> JobResult:
         result = self.scheduler.run_job(rdd)
-        self.job_seconds += result.seconds
+        with self._lock:
+            self.job_seconds += result.seconds
+            self.wall_seconds += result.wall_clock_s
+            self.all_stages.extend(result.stages)
         self.metrics.merge(result.metrics)
-        self.all_stages.extend(result.stages)
         return result
 
     def charge_driver(self, seconds: float, counter: Optional[str] = None,
                       amount: float = 1.0) -> None:
-        self.driver_seconds += seconds
+        with self._lock:
+            self.driver_seconds += seconds
         if counter is not None:
             self.metrics.incr(counter, amount)
 

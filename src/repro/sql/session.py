@@ -9,6 +9,7 @@ execute -- and returns rows together with simulated seconds and metrics.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -39,6 +40,7 @@ class QueryResult:
     seconds: float
     metrics: MetricsRegistry
     stages: List[StageInfo] = field(default_factory=list)
+    wall_clock_s: float = 0.0
 
     @property
     def shuffle_bytes(self) -> float:
@@ -62,6 +64,16 @@ DEFAULT_CONF: Dict[str, object] = {
     "sql.shuffle.partitions": 8,
     "sql.autoBroadcastJoinThreshold": 128 * 1024,
     "engine.locality.enabled": True,
+    # thread-pool stage runner: one worker per executor slot; turn off for
+    # the serial driver-thread baseline the parallelism ablation measures
+    "engine.parallel.enabled": True,
+    # delay scheduling: events a task waits for a preferred slot (locality)
+    "engine.locality.wait.skips": 2,
+    # real seconds slept per simulated task-second, to emulate the I/O wait
+    # a real scan spends off-CPU (0 = off; benchmarks opt in)
+    "engine.realtime.scale": 0.0,
+    # workers in the session's concurrent-query pool (Table I "Thread pool")
+    "engine.query.pool.size": 8,
 }
 
 
@@ -89,6 +101,7 @@ class SparkSession:
         self.catalog = Catalog()
         self._analyzer = Analyzer(self.catalog)
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
 
     # -- plan plumbing ------------------------------------------------------------
     def analyze(self, plan: LogicalPlan) -> LogicalPlan:
@@ -98,6 +111,9 @@ class SparkSession:
         return TaskScheduler(
             self.cluster, self.cost,
             locality_enabled=bool(self.conf.get("engine.locality.enabled", True)),
+            parallel=bool(self.conf.get("engine.parallel.enabled", True)),
+            locality_wait_skips=int(self.conf.get("engine.locality.wait.skips", 2)),
+            realtime_scale=float(self.conf.get("engine.realtime.scale", 0.0)),
         )
 
     # -- data ingestion --------------------------------------------------------------
@@ -149,15 +165,19 @@ class SparkSession:
 
     def submit_sql(self, text: str) -> "Future[QueryResult]":
         """Run a SQL query on the session's thread pool (concurrent execution)."""
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(max_workers=8,
-                                            thread_name_prefix="shc-query")
-        return self._pool.submit(lambda: self.sql(text).run())
+        with self._pool_lock:
+            if self._pool is None:
+                workers = int(self.conf.get("engine.query.pool.size", 8))
+                self._pool = ThreadPoolExecutor(max_workers=max(1, workers),
+                                                thread_name_prefix="shc-query")
+            pool = self._pool
+        return pool.submit(lambda: self.sql(text).run())
 
     def shutdown(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     # -- execution -----------------------------------------------------------------------
     def execute_plan(self, plan: LogicalPlan) -> QueryResult:
@@ -176,7 +196,8 @@ class SparkSession:
         rows = [Row(values, schema) for values in job.rows()]
         seconds = self.cost.driver_overhead_s + ctx.driver_seconds + ctx.job_seconds
         self.clock.advance(seconds)
-        return QueryResult(rows, schema, seconds, ctx.metrics, ctx.all_stages)
+        return QueryResult(rows, schema, seconds, ctx.metrics, ctx.all_stages,
+                           wall_clock_s=ctx.wall_seconds)
 
     def _execute_insert(self, plan) -> QueryResult:
         """Run ``INSERT INTO view SELECT/VALUES`` through the relation."""

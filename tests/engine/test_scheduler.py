@@ -114,3 +114,51 @@ def test_peak_stage_bytes_recorded():
     rdd = ParallelCollectionRDD(["x" * 100] * 10, 2)
     result = scheduler.run_job(rdd)
     assert result.metrics.peak("engine.peak_stage_bytes") > 0
+
+
+def test_retry_rehosting_counted():
+    """A retried task that landed on another host shows up in the rehosted
+    counter, and locality is judged against the host that actually ran it."""
+    scheduler = make_scheduler(hosts=("h1", "h2"), executors=2)
+    attempts = {"n": 0}
+
+    def flaky(rows, ctx):
+        attempts["n"] += 1
+        if attempts["n"] <= 2:
+            raise RuntimeError("transient")
+        return rows
+
+    rdd = ParallelCollectionRDD([1, 2, 3], 1).map_partitions(flaky)
+    result = scheduler.run_job(rdd)
+    assert result.metrics.get("engine.task_failures") == 2
+    # two host rotations moved the task off its original placement
+    assert result.metrics.get("engine.task_retries_rehosted") == 1
+
+
+def test_wall_clock_reported_per_stage():
+    scheduler = make_scheduler()
+    rdd = ParallelCollectionRDD(range(10), 2).partition_by(2, key_fn=lambda x: x)
+    result = scheduler.run_job(rdd)
+    assert all(s.wall_clock_s > 0 for s in result.stages)
+    assert result.wall_clock_s == pytest.approx(
+        sum(s.wall_clock_s for s in result.stages)
+    )
+
+
+def test_serial_and_parallel_agree_on_rows_and_work():
+    """The thread-pool runner must change wall-clock behaviour only: rows and
+    simulated work metrics are identical to the serial baseline."""
+    def run(parallel):
+        cluster = ComputeCluster(["h1", "h2"], executors_requested=2)
+        scheduler = TaskScheduler(cluster, DEFAULT_COST_MODEL, parallel=parallel)
+        rdd = ParallelCollectionRDD(range(32), 8) \
+            .map(lambda x: (x % 4, x)) \
+            .partition_by(4, key_fn=lambda kv: kv[0])
+        return scheduler.run_job(rdd)
+
+    serial, pooled = run(False), run(True)
+    assert sorted(serial.rows()) == sorted(pooled.rows())
+    for key in ("engine.tasks", "engine.shuffle_write_bytes",
+                "engine.shuffle_read_bytes"):
+        assert serial.metrics.get(key) == pooled.metrics.get(key)
+    assert serial.seconds == pytest.approx(pooled.seconds)

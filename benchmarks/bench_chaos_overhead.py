@@ -1,0 +1,92 @@
+"""Chaos overhead: what a crash schedule costs in query latency.
+
+Each pinned seed runs q39a fault-free and then under the chaos schedule the
+integration suite replays (a region-server crash mid-scan plus transient RPC
+faults).  The answer must be byte-identical; the simulated latency gap is
+the price of recovery -- retries, backoff, relocation and re-scanning --
+which this benchmark records per seed into ``benchmarks/results/``.
+"""
+
+from repro.bench.reporting import format_table
+from repro.common.faults import (
+    FAULT_RPC,
+    FAULT_SCAN_STREAM,
+    FaultInjector,
+    crash_region_server,
+)
+from repro.core.catalog import HBaseSparkConf
+from repro.workloads.loader import load_tpcds
+from repro.workloads.queries import q39a
+from repro.workloads.tpcds_schema import Q39_TABLES
+
+from conftest import write_report
+
+#: same pinned seeds as tests/integration/test_chaos.py
+CHAOS_SEEDS = (101, 202, 303)
+SIZE_GB = 15
+#: small scanner pages so the injected crash lands between result pages
+READER_OPTIONS = {HBaseSparkConf.CACHED_ROWS: "40"}
+
+_RESULTS = {}
+
+
+def _chaos_injector(seed):
+    injector = FaultInjector(seed=seed)
+    injector.inject(FAULT_SCAN_STREAM, rate=1.0, after=1, times=1,
+                    action=crash_region_server)
+    injector.inject(FAULT_RPC, rate=0.3, times=5)
+    return injector
+
+
+def _run_pair(seed):
+    env = load_tpcds(SIZE_GB, Q39_TABLES)
+    baseline = env.new_session(extra_options=READER_OPTIONS) \
+        .sql(q39a()).run()
+    injector = _chaos_injector(seed)
+    env.cluster.install_fault_injector(injector)
+    session = env.new_session(extra_options=READER_OPTIONS)
+    session.install_fault_injector(injector)
+    chaos = session.sql(q39a()).run()
+    crashed = sum(1 for s in env.cluster.region_servers.values() if not s.alive)
+    return baseline, chaos, injector, crashed
+
+
+def test_chaos_overhead(benchmark):
+    def run_all():
+        for seed in CHAOS_SEEDS:
+            _RESULTS[seed] = _run_pair(seed)
+
+    benchmark.pedantic(run_all, iterations=1, rounds=1)
+
+
+def test_chaos_overhead_report(benchmark):
+    def report():
+        rows = []
+        for seed, (baseline, chaos, injector, crashed) in _RESULTS.items():
+            # identical answers under chaos, and the schedule really ran
+            assert [tuple(r.values) for r in chaos.rows] == \
+                [tuple(r.values) for r in baseline.rows]
+            assert crashed == 1
+            assert chaos.metrics.get("hbase.retries") >= 1
+            rows.append([
+                seed,
+                f"{baseline.seconds:.2f}s",
+                f"{chaos.seconds:.2f}s",
+                f"{chaos.seconds / baseline.seconds:.2f}x",
+                f"{injector.injected():.0f}",
+                f"{chaos.metrics.get('hbase.retries'):.0f}",
+                f"{chaos.metrics.get('shc.scan_resumes'):.0f}",
+                f"{chaos.metrics.get('hbase.backoff_s'):.2f}s",
+            ])
+        write_report(
+            "chaos_overhead",
+            format_table(
+                ["seed", "fault-free", "crash schedule", "overhead",
+                 "faults", "retries", "resumes", "backoff"],
+                rows,
+                f"Chaos overhead: q39a at {SIZE_GB} GB nominal, "
+                "one region-server crash + transient RPC faults",
+            ),
+        )
+
+    benchmark.pedantic(report, iterations=1, rounds=1)

@@ -8,15 +8,26 @@ from repro.common.errors import (
     HBaseError,
     NoSuchTableError,
     RegionOfflineError,
+    RegionServerStoppedError,
+    TransientRpcError,
+    FilterEvalError,
+    OperationTimeoutError,
+    RetriesExhaustedError,
+    ShuffleFetchError,
     SecurityError,
     SqlError,
     AnalysisError,
     ParseError,
 )
+from repro.common.faults import FaultInjector, FaultRule
 from repro.common.metrics import CostLedger, MetricsRegistry
+from repro.common.retry import RetryPolicy
 from repro.common.simclock import SimClock
 
 __all__ = [
+    "FaultInjector",
+    "FaultRule",
+    "RetryPolicy",
     "CostModel",
     "MetricsRegistry",
     "CostLedger",
@@ -27,6 +38,12 @@ __all__ = [
     "HBaseError",
     "NoSuchTableError",
     "RegionOfflineError",
+    "RegionServerStoppedError",
+    "TransientRpcError",
+    "FilterEvalError",
+    "OperationTimeoutError",
+    "RetriesExhaustedError",
+    "ShuffleFetchError",
     "SecurityError",
     "SqlError",
     "AnalysisError",

@@ -33,6 +33,35 @@ class RegionOfflineError(HBaseError):
     """The region holding the requested row is not currently served."""
 
 
+class RegionServerStoppedError(RegionOfflineError):
+    """The region server owning the region has crashed or been stopped.
+
+    A subclass of :class:`RegionOfflineError` because the client-side remedy
+    is identical: invalidate the cached location and re-locate after the
+    master reassigns the dead server's regions.
+    """
+
+
+class TransientRpcError(HBaseError):
+    """A retryable RPC failure (connection reset, timeout, queue-full)."""
+
+
+class FilterEvalError(HBaseError):
+    """A pushed-down server-side filter failed while evaluating a row.
+
+    The client degrades gracefully: it re-issues the scan unfiltered and
+    applies the predicate client-side instead of failing the query.
+    """
+
+
+class OperationTimeoutError(HBaseError):
+    """A client operation exceeded its simulated-time deadline across retries."""
+
+
+class RetriesExhaustedError(HBaseError):
+    """A client operation kept failing after every allowed retry."""
+
+
 class SecurityError(ReproError):
     """Authentication or token management failure."""
 
@@ -55,6 +84,10 @@ class AnalysisError(SqlError):
 
 class EngineError(ReproError):
     """A failure inside the compute engine (scheduler, executors, shuffle)."""
+
+
+class ShuffleFetchError(EngineError):
+    """A reduce task failed to fetch a map output block (retryable)."""
 
 
 class FatalTaskError(EngineError):

@@ -27,6 +27,7 @@ class HBaseSparkConf:
     MIN_TIMESTAMP = "hbase.spark.query.timerange.start"
     MAX_TIMESTAMP = "hbase.spark.query.timerange.end"
     MAX_VERSIONS = "hbase.spark.query.maxVersions"
+    CACHED_ROWS = "hbase.spark.query.cachedrows"
     CREDENTIALS_ENABLED = "spark.hbase.connector.security.credentials.enabled"
     PRINCIPAL = "spark.yarn.principal"
     KEYTAB = "spark.yarn.keytab"

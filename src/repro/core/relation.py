@@ -208,6 +208,13 @@ class HBaseRelation(BaseRelation):
         value = self.options.get(HBaseSparkConf.MAX_VERSIONS)
         return int(value) if value is not None else 1
 
+    def scan_caching(self) -> Optional[int]:
+        """Rows per scan RPC (``hbase.spark.query.cachedrows``); None = default."""
+        value = self.options.get(HBaseSparkConf.CACHED_ROWS)
+        if value is None:
+            value = self.session.conf.get(HBaseSparkConf.CACHED_ROWS)
+        return int(value) if value is not None else None
+
     # -- connections & security ------------------------------------------------------
     def decode_cell_cost(self) -> float:
         cost = self.session.cost
@@ -248,10 +255,21 @@ class HBaseRelation(BaseRelation):
         concurrent tasks on different hosts each hit their own pooled
         connection.
         """
-        return Configuration({
+        conf = Configuration({
             Configuration.QUORUM: self.quorum,
             Configuration.CLIENT_HOST: host,
         })
+        # retry-policy knobs flow from read options / session conf into the
+        # client, like hbase-site properties on an executor's classpath
+        for key in (Configuration.RETRIES_NUMBER, Configuration.CLIENT_PAUSE,
+                    Configuration.CLIENT_PAUSE_MAX,
+                    Configuration.OPERATION_TIMEOUT):
+            value = self.options.get(key)
+            if value is None:
+                value = self.session.conf.get(key)
+            if value is not None:
+                conf[key] = value
+        return conf
 
     def acquire_connection(self, ctx: "TaskContext"):
         """Per-task connection acquisition (executor-local cache keying)."""

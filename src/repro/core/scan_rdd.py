@@ -12,7 +12,13 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
 
-from repro.common.errors import CatalogError
+from repro.common.errors import (
+    CatalogError,
+    FilterEvalError,
+    RegionOfflineError,
+    RetriesExhaustedError,
+    TransientRpcError,
+)
 from repro.core.catalog import ColumnDef
 from repro.core.keys import decode_rowkey
 from repro.core.partitions import HBaseScanPartition
@@ -99,6 +105,7 @@ class HBaseTableScanRDD(RDD):
             hbase_columns = self._hbase_columns()
             time_range = relation.time_range()
             max_versions = relation.max_versions()
+            caching = relation.scan_caching()
             gets: List[Get] = []
             for work in scan_partition.work:
                 for scan_range in work.ranges:
@@ -107,10 +114,11 @@ class HBaseTableScanRDD(RDD):
                         self._configure_get(get, hbase_columns, time_range, max_versions)
                         gets.append(get)
                     else:
-                        scan = Scan(scan_range.start, scan_range.stop)
-                        self._configure_scan(scan, hbase_columns, time_range, max_versions)
-                        for result in table.scan_region(work.location, scan,
-                                                        ctx.ledger):
+                        for result in self._scan_range(
+                            table, connection, work.location, scan_range,
+                            hbase_columns, time_range, max_versions, caching,
+                            ctx,
+                        ):
                             values, ncells = self._decode_result(result)
                             decoded_cells += ncells
                             yield values
@@ -125,6 +133,88 @@ class HBaseTableScanRDD(RDD):
             ctx.ledger.charge(decode_cost * decoded_cells,
                               "shc.cells_decoded", decoded_cells)
             relation.release_connection(ctx)
+
+    # -- fault-tolerant range scanning -------------------------------------------
+    def _scan_range(self, table, connection, location, scan_range,
+                    columns, time_range, max_versions,
+                    caching: Optional[int],
+                    ctx: "TaskContext") -> Iterator[Result]:
+        """Scan one clipped range, surviving crashes and filter failures.
+
+        Exactly-once resumption: ``resume`` tracks the successor of the last
+        row key *yielded*, so when the serving region server crashes mid-scan
+        (or meta goes stale) the generator backs off per the connection's
+        retry policy, re-locates the region -- by then the master has
+        reassigned it and WAL replay restored unflushed cells -- and re-issues
+        the scan from ``resume``: no row is lost or duplicated.  A pushed-down
+        filter that fails server-side degrades gracefully: the scan is
+        re-issued unfiltered from the same position and the predicate is
+        applied client-side (the scan already fetches the filter's columns).
+        Fault-free this makes exactly the one ``scan_region`` call per range
+        it always made.
+        """
+        relation = self.relation
+        policy = connection.retry_policy
+        table_name = relation.catalog.qualified_name
+        resume = scan_range.start
+        stop = scan_range.stop
+        client_filter: Optional[HFilter] = None
+        failures = 0
+        while True:
+            scan = Scan(resume, stop)
+            self._configure_scan(scan, columns, time_range, max_versions)
+            if client_filter is not None:
+                scan.filter = None
+            if caching is not None:
+                scan.set_caching(caching)
+            try:
+                for result in table.scan_region(location, scan, ctx.ledger):
+                    if client_filter is not None and not client_filter.filter_row(
+                            result.row, result.cells):
+                        resume = result.row + b"\x00"
+                        continue
+                    yield result
+                    resume = result.row + b"\x00"
+            except FilterEvalError:
+                # graceful degradation: rerun the scan without the pushed
+                # filter and evaluate the predicate as a client-side residual
+                client_filter = self.hbase_filter
+                ctx.ledger.count("shc.filter_fallbacks")
+                continue
+            except (RegionOfflineError, TransientRpcError) as exc:
+                failures += 1
+                if not policy.allows_retry(failures):
+                    raise RetriesExhaustedError(
+                        f"scan of {table_name} gave up after {failures} "
+                        f"failures: {exc}"
+                    ) from exc
+                backoff = policy.backoff_s(failures, key=location.region_name)
+                ctx.ledger.charge(backoff, "hbase.backoff_s", backoff)
+                ctx.ledger.count("hbase.retries")
+                ctx.ledger.count("shc.scan_resumes")
+                connection.invalidate_location_cache(table_name)
+                location = self._relocate(connection, table_name, resume)
+                continue
+            # this region is exhausted; a range extending past its end (the
+            # region split since the partition was planned) continues in the
+            # next region -- otherwise the range is done
+            end = location.end_row
+            if not end or (stop is not None and end >= stop):
+                return
+            resume = max(resume, end)
+            location = self._relocate(connection, table_name, resume)
+
+    @staticmethod
+    def _relocate(connection, table_name: str, row: bytes):
+        """Fresh meta lookup: the region currently serving ``row``."""
+        for location in connection.region_locations(table_name):
+            if row < location.start_row:
+                continue
+            if not location.end_row or row < location.end_row:
+                return location
+        raise RegionOfflineError(
+            f"no region of {table_name} covers row {row!r} after relocation"
+        )
 
     # -- request shaping ---------------------------------------------------------
     def _hbase_columns(self) -> Optional[Set[Tuple[str, str]]]:

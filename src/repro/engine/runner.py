@@ -32,8 +32,8 @@ from __future__ import annotations
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
-from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.common.metrics import CostLedger
 from repro.engine.cluster import Executor
@@ -50,6 +50,12 @@ class TaskSpec:
     body: Callable[..., object]          # Callable[[TaskContext], object]
     preferred: Tuple[str, ...] = ()
     skips: int = 0                       # delay-scheduling bookkeeping
+    #: True for a duplicate launched by speculative execution
+    speculative: bool = False
+    #: set by the task executor while an attempt runs, so the dispatcher can
+    #: observe a straggler's accrued simulated cost and where it is running
+    live_ledger: Optional[CostLedger] = None
+    live_host: Optional[str] = None
 
 
 @dataclass
@@ -79,6 +85,11 @@ class StageExecution:
     outcomes: List[TaskOutcome]          # in task-index order
     sim_makespan_s: float                # event-simulated stage duration
     wall_clock_s: float                  # measured on the driver
+    speculative_launched: int = 0        # duplicates launched for stragglers
+    speculative_won: int = 0             # duplicates that beat the original
+    #: ledgers of race losers: their results were discarded but their
+    #: simulated work still happened and must be counted by the scheduler
+    wasted: List[CostLedger] = field(default_factory=list)
 
 
 #: the scheduler-provided task executor: (spec, host, slot_index) -> outcome
@@ -95,6 +106,9 @@ class StageRunner:
         locality_enabled: bool = True,
         locality_wait_skips: int = DEFAULT_LOCALITY_WAIT_SKIPS,
         realtime_scale: float = 0.0,
+        speculation_enabled: bool = False,
+        speculation_multiplier: float = 1.5,
+        speculation_quantile: float = 0.5,
     ) -> None:
         if not slots:
             raise ValueError("a stage runner needs at least one slot")
@@ -104,6 +118,9 @@ class StageRunner:
         self.locality_enabled = locality_enabled
         self.locality_wait_skips = max(0, locality_wait_skips)
         self.realtime_scale = realtime_scale
+        self.speculation_enabled = speculation_enabled
+        self.speculation_multiplier = speculation_multiplier
+        self.speculation_quantile = speculation_quantile
 
     # -- helpers -----------------------------------------------------------
     def _least_loaded(self, candidates: Sequence[int],
@@ -173,10 +190,16 @@ class ThreadPoolStageRunner(StageRunner):
 
     def run(self, tasks: Sequence[TaskSpec], run_task: RunTaskFn) -> StageExecution:
         pending: Deque[TaskSpec] = deque(tasks)
+        total = len(tasks)
         sim_free_at = [0.0] * len(self.slots)
         free_slots: List[int] = list(range(len(self.slots)))
         in_flight: Dict[Future, Tuple[TaskSpec, int]] = {}
         outcomes: List[TaskOutcome] = []
+        done_indices: Set[int] = set()
+        speculated: Set[int] = set()
+        wasted: List[CostLedger] = []
+        spec_launched = 0
+        spec_won = 0
         failure: Optional[BaseException] = None
         wall_start = time.perf_counter()
 
@@ -195,6 +218,12 @@ class ThreadPoolStageRunner(StageRunner):
                         slot_idx = self._least_loaded(free_slots, sim_free_at)
                         free_slots.remove(slot_idx)
                         self._submit(spec, slot_idx, in_flight, pool, run_task)
+                    if (self.speculation_enabled and not pending
+                            and free_slots and in_flight):
+                        spec_launched += self._speculate(
+                            outcomes, done_indices, speculated, total,
+                            free_slots, sim_free_at, in_flight, pool, run_task
+                        )
                 elif not in_flight:
                     break  # a task aborted and everything running has drained
                 done, __ = wait(list(in_flight), return_when=FIRST_COMPLETED)
@@ -204,17 +233,85 @@ class ThreadPoolStageRunner(StageRunner):
                     try:
                         outcome = future.result()
                     except BaseException as exc:  # noqa: BLE001 - re-raised below
+                        if spec.index in done_indices:
+                            continue  # its twin already delivered the result
+                        if any(s.index == spec.index
+                               for s, __s in in_flight.values()):
+                            continue  # the surviving twin may still win
                         if failure is None:
                             failure = exc
                             pending.clear()
                         continue
+                    if outcome.index in done_indices:
+                        # lost the speculation race: the duplicate's result is
+                        # discarded but its simulated work still gets counted
+                        wasted.append(outcome.ledger)
+                        continue
+                    done_indices.add(outcome.index)
+                    if spec.speculative:
+                        spec_won += 1
                     self._account(outcome, slot_idx, sim_free_at)
                     outcomes.append(outcome)
         if failure is not None:
             raise failure
         wall = time.perf_counter() - wall_start
         outcomes.sort(key=lambda o: o.index)
-        return StageExecution(outcomes, max(sim_free_at, default=0.0), wall)
+        return StageExecution(outcomes, max(sim_free_at, default=0.0), wall,
+                              speculative_launched=spec_launched,
+                              speculative_won=spec_won, wasted=wasted)
+
+    # -- speculative execution ---------------------------------------------
+    def _speculate(
+        self,
+        outcomes: List[TaskOutcome],
+        done_indices: Set[int],
+        speculated: Set[int],
+        total: int,
+        free_slots: List[int],
+        sim_free_at: Sequence[float],
+        in_flight: Dict[Future, Tuple[TaskSpec, int]],
+        pool: ThreadPoolExecutor,
+        run_task: RunTaskFn,
+    ) -> int:
+        """Duplicate straggling in-flight tasks onto free slots (tail mitigation).
+
+        Spark-style: once a quantile of the stage has finished, any still
+        running task whose live simulated cost exceeds ``multiplier x median``
+        of the completed durations gets one duplicate on a *different* host.
+        First finisher wins; the loser's ledger lands in ``wasted``.  The
+        winner alone advances its slot's simulated timeline -- in the
+        simulated cluster the loser is killed the moment the winner reports,
+        which is exactly the tail-latency cut speculation exists to buy.
+        """
+        needed = max(1, int(self.speculation_quantile * total))
+        if len(outcomes) < needed:
+            return 0
+        durations = sorted(o.ledger.seconds for o in outcomes)
+        median = durations[len(durations) // 2]
+        if median <= 0.0:
+            return 0
+        threshold = self.speculation_multiplier * median
+        launched = 0
+        for spec, __slot in list(in_flight.values()):
+            if not free_slots:
+                break
+            if (spec.speculative or spec.index in speculated
+                    or spec.index in done_indices):
+                continue
+            live = spec.live_ledger
+            if live is None or live.seconds < threshold:
+                continue
+            candidates = [i for i in free_slots
+                          if self.slots[i].host != spec.live_host]
+            if not candidates:
+                continue
+            slot_idx = self._least_loaded(candidates, sim_free_at)
+            free_slots.remove(slot_idx)
+            copy = TaskSpec(index=spec.index, body=spec.body, speculative=True)
+            speculated.add(spec.index)
+            self._submit(copy, slot_idx, in_flight, pool, run_task)
+            launched += 1
+        return launched
 
     # -- dispatch ----------------------------------------------------------
     def _dispatch_round(

@@ -22,12 +22,16 @@ misreported as node-local.
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.common.cost import CostModel
 from repro.common.errors import FatalTaskError
+from repro.common.faults import FAULT_SHUFFLE_FETCH, FAULT_SLOW_HOST
 from repro.common.metrics import CostLedger, MetricsRegistry
+from repro.common.retry import stable_fraction
 from repro.engine.cluster import ComputeCluster
 from repro.engine.rdd import Partition, RDD, ShuffledRDD
 from repro.engine.runner import (
@@ -57,8 +61,13 @@ class TaskContext:
         stops early -- a LIMIT, say -- never pays for blocks it did not pull.
         """
         cost = self._scheduler.cost
+        faults = self._scheduler.faults
         blocks = self._scheduler.block_store.blocks_for(shuffle_id, reduce_partition)
         for __, rows in blocks:
+            if faults is not None:
+                faults.check(FAULT_SHUFFLE_FETCH,
+                             key=f"{shuffle_id}:{reduce_partition}",
+                             ledger=self.ledger)
             nbytes = sum(estimate_size(r) for r in rows)
             self.ledger.charge(
                 nbytes / cost.shuffle_bytes_per_sec, "engine.shuffle_read_bytes", nbytes
@@ -119,11 +128,27 @@ class TaskScheduler:
         parallel: bool = True,
         locality_wait_skips: int = DEFAULT_LOCALITY_WAIT_SKIPS,
         realtime_scale: float = 0.0,
+        faults=None,
+        speculation_enabled: bool = False,
+        speculation_multiplier: float = 1.5,
+        speculation_quantile: float = 0.5,
+        blacklist_max_failures: int = 2,
+        retry_backoff_s: float = 0.05,
+        retry_backoff_max_s: float = 2.0,
     ) -> None:
         self.cluster = cluster
         self.cost = cost_model
         self.locality_enabled = locality_enabled
         self.max_task_retries = max_task_retries
+        #: optional FaultInjector for engine fault points (slow hosts,
+        #: shuffle-fetch failures); None keeps every point a no-op
+        self.faults = faults
+        self.blacklist_max_failures = blacklist_max_failures
+        self.retry_backoff_s = retry_backoff_s
+        self.retry_backoff_max_s = retry_backoff_max_s
+        self._blacklist_lock = threading.Lock()
+        self._host_failures: Dict[str, int] = {}
+        self._blacklisted: set[str] = set()
         self.block_store = ShuffleBlockStore()
         self._materialized_shuffles: set[int] = set()
         self._stage_ids = 0
@@ -135,6 +160,9 @@ class TaskScheduler:
             locality_enabled=locality_enabled,
             locality_wait_skips=locality_wait_skips,
             realtime_scale=realtime_scale,
+            speculation_enabled=speculation_enabled,
+            speculation_multiplier=speculation_multiplier,
+            speculation_quantile=speculation_quantile,
         )
 
     # -- public API -------------------------------------------------------
@@ -143,12 +171,18 @@ class TaskScheduler:
         metrics = MetricsRegistry()
         stages: List[StageInfo] = []
         total_seconds = 0.0
-        for shuffled in self._pending_shuffles(rdd):
-            info, stage_metrics = self._run_shuffle_map_stage(shuffled)
-            stages.append(info)
-            metrics.merge(stage_metrics)
-            total_seconds += info.duration_s
-        partitions, info, stage_metrics = self._run_result_stage(rdd)
+        job_shuffles: List[int] = []
+        try:
+            for shuffled in self._pending_shuffles(rdd):
+                job_shuffles.append(shuffled.shuffle_id)
+                info, stage_metrics = self._run_shuffle_map_stage(shuffled)
+                stages.append(info)
+                metrics.merge(stage_metrics)
+                total_seconds += info.duration_s
+            partitions, info, stage_metrics = self._run_result_stage(rdd)
+        except Exception:
+            self._abort_job_shuffles(job_shuffles)
+            raise
         stages.append(info)
         metrics.merge(stage_metrics)
         total_seconds += info.duration_s
@@ -159,6 +193,18 @@ class TaskScheduler:
     def collect(self, rdd: RDD) -> List[object]:
         """Convenience: run the job and flatten the result partitions."""
         return self.run_job(rdd).rows()
+
+    def _abort_job_shuffles(self, shuffle_ids: Sequence[int]) -> None:
+        """Drop shuffle output the aborted job produced (or started producing).
+
+        Without this, completed map tasks of a stage that later aborted leave
+        their blocks in the ShuffleBlockStore forever and the shuffle stays
+        marked materialised -- a rerun of the same lineage would then read a
+        possibly partial shuffle instead of recomputing it.
+        """
+        for shuffle_id in shuffle_ids:
+            self.block_store.clear(shuffle_id)
+            self._materialized_shuffles.discard(shuffle_id)
 
     # -- stage planning -----------------------------------------------------
     def _pending_shuffles(self, rdd: RDD) -> List[ShuffledRDD]:
@@ -260,6 +306,16 @@ class TaskScheduler:
             if preferred and outcome.ran_on_host in preferred:
                 local_tasks += 1
         metrics.incr("engine.local_tasks", local_tasks)
+        if execution.speculative_launched:
+            metrics.incr("engine.speculative_launched",
+                         execution.speculative_launched)
+        if execution.speculative_won:
+            metrics.incr("engine.speculative_won", execution.speculative_won)
+        for lost in execution.wasted:
+            # the race loser's work still happened: count its metrics and
+            # record the duplicated simulated seconds as waste
+            metrics.merge(lost.metrics)
+            metrics.incr("engine.speculative_wasted_s", lost.seconds)
         info = StageInfo(
             stage_id=self._stage_ids,
             kind=kind,
@@ -276,22 +332,40 @@ class TaskScheduler:
         """Run one task, rotating hosts on failure like Spark's blacklisting.
 
         The returned outcome records the host that *actually* ran the task so
-        locality accounting stays truthful across retries.
+        locality accounting stays truthful across retries.  Failed attempts'
+        ledgers are *not* discarded: their simulated work plus the inter-retry
+        backoff is folded into the final outcome, so a task that needed three
+        tries costs what three tries cost.  Hosts that keep failing tasks get
+        blacklisted and retries rotate around them.
         """
         placed_host = host
         attempts = 0
+        carry: Optional[CostLedger] = None
         last_error: Optional[Exception] = None
         while attempts <= self.max_task_retries:
             ledger = CostLedger()
             ctx = TaskContext(host, ledger, self)
+            spec.live_host = host
+            spec.live_ledger = ledger
             try:
                 value = spec.body(ctx)
+                self._apply_host_faults(ledger, host)
             except Exception as exc:  # noqa: BLE001 - task code is user code
                 attempts += 1
                 last_error = exc
-                # Spark would retry on another executor; rotate hosts
-                host = self._slots[(slot_idx + attempts) % len(self._slots)].host
+                self._note_host_failure(host, ledger)
+                if carry is None:
+                    carry = CostLedger()
+                carry.merge(ledger)
+                if attempts <= self.max_task_retries:
+                    backoff = self._retry_backoff(spec.index, attempts)
+                    carry.charge(backoff, "engine.retry_backoff_s", backoff)
+                    # Spark would retry on another executor; rotate hosts,
+                    # skipping any that are blacklisted
+                    host = self._retry_host(slot_idx, attempts)
                 continue
+            if carry is not None:
+                ledger.merge(carry)
             return TaskOutcome(
                 index=spec.index,
                 value=value,
@@ -303,3 +377,62 @@ class TaskScheduler:
         raise FatalTaskError(
             f"task failed after {attempts} attempts: {last_error}"
         ) from last_error
+
+    # -- retry/blacklist/straggler plumbing ---------------------------------
+    def _apply_host_faults(self, ledger: CostLedger, host: str) -> None:
+        """Consult the ``engine.slow_host`` fault point for a finished attempt.
+
+        A matching rule returns a ``SlowHostEffect``: ``factor`` inflates the
+        attempt's accrued simulated cost (the straggler), and ``sleep_s``
+        holds the task open in wall-clock time so speculative execution can
+        observe a still-running tail task and race a duplicate against it.
+        The inflation lands *before* the sleep, so the dispatcher sees the
+        straggler's cost on its live ledger while the task is still running.
+        """
+        faults = self.faults
+        if faults is None:
+            return
+        effect = faults.check(FAULT_SLOW_HOST, key=host, ledger=ledger)
+        if effect is None:
+            return
+        factor = getattr(effect, "factor", 1.0)
+        if factor > 1.0 and ledger.seconds > 0.0:
+            extra = ledger.seconds * (factor - 1.0)
+            ledger.charge(extra, "faults.slowdown_s", extra)
+        sleep_s = getattr(effect, "sleep_s", 0.0)
+        if sleep_s > 0.0:
+            time.sleep(sleep_s)
+
+    def _note_host_failure(self, host: str, ledger: CostLedger) -> None:
+        """Count a failed attempt against its host; blacklist repeat offenders.
+
+        A host is never blacklisted if doing so would leave no usable host,
+        mirroring Spark's refusal to blacklist its way out of a cluster.
+        """
+        if self.blacklist_max_failures <= 0:
+            return
+        with self._blacklist_lock:
+            count = self._host_failures.get(host, 0) + 1
+            self._host_failures[host] = count
+            if count >= self.blacklist_max_failures and host not in self._blacklisted:
+                live_hosts = {s.host for s in self._slots}
+                if len(self._blacklisted) + 1 < len(live_hosts):
+                    self._blacklisted.add(host)
+                    ledger.count("engine.hosts_blacklisted")
+
+    def _retry_backoff(self, task_index: int, attempt: int) -> float:
+        """Capped exponential inter-retry backoff with deterministic jitter."""
+        raw = min(self.retry_backoff_max_s,
+                  self.retry_backoff_s * 2 ** (attempt - 1))
+        return raw * (0.5 + stable_fraction("engine.retry", task_index, attempt))
+
+    def _retry_host(self, slot_idx: int, attempts: int) -> str:
+        """The next host in the retry rotation, skipping blacklisted hosts."""
+        n = len(self._slots)
+        with self._blacklist_lock:
+            blacklisted = set(self._blacklisted)
+        for step in range(attempts, attempts + n):
+            candidate = self._slots[(slot_idx + step) % n].host
+            if candidate not in blacklisted:
+                return candidate
+        return self._slots[(slot_idx + attempts) % n].host

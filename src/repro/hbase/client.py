@@ -17,8 +17,17 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, TYPE_CH
 
 import functools
 
-from repro.common.errors import HBaseError, RegionOfflineError, SecurityError
+from repro.common.errors import (
+    HBaseError,
+    OperationTimeoutError,
+    RegionOfflineError,
+    RetriesExhaustedError,
+    SecurityError,
+    TransientRpcError,
+)
+from repro.common.faults import FAULT_FILTER, FAULT_RPC, FAULT_STALE_META, FAULT_SCAN_STREAM
 from repro.common.metrics import CostLedger
+from repro.common.retry import RetryPolicy
 from repro.hbase.cell import Cell, CellType
 from repro.hbase.filters import Filter
 from repro.hbase.master import RegionLocation
@@ -38,6 +47,11 @@ class Configuration(dict):
 
     QUORUM = "hbase.zookeeper.quorum"
     CLIENT_HOST = "hbase.client.host"
+    #: retry-policy knobs, named after their real hbase-site counterparts
+    RETRIES_NUMBER = "hbase.client.retries.number"
+    CLIENT_PAUSE = "hbase.client.pause"
+    CLIENT_PAUSE_MAX = "hbase.client.pause.max"
+    OPERATION_TIMEOUT = "hbase.client.operation.timeout"
 
     def cluster_key(self) -> str:
         quorum = self.get(self.QUORUM)
@@ -251,6 +265,13 @@ class Connection:
         self.closed = False
         self._meta_lock = threading.Lock()
         self._location_cache: Dict[str, List[RegionLocation]] = {}
+        timeout = conf.get(Configuration.OPERATION_TIMEOUT)
+        self.retry_policy = RetryPolicy(
+            max_attempts=int(conf.get(Configuration.RETRIES_NUMBER, 4)),
+            base_backoff_s=float(conf.get(Configuration.CLIENT_PAUSE, 0.05)),
+            max_backoff_s=float(conf.get(Configuration.CLIENT_PAUSE_MAX, 2.0)),
+            deadline_s=float(timeout) if timeout is not None else None,
+        )
         # connection setup really is heavyweight: ZooKeeper round trips + meta
         self.cluster.metrics.incr("hbase.connections_created")
         self.cluster.on_connection_created()
@@ -298,19 +319,56 @@ class ConnectionFactory:
         return Connection(conf, ugi)
 
 
-def _retries_stale_meta(method):
-    """Retry once with a fresh meta cache on NotServingRegion-style errors.
+def _retries(method):
+    """Retry with fresh meta + capped exponential backoff on retryable errors.
 
-    Real HBase clients do exactly this: a region that moved (split, merge,
-    balance, failover) invalidates the cached location; the retry relocates.
+    Mirrors HBase's retrying caller: NotServingRegion-style errors (a region
+    that split, merged, balanced or failed over) invalidate the cached
+    location so the retry relocates; transient RPC failures just back off.
+    Backoff follows the connection's :class:`~repro.common.retry.RetryPolicy`
+    and is charged as *simulated* seconds to the operation's cost ledger, so
+    recovery latency shows up in query time like any other work.  Exhausting
+    the policy raises :class:`RetriesExhaustedError`; exceeding the optional
+    per-operation deadline raises :class:`OperationTimeoutError`.
     """
     @functools.wraps(method)
     def wrapper(self, *args, **kwargs):
-        try:
-            return method(self, *args, **kwargs)
-        except RegionOfflineError:
-            self.connection.invalidate_location_cache(self.name)
-            return method(self, *args, **kwargs)
+        ledger = kwargs.get("ledger")
+        if ledger is None:
+            for value in args:
+                if isinstance(value, CostLedger):
+                    ledger = value
+                    break
+        if ledger is None:
+            # retries of a ledger-less call still need one place to
+            # accumulate backoff for the deadline check
+            ledger = CostLedger()
+            kwargs["ledger"] = ledger
+        policy = self.connection.retry_policy
+        start_s = ledger.seconds
+        attempt = 0
+        while True:
+            try:
+                return method(self, *args, **kwargs)
+            except (RegionOfflineError, TransientRpcError) as exc:
+                if isinstance(exc, RegionOfflineError):
+                    self.connection.invalidate_location_cache(self.name)
+                attempt += 1
+                if not policy.allows_retry(attempt):
+                    raise RetriesExhaustedError(
+                        f"{method.__name__} on {self.name} failed after "
+                        f"{attempt} attempts: {exc}"
+                    ) from exc
+                backoff = policy.backoff_s(attempt, key=(self.name, method.__name__))
+                spent = ledger.seconds - start_s
+                if not policy.within_deadline(spent + backoff):
+                    raise OperationTimeoutError(
+                        f"{method.__name__} on {self.name} exceeded its "
+                        f"{policy.deadline_s:g}s operation deadline after "
+                        f"{attempt} attempts: {exc}"
+                    ) from exc
+                ledger.charge(backoff, "hbase.backoff_s", backoff)
+                ledger.count("hbase.retries")
 
     return wrapper
 
@@ -351,16 +409,31 @@ class Table:
                 "hbase.local_ipc_bytes", payload_bytes,
             )
 
+    def _fault(self, point: str, key: str, ledger: Optional[CostLedger] = None,
+               **ctx) -> object:
+        """Consult the cluster's fault injector at one fault point (or no-op)."""
+        faults = self.cluster.faults
+        if faults is None:
+            return None
+        return faults.check(point, key=key, ledger=ledger,
+                            cluster=self.cluster, **ctx)
+
     def _locate(self, row: bytes) -> RegionLocation:
+        self._fault(FAULT_STALE_META, self.name)
         for location in self.connection.region_locations(self.name):
             if row < location.start_row:
                 continue
             if not location.end_row or row < location.end_row:
                 return location
-        raise HBaseError(f"no region of {self.name} holds row {row!r}")
+        # stale meta: the cached layout no longer covers the row, so drop it
+        # and let the retry policy relocate instead of failing outright
+        self.connection.invalidate_location_cache(self.name)
+        raise RegionOfflineError(
+            f"no region of {self.name} holds row {row!r} (stale meta?)"
+        )
 
     # -- writes ------------------------------------------------------------------
-    @_retries_stale_meta
+    @_retries
     def put(self, puts: "Put | Iterable[Put]", ledger: Optional[CostLedger] = None) -> None:
         """Apply one or many Puts, batched per region server."""
         self._check_auth()
@@ -375,28 +448,34 @@ class Table:
             locations[location.region_name] = location
         for region_name, cells in by_region.items():
             location = locations[region_name]
+            self._fault(FAULT_RPC, region_name, ledger,
+                        server_id=location.server_id)
             server = self.cluster.region_servers[location.server_id]
             payload = sum(c.heap_size() for c in cells)
             self._charge_rpc(ledger, location.host, payload)
             server.put(region_name, cells, ledger)
 
-    @_retries_stale_meta
+    @_retries
     def delete(self, delete: Delete, ledger: Optional[CostLedger] = None) -> None:
         self._check_auth()
         ledger = ledger if ledger is not None else CostLedger()
         descriptor = self.cluster.active_master.describe_table(self.name)
         cells = delete.to_cells(descriptor.families, self.cluster.clock.now_millis())
         location = self._locate(delete.row)
+        self._fault(FAULT_RPC, location.region_name, ledger,
+                    server_id=location.server_id)
         server = self.cluster.region_servers[location.server_id]
         self._charge_rpc(ledger, location.host, sum(c.heap_size() for c in cells))
         server.put(location.region_name, cells, ledger)
 
     # -- reads -------------------------------------------------------------------
-    @_retries_stale_meta
+    @_retries
     def get(self, get: Get, ledger: Optional[CostLedger] = None) -> Result:
         self._check_auth()
         ledger = ledger if ledger is not None else CostLedger()
         location = self._locate(get.row)
+        self._fault(FAULT_RPC, location.region_name, ledger,
+                    server_id=location.server_id)
         server = self.cluster.region_servers[location.server_id]
         hit = server.get(
             location.region_name, get.row, get.columns, get.families,
@@ -408,7 +487,7 @@ class Table:
             return Result(get.row, [])
         return Result(hit[0], hit[1])
 
-    @_retries_stale_meta
+    @_retries
     def bulk_get(self, gets: Sequence[Get], ledger: Optional[CostLedger] = None) -> List[Result]:
         """Batched Gets grouped per region server -- HBase's multi-get."""
         self._check_auth()
@@ -419,6 +498,8 @@ class Table:
             by_server.setdefault(location.server_id, []).append((get, location))
         results: Dict[bytes, Result] = {}
         for server_id, group in by_server.items():
+            self._fault(FAULT_RPC, group[0][1].region_name, ledger,
+                        server_id=server_id)
             server = self.cluster.region_servers[server_id]
             payload = 0
             for get, location in group:
@@ -433,7 +514,7 @@ class Table:
             self._charge_rpc(ledger, group[0][1].host, payload)
         return [results[g.row] for g in gets]
 
-    @_retries_stale_meta
+    @_retries
     def increment(self, row: bytes, family: str, qualifier: str,
                   amount: int = 1,
                   ledger: Optional[CostLedger] = None) -> int:
@@ -441,6 +522,8 @@ class Table:
         self._check_auth()
         ledger = ledger if ledger is not None else CostLedger()
         location = self._locate(row)
+        self._fault(FAULT_RPC, location.region_name, ledger,
+                    server_id=location.server_id)
         server = self.cluster.region_servers[location.server_id]
         self._charge_rpc(ledger, location.host, 16)
         return server.increment(
@@ -448,7 +531,7 @@ class Table:
             self.cluster.clock.now_millis(), ledger,
         )
 
-    @_retries_stale_meta
+    @_retries
     def check_and_put(self, row: bytes, family: str, qualifier: str,
                       expected: Optional[bytes], put: "Put",
                       ledger: Optional[CostLedger] = None) -> bool:
@@ -465,7 +548,7 @@ class Table:
             ledger,
         )
 
-    @_retries_stale_meta
+    @_retries
     def scan(self, scan: Scan, ledger: Optional[CostLedger] = None) -> List[Result]:
         """Run a scan across every region overlapping the range."""
         self._check_auth()
@@ -480,10 +563,25 @@ class Table:
         return results
 
     def scan_region(self, location: RegionLocation, scan: Scan,
-                    ledger: Optional[CostLedger] = None) -> List[Result]:
-        """Scan a single region -- the primitive SHC's scan RDD is built on."""
+                    ledger: Optional[CostLedger] = None) -> Iterable[Result]:
+        """Scan a single region -- the primitive SHC's scan RDD is built on.
+
+        Fault-free this returns the full result list with one lump RPC
+        charge, byte-identical to what it always did.  With a fault injector
+        installed it returns a page-at-a-time iterator instead, so the
+        ``hbase.scan_stream`` fault point can crash the server *between*
+        pages -- the situation resumable scans exist for -- while the summed
+        per-page charges equal the lump charge.
+        """
         self._check_auth()
         ledger = ledger if ledger is not None else CostLedger()
+        faults = self.cluster.faults
+        if faults is not None:
+            self._fault(FAULT_STALE_META, location.region_name, ledger)
+            self._fault(FAULT_RPC, location.region_name, ledger,
+                        server_id=location.server_id)
+            if scan.filter is not None:
+                self._fault(FAULT_FILTER, location.region_name, ledger)
         server = self.cluster.region_servers[location.server_id]
         rows = server.scan(
             location.region_name,
@@ -497,7 +595,31 @@ class Table:
             ledger=ledger,
         )
         results = [Result(row, cells) for row, cells in rows]
-        payload = sum(r.size_bytes() for r in results)
-        rpcs = max(1, -(-len(results) // scan.caching))  # ceil division
-        self._charge_rpc(ledger, location.host, payload, rpcs=rpcs)
-        return results
+        if faults is None:
+            payload = sum(r.size_bytes() for r in results)
+            rpcs = max(1, -(-len(results) // scan.caching))  # ceil division
+            self._charge_rpc(ledger, location.host, payload, rpcs=rpcs)
+            return results
+        return self._stream_scan_pages(location, scan, results, ledger)
+
+    def _stream_scan_pages(self, location: RegionLocation, scan: Scan,
+                           results: List[Result],
+                           ledger: CostLedger) -> Iterable[Result]:
+        """Yield scan results one scanner-caching page per simulated RPC.
+
+        Only used under fault injection: each page consults the
+        ``hbase.scan_stream`` fault point first, so an injected crash aborts
+        the stream after some rows were already delivered -- exactly the
+        mid-scan failure a resumable scan has to survive.
+        """
+        pages = [results[i:i + scan.caching]
+                 for i in range(0, len(results), scan.caching)]
+        if not pages:  # empty scans still cost one RPC round trip
+            pages = [[]]
+        for page in pages:
+            self._fault(FAULT_SCAN_STREAM, location.region_name, ledger,
+                        server_id=location.server_id)
+            payload = sum(r.size_bytes() for r in page)
+            self._charge_rpc(ledger, location.host, payload, rpcs=1)
+            for result in page:
+                yield result

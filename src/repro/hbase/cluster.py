@@ -64,6 +64,9 @@ class HBaseCluster:
         self.clock = clock if clock is not None else SimClock()
         self.cost = cost_model if cost_model is not None else DEFAULT_COST_MODEL
         self.metrics = MetricsRegistry()
+        #: optional :class:`~repro.common.faults.FaultInjector`; while None,
+        #: every substrate fault point is a single ``is None`` check
+        self.faults = None
         self.flush_threshold = flush_threshold
         self.zookeeper = ZooKeeper()
         self.hdfs = DistributedFileSystem(self.hosts, hdfs_replication)
@@ -105,6 +108,15 @@ class HBaseCluster:
             Configuration.QUORUM: self.quorum,
             Configuration.CLIENT_HOST: client_host,
         })
+
+    def install_fault_injector(self, injector) -> None:
+        """Attach a :class:`~repro.common.faults.FaultInjector` (None removes it).
+
+        Substrate fault points (client RPCs, meta lookups, mid-scan pages,
+        pushed-down filters) consult ``cluster.faults`` on every invocation;
+        with no injector installed they are exactly the fault-free code path.
+        """
+        self.faults = injector
 
     def on_connection_created(self) -> None:
         """Hook for connection-setup accounting (the cache makes this rare)."""

@@ -14,7 +14,11 @@ import threading
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.common.cost import CostModel
-from repro.common.errors import HBaseError, RegionOfflineError
+from repro.common.errors import (
+    FilterEvalError,
+    RegionOfflineError,
+    RegionServerStoppedError,
+)
 from repro.common.metrics import CostLedger
 from repro.hbase.cell import Cell
 from repro.hbase.filters import Filter, PageFilter
@@ -75,7 +79,9 @@ class RegionServer:
 
     def _check_alive(self) -> None:
         if not self.alive:
-            raise HBaseError(f"region server {self.server_id} is down")
+            raise RegionServerStoppedError(
+                f"region server {self.server_id} is down"
+            )
 
     def _region(self, region_name: str) -> Region:
         self._check_alive()
@@ -216,7 +222,18 @@ class RegionServer:
                     self.cost.cell_filter_cost_s * row_filter.cells_evaluated(),
                     "hbase.filter_evals",
                 )
-                if not row_filter.filter_row(row, cells):
+                try:
+                    keep = row_filter.filter_row(row, cells)
+                except FilterEvalError:
+                    raise
+                except Exception as exc:
+                    # a broken pushed-down filter must not look like a server
+                    # bug: surface it as retryable-without-the-filter
+                    raise FilterEvalError(
+                        f"server-side filter failed on {region_name} "
+                        f"at row {row!r}: {exc}"
+                    ) from exc
+                if not keep:
                     continue
             results.append((row, cells))
         ledger.count("hbase.rows_visited", rows_visited)

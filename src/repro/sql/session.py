@@ -74,6 +74,17 @@ DEFAULT_CONF: Dict[str, object] = {
     "engine.realtime.scale": 0.0,
     # workers in the session's concurrent-query pool (Table I "Thread pool")
     "engine.query.pool.size": 8,
+    # speculative execution: duplicate a tail task once `quantile` of the
+    # stage finished and it has run `multiplier` x the median task duration
+    # (off by default; chaos/straggler runs opt in)
+    "engine.speculation.enabled": False,
+    "engine.speculation.multiplier": 1.5,
+    "engine.speculation.quantile": 0.5,
+    # blacklist a host after this many failed task attempts (0 disables)
+    "engine.blacklist.max.failures": 2,
+    # capped exponential backoff between task retries (simulated seconds)
+    "engine.retry.backoff.s": 0.05,
+    "engine.retry.backoff.max.s": 2.0,
 }
 
 
@@ -102,6 +113,17 @@ class SparkSession:
         self._analyzer = Analyzer(self.catalog)
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
+        #: optional FaultInjector for engine-side fault points; None = off
+        self.faults = None
+
+    def install_fault_injector(self, injector) -> None:
+        """Attach a :class:`~repro.common.faults.FaultInjector` (None removes it).
+
+        Covers the engine fault points (slow hosts, shuffle fetches) of
+        schedulers created *after* the call; substrate faults are installed
+        separately via ``HBaseCluster.install_fault_injector``.
+        """
+        self.faults = injector
 
     # -- plan plumbing ------------------------------------------------------------
     def analyze(self, plan: LogicalPlan) -> LogicalPlan:
@@ -114,6 +136,18 @@ class SparkSession:
             parallel=bool(self.conf.get("engine.parallel.enabled", True)),
             locality_wait_skips=int(self.conf.get("engine.locality.wait.skips", 2)),
             realtime_scale=float(self.conf.get("engine.realtime.scale", 0.0)),
+            faults=self.faults,
+            speculation_enabled=bool(
+                self.conf.get("engine.speculation.enabled", False)),
+            speculation_multiplier=float(
+                self.conf.get("engine.speculation.multiplier", 1.5)),
+            speculation_quantile=float(
+                self.conf.get("engine.speculation.quantile", 0.5)),
+            blacklist_max_failures=int(
+                self.conf.get("engine.blacklist.max.failures", 2)),
+            retry_backoff_s=float(self.conf.get("engine.retry.backoff.s", 0.05)),
+            retry_backoff_max_s=float(
+                self.conf.get("engine.retry.backoff.max.s", 2.0)),
         )
 
     # -- data ingestion --------------------------------------------------------------

@@ -1,0 +1,101 @@
+"""Recovery primitives the fault-tolerance story is built on.
+
+Covers each building block in isolation: server crash handling with WAL
+replay, master failover via the ZooKeeper election, and client meta-cache
+invalidation after regions move.
+"""
+
+import pytest
+
+from repro.common.errors import HBaseError
+from repro.hbase import ConnectionFactory, Get, Put
+from repro.hbase.cluster import HBaseCluster
+from repro.hbase.master import ELECTION_ZNODE
+
+
+def seeded(cluster, name="rec", rows=6):
+    cluster.create_table(name, ["f"],
+                         split_keys=[b"r%03d" % (rows // 2)])
+    table = ConnectionFactory.create_connection(
+        cluster.configuration()).get_table(name)
+    for i in range(rows):
+        table.put(Put(b"r%03d" % i).add_column("f", "q", b"v%d" % i))
+    return table
+
+
+def test_server_crash_reassigns_regions_and_replays_wal(hbase_cluster):
+    table = seeded(hbase_cluster)
+    location = hbase_cluster.region_locations("rec")[0]
+    victim = location.server_id
+    region = hbase_cluster.get_region(location.region_name)
+    assert region.memstore_size() > 0  # edits only in memstore + WAL
+
+    moved = hbase_cluster.kill_region_server(victim)
+    assert location.region_name in moved
+    assert not hbase_cluster.region_servers[victim].alive
+    # every region is now owned by a live server
+    master = hbase_cluster.active_master
+    for region_name in moved:
+        new_owner = master.assignments[region_name]
+        assert new_owner != victim
+        assert hbase_cluster.region_servers[new_owner].alive
+    # the WAL replay restored the unflushed edits on the new owner
+    fresh = ConnectionFactory.create_connection(
+        hbase_cluster.configuration()).get_table("rec")
+    for i in range(6):
+        assert fresh.get(Get(b"r%03d" % i)).get_value("f", "q") == b"v%d" % i
+
+
+def test_handle_server_failure_requires_dead_server_known(hbase_cluster):
+    with pytest.raises(HBaseError):
+        hbase_cluster.active_master.handle_server_failure("no-such-server")
+
+
+def test_master_failover_elects_standby_and_keeps_state(clock):
+    cluster = HBaseCluster("failover", ["h1", "h2"], clock=clock,
+                           standby_masters=1)
+    table = seeded(cluster)
+    old = cluster.active_master
+    standby = next(m for m in cluster.masters if m is not old)
+    assert not standby.is_active()
+
+    old.fail()  # ephemeral election znode disappears with the session
+    assert cluster.zookeeper.leader(ELECTION_ZNODE) == standby.name
+    promoted = cluster.failover_master()
+    assert promoted is standby
+    # state was rebuilt from ZooKeeper, not inherited in-process
+    assert "rec" in promoted.tables
+    assert promoted.assignments == old.assignments
+    # the promoted master serves reads and DDL
+    assert table.get(Get(b"r001")).get_value("f", "q") == b"v1"
+    promoted.create_table("post_failover", ["f"])
+    assert cluster.has_table("post_failover")
+
+
+def test_standby_master_refuses_ddl(clock):
+    cluster = HBaseCluster("standby", ["h1"], clock=clock, standby_masters=1)
+    standby = next(m for m in cluster.masters if not m.is_active())
+    with pytest.raises(HBaseError):
+        standby.create_table("nope", ["f"])
+
+
+def test_meta_cache_invalidation_after_reassignment(hbase_cluster):
+    """A cached location that points at a dead server goes stale; dropping
+    the cache picks up the post-recovery assignment."""
+    table = seeded(hbase_cluster)
+    conn = table.connection
+    before = {loc.region_name: loc.server_id
+              for loc in conn.region_locations("rec")}
+    victim = next(iter(before.values()))
+    moved = hbase_cluster.kill_region_server(victim)
+
+    # the cache still shows the dead server as owner
+    stale = {loc.region_name: loc.server_id
+             for loc in conn.region_locations("rec")}
+    assert stale == before
+    conn.invalidate_location_cache("rec")
+    refreshed = {loc.region_name: loc.server_id
+                 for loc in conn.region_locations("rec")}
+    for region_name in moved:
+        assert refreshed[region_name] != victim
+        assert hbase_cluster.region_servers[refreshed[region_name]].alive

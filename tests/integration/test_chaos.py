@@ -1,0 +1,132 @@
+"""Chaos suite: seeded crash schedules must not change any query's answer.
+
+For each pinned seed the schedule runs two phases against the same
+:class:`~repro.common.faults.FaultInjector`:
+
+1. a straggler race -- a uniform engine job in which the slow-host fault
+   holds one task open so speculative execution must launch a duplicate and
+   the duplicate must win;
+2. the paper's TPC-DS repro queries under a region-server crash mid-scan,
+   a capped stream of transient RPC faults, and a shuffle-fetch failure --
+   requiring byte-identical rows versus the fault-free run.
+"""
+
+import pytest
+
+from repro.common.faults import (
+    FAULT_RPC,
+    FAULT_SCAN_STREAM,
+    FAULT_SHUFFLE_FETCH,
+    FAULT_SLOW_HOST,
+    FaultInjector,
+    SlowHostEffect,
+    crash_region_server,
+)
+from repro.core.catalog import HBaseSparkConf
+from repro.engine.rdd import ParallelCollectionRDD
+from repro.workloads import load_tpcds, q38, q39a, q39b
+from repro.workloads.tpcds_schema import Q38_TABLES, Q39_TABLES
+
+#: the pinned chaos schedules CI replays (see docs/fault_tolerance.md)
+CHAOS_SEEDS = (101, 202, 303)
+
+SPECULATION_CONF = {
+    "engine.speculation.enabled": True,
+    "engine.speculation.quantile": 0.25,
+    "engine.speculation.multiplier": 1.5,
+}
+
+#: small scanner pages so the injected crash lands *between* result pages
+CHAOS_READER_OPTIONS = {HBaseSparkConf.CACHED_ROWS: "40"}
+
+
+def chaos_injector(seed):
+    """The chaos schedule: one straggler, one crash, >=5 transient RPCs."""
+    injector = FaultInjector(seed=seed)
+    # phase 1: the first finished attempt becomes an 8x straggler held open
+    # long enough for the dispatcher to race a duplicate against it
+    injector.inject(FAULT_SLOW_HOST, rate=1.0, times=1,
+                    action=SlowHostEffect(factor=8.0, sleep_s=0.5))
+    # phase 2: crash one region server between scan pages, pepper the RPC
+    # path with transient failures, and fail one shuffle-block fetch
+    injector.inject(FAULT_SCAN_STREAM, rate=1.0, after=1, times=1,
+                    action=crash_region_server)
+    injector.inject(FAULT_RPC, rate=0.3, times=5)
+    injector.inject(FAULT_SHUFFLE_FETCH, rate=1.0, times=1)
+    return injector
+
+
+def rows(result):
+    return [tuple(r.values) for r in result.rows]
+
+
+def run_straggler_race(session):
+    """A uniform 4-task job: the injected straggler must lose to its copy."""
+    def charge_one(task_rows, ctx):
+        ctx.ledger.charge(1.0)
+        return task_rows
+
+    rdd = ParallelCollectionRDD(range(8), 4).map_partitions(charge_one)
+    return session.new_scheduler().run_job(rdd)
+
+
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+def test_chaos_schedule_preserves_every_query_answer(seed):
+    injector = chaos_injector(seed)
+    totals = {"hbase.retries": 0.0, "shc.scan_resumes": 0.0,
+              "engine.task_failures": 0.0}
+    dead_servers = 0
+
+    first = True
+    for tables, queries in ((Q39_TABLES, (q39a, q39b)),
+                            (Q38_TABLES, (q38,))):
+        env = load_tpcds(5, tables)
+        baseline_session = env.new_session()
+        expected = [rows(baseline_session.sql(q()).run()) for q in queries]
+        assert any(expected)  # the comparison must compare something
+
+        env.cluster.install_fault_injector(injector)
+        chaos_session = env.new_session(
+            conf=SPECULATION_CONF, extra_options=CHAOS_READER_OPTIONS)
+        chaos_session.install_fault_injector(injector)
+        if first:
+            race = run_straggler_race(chaos_session)
+            assert sorted(race.rows()) == list(range(8))
+            assert race.metrics.get("engine.speculative_launched") >= 1
+            assert race.metrics.get("engine.speculative_won") >= 1
+            assert race.metrics.get("engine.speculative_wasted_s") > 0
+            first = False
+        for q, want in zip(queries, expected):
+            result = chaos_session.sql(q()).run()
+            assert rows(result) == want  # byte-identical under chaos
+            for name in totals:
+                totals[name] += result.metrics.get(name)
+        dead_servers += sum(
+            1 for s in env.cluster.region_servers.values() if not s.alive)
+
+    # the whole schedule actually happened -- not a silently fault-free run
+    assert injector.injected(FAULT_SLOW_HOST) == 1
+    assert injector.injected(FAULT_SCAN_STREAM) == 1
+    assert dead_servers == 1
+    assert injector.injected(FAULT_RPC) >= 5
+    assert totals["hbase.retries"] >= 1
+    assert totals["shc.scan_resumes"] >= 1
+
+
+def test_same_seed_replays_the_same_chaos_schedule():
+    """Two full runs of one seed inject identical fault sequences."""
+    def run_once():
+        env = load_tpcds(5, Q39_TABLES)
+        injector = chaos_injector(CHAOS_SEEDS[0])
+        env.cluster.install_fault_injector(injector)
+        session = env.new_session(
+            conf=SPECULATION_CONF, extra_options=CHAOS_READER_OPTIONS)
+        session.install_fault_injector(injector)
+        result = session.sql(q39a()).run()
+        return rows(result), injector.injected(), injector.injected(FAULT_RPC)
+
+    rows_a, total_a, rpc_a = run_once()
+    rows_b, total_b, rpc_b = run_once()
+    assert rows_a == rows_b
+    assert total_a == total_b > 0
+    assert rpc_a == rpc_b

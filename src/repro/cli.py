@@ -10,13 +10,20 @@ or embed it over your own session::
     SqlShell(session).run()
 
 Commands: plain SQL (``;`` optional), ``.tables``, ``.schema <view>``,
-``.explain <sql>``, ``.timing on|off``, ``.quit``.
+``.explain <sql>``, ``.analyze <sql>`` (EXPLAIN ANALYZE), ``.timing on|off``,
+``.quit``.
+
+The module is also the ``repro`` console entry point; its one subcommand
+pretty-prints a query trace saved as JSON (docs/observability.md):
+
+    repro trace /path/to/trace.json            # or python -m repro.cli trace
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
-from typing import Optional, TextIO
+from typing import Optional, Sequence, TextIO
 
 from repro.common.errors import ReproError
 from repro.sql.session import SparkSession
@@ -95,12 +102,22 @@ class SqlShell:
             except ReproError as exc:
                 self._print(f"error: {exc}")
             return True
+        if head == ".analyze":
+            if not arg:
+                self._print("usage: .analyze <sql>")
+                return True
+            try:
+                self._print(self.session.sql(arg.rstrip(";"))
+                            .explain(analyze=True))
+            except ReproError as exc:
+                self._print(f"error: {exc}")
+            return True
         if head == ".timing":
             self.timing = arg.lower() != "off"
             self._print(f"timing {'on' if self.timing else 'off'}")
             return True
         self._print(f"unknown command {head}; try .tables .schema .explain "
-                    f".timing .quit")
+                    f".analyze .timing .quit")
         return True
 
     # -- SQL -------------------------------------------------------------------
@@ -173,8 +190,34 @@ def _demo_session() -> SparkSession:
     return session
 
 
-def main() -> None:
-    """Entry point for ``python -m repro.cli``: a shell over demo data."""
+def print_trace(path: str, show_metrics: bool = False,
+                stdout: Optional[TextIO] = None) -> None:
+    """Pretty-print a saved trace JSON file as an indented span tree."""
+    from repro.common.tracing import load_trace, render_trace
+
+    out = stdout if stdout is not None else sys.stdout
+    out.write(render_trace(load_trace(path), show_metrics=show_metrics) + "\n")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    """Entry point for ``python -m repro.cli`` / the ``repro`` script.
+
+    With no arguments, opens the SQL shell over demo data; the ``trace``
+    subcommand pretty-prints a saved query trace instead.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SHC repro command line")
+    sub = parser.add_subparsers(dest="command")
+    trace_p = sub.add_parser(
+        "trace", help="pretty-print a query trace saved as JSON")
+    trace_p.add_argument("path", help="trace file written via save_trace()")
+    trace_p.add_argument("--metrics", action="store_true",
+                         help="also print each span's metric deltas")
+    sub.add_parser("shell", help="interactive SQL shell over demo data")
+    args = parser.parse_args(argv)
+    if args.command == "trace":
+        print_trace(args.path, show_metrics=args.metrics)
+        return
     SqlShell(_demo_session()).run()
 
 

@@ -106,6 +106,11 @@ class CostLedger:
         self.seconds: float = 0.0
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._lock = threading.Lock()
+        #: trace span of the task attempt this ledger belongs to, set by the
+        #: scheduler when tracing is enabled.  Lets code that only sees a
+        #: ledger (the HBase client's retry decorator) record trace events
+        #: without threading a span through every call signature.
+        self.trace_span = None
 
     def charge(self, seconds: float, counter: str | None = None, amount: float = 1.0) -> None:
         """Add ``seconds`` of simulated work, optionally bumping a counter."""

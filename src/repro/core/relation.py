@@ -180,8 +180,12 @@ class HBaseRelation(BaseRelation):
                 filter_columns = _filter_columns(hbase_filter)
         locations = self.cluster.region_locations(self.catalog.qualified_name)
         partitions = build_partitions(locations, ranges, self.fusion_enabled)
-        return HBaseTableScanRDD(self, required_columns, hbase_filter,
-                                 partitions, filter_columns)
+        rdd = HBaseTableScanRDD(self, required_columns, hbase_filter,
+                                partitions, filter_columns)
+        #: table-wide region count before pruning, so EXPLAIN ANALYZE can
+        #: report scanned vs. pruned regions for this scan
+        rdd.regions_total = len(locations)
+        return rdd
 
     def insert(self, rdd: "RDD", schema: StructType, ctx: "ExecContext",
                overwrite: bool = False) -> int:

@@ -100,6 +100,11 @@ class HBaseTableScanRDD(RDD):
         connection = relation.acquire_connection(ctx)
         decode_cost = relation.decode_cell_cost()
         decoded_cells = 0
+        span = ctx.span.child(
+            f"scan-p{partition.index}", "scan", order=partition.index,
+            host=scan_partition.host, regions=len(scan_partition.work),
+        )
+        sim_start = ctx.ledger.seconds if span.enabled else 0.0
         try:
             table = connection.get_table(relation.catalog.qualified_name)
             hbase_columns = self._hbase_columns()
@@ -117,7 +122,7 @@ class HBaseTableScanRDD(RDD):
                         for result in self._scan_range(
                             table, connection, work.location, scan_range,
                             hbase_columns, time_range, max_versions, caching,
-                            ctx,
+                            ctx, span,
                         ):
                             values, ncells = self._decode_result(result)
                             decoded_cells += ncells
@@ -133,12 +138,15 @@ class HBaseTableScanRDD(RDD):
             ctx.ledger.charge(decode_cost * decoded_cells,
                               "shc.cells_decoded", decoded_cells)
             relation.release_connection(ctx)
+            if span.enabled:
+                span.set(cells_decoded=decoded_cells)
+                span.finish(sim_seconds=ctx.ledger.seconds - sim_start)
 
     # -- fault-tolerant range scanning -------------------------------------------
     def _scan_range(self, table, connection, location, scan_range,
                     columns, time_range, max_versions,
                     caching: Optional[int],
-                    ctx: "TaskContext") -> Iterator[Result]:
+                    ctx: "TaskContext", span=None) -> Iterator[Result]:
         """Scan one clipped range, surviving crashes and filter failures.
 
         Exactly-once resumption: ``resume`` tracks the successor of the last
@@ -180,6 +188,8 @@ class HBaseTableScanRDD(RDD):
                 # filter and evaluate the predicate as a client-side residual
                 client_filter = self.hbase_filter
                 ctx.ledger.count("shc.filter_fallbacks")
+                if span is not None and span.enabled:
+                    span.event("filter-fallback", region=location.region_name)
                 continue
             except (RegionOfflineError, TransientRpcError) as exc:
                 failures += 1
@@ -192,6 +202,9 @@ class HBaseTableScanRDD(RDD):
                 ctx.ledger.charge(backoff, "hbase.backoff_s", backoff)
                 ctx.ledger.count("hbase.retries")
                 ctx.ledger.count("shc.scan_resumes")
+                if span is not None and span.enabled:
+                    span.event("scan-resume", region=location.region_name,
+                               failures=failures, backoff_s=backoff)
                 connection.invalidate_location_cache(table_name)
                 location = self._relocate(connection, table_name, resume)
                 continue

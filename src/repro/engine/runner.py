@@ -142,6 +142,14 @@ class StageRunner:
         sim_free_at[slot_idx] = outcome.sim_end_s
 
     def run(self, tasks: Sequence[TaskSpec], run_task: RunTaskFn) -> StageExecution:
+        """Execute one stage: place and run every task, return the outcomes.
+
+        ``run_task`` is the scheduler's task executor (it owns retries and
+        ledgers); the runner owns *placement* -- which slot each task gets,
+        in which order, and how the slots' simulated timelines advance.
+        Implementations must return outcomes sorted by task index and a
+        simulated makespan consistent with the placement they chose.
+        """
         raise NotImplementedError
 
 

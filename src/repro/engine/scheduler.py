@@ -32,6 +32,7 @@ from repro.common.errors import FatalTaskError
 from repro.common.faults import FAULT_SHUFFLE_FETCH, FAULT_SLOW_HOST
 from repro.common.metrics import CostLedger, MetricsRegistry
 from repro.common.retry import stable_fraction
+from repro.common.tracing import NOOP_SPAN
 from repro.engine.cluster import ComputeCluster
 from repro.engine.rdd import Partition, RDD, ShuffledRDD
 from repro.engine.runner import (
@@ -46,11 +47,19 @@ from repro.engine.shuffle import ShuffleBlockStore, estimate_size, stable_hash
 
 
 class TaskContext:
-    """Per-task execution context handed to ``RDD.compute``."""
+    """Per-task execution context handed to ``RDD.compute``.
 
-    def __init__(self, host: str, ledger: CostLedger, scheduler: "TaskScheduler") -> None:
+    Carries the executor's ``host`` (so an HBase scan knows whether it is
+    co-located with the region server), the attempt's :class:`CostLedger`,
+    and the attempt's trace span (:data:`NOOP_SPAN` when tracing is off) so
+    scan code can hang child spans and events off the right parent.
+    """
+
+    def __init__(self, host: str, ledger: CostLedger,
+                 scheduler: "TaskScheduler", span=NOOP_SPAN) -> None:
         self.host = host
         self.ledger = ledger
+        self.span = span
         self._scheduler = scheduler
 
     def fetch_shuffle(self, shuffle_id: int, reduce_partition: int) -> Iterator[object]:
@@ -63,16 +72,26 @@ class TaskContext:
         cost = self._scheduler.cost
         faults = self._scheduler.faults
         blocks = self._scheduler.block_store.blocks_for(shuffle_id, reduce_partition)
-        for __, rows in blocks:
-            if faults is not None:
-                faults.check(FAULT_SHUFFLE_FETCH,
-                             key=f"{shuffle_id}:{reduce_partition}",
-                             ledger=self.ledger)
-            nbytes = sum(estimate_size(r) for r in rows)
-            self.ledger.charge(
-                nbytes / cost.shuffle_bytes_per_sec, "engine.shuffle_read_bytes", nbytes
-            )
-            yield from rows
+        fetched_bytes = 0
+        fetched_blocks = 0
+        try:
+            for __, rows in blocks:
+                if faults is not None:
+                    faults.check(FAULT_SHUFFLE_FETCH,
+                                 key=f"{shuffle_id}:{reduce_partition}",
+                                 ledger=self.ledger)
+                nbytes = sum(estimate_size(r) for r in rows)
+                self.ledger.charge(
+                    nbytes / cost.shuffle_bytes_per_sec, "engine.shuffle_read_bytes", nbytes
+                )
+                fetched_bytes += nbytes
+                fetched_blocks += 1
+                yield from rows
+        finally:
+            if self.span.enabled:
+                self.span.event("shuffle-read", shuffle_id=shuffle_id,
+                                partition=reduce_partition,
+                                blocks=fetched_blocks, bytes=fetched_bytes)
 
 
 @dataclass
@@ -86,6 +105,9 @@ class StageInfo:
     local_tasks: int
     output_bytes: int
     wall_clock_s: float = 0.0  # measured driver-side wall clock
+    #: op_id of the scan operator this stage's lineage reads (None when the
+    #: stage reads no scan, or more than one -- e.g. a union of scans)
+    scope: Optional[int] = None
 
 
 @dataclass
@@ -98,6 +120,7 @@ class JobResult:
     stages: List[StageInfo] = field(default_factory=list)
 
     def rows(self) -> List[object]:
+        """All result rows, flattened across partitions in partition order."""
         out: List[object] = []
         for part in self.partitions:
             out.extend(part)
@@ -135,11 +158,17 @@ class TaskScheduler:
         blacklist_max_failures: int = 2,
         retry_backoff_s: float = 0.05,
         retry_backoff_max_s: float = 2.0,
+        trace=NOOP_SPAN,
     ) -> None:
         self.cluster = cluster
         self.cost = cost_model
         self.locality_enabled = locality_enabled
         self.max_task_retries = max_task_retries
+        #: parent span for stage spans; NOOP_SPAN = tracing disabled
+        self.trace = trace if trace is not None else NOOP_SPAN
+        self._stage_span = NOOP_SPAN
+        self._trace_lock = threading.Lock()
+        self._span_ledgers: Dict[int, object] = {}
         #: optional FaultInjector for engine fault points (slow hosts,
         #: shuffle-fetch failures); None keeps every point a no-op
         self.faults = faults
@@ -253,7 +282,8 @@ class TaskScheduler:
             (make_runner(p), tuple(parent.preferred_locations(p)))
             for p in parent.partitions()
         ]
-        outputs, info, metrics = self._execute(tasks, kind="shuffle-map")
+        outputs, info, metrics = self._execute(tasks, kind="shuffle-map",
+                                               scope=self._stage_scope(parent))
         info.output_bytes = sum(outputs)
         metrics.incr("engine.shuffles", 1)
         self._materialized_shuffles.add(shuffled.shuffle_id)
@@ -272,24 +302,64 @@ class TaskScheduler:
             (make_runner(p), tuple(rdd.preferred_locations(p)))
             for p in rdd.partitions()
         ]
-        partitions, info, metrics = self._execute(tasks, kind="result")
+        partitions, info, metrics = self._execute(tasks, kind="result",
+                                                  scope=self._stage_scope(rdd))
         info.output_bytes = sum(
             estimate_size(row) for part in partitions for row in part
         )
         return partitions, info, metrics
 
+    def _stage_scope(self, root: RDD) -> Optional[int]:
+        """The scan-operator ``op_id`` this stage reads, if it is unique.
+
+        Walks the stage-local lineage (stopping at shuffle boundaries, which
+        belong to earlier stages) looking for RDDs stamped with a ``scope``
+        by :class:`~repro.sql.physical.DataSourceScanExec`.  Exactly one
+        scope means every task in the stage works for that scan operator --
+        which is how EXPLAIN ANALYZE attributes per-stage locality back to
+        plan operators.  Zero or several scopes (pure shuffle stages, unions
+        of scans) yield ``None``.
+        """
+        scopes: set[int] = set()
+        seen: set[int] = set()
+        stack: List[RDD] = [root]
+        while stack:
+            node = stack.pop()
+            if node.rdd_id in seen:
+                continue
+            seen.add(node.rdd_id)
+            scope = getattr(node, "scope", None)
+            if scope is not None:
+                scopes.add(scope)
+            if not isinstance(node, ShuffledRDD):
+                stack.extend(node.parents)
+        return scopes.pop() if len(scopes) == 1 else None
+
     def _execute(
         self,
         tasks: Sequence[Tuple[Callable[[TaskContext], object], Tuple[str, ...]]],
         kind: str,
+        scope: Optional[int] = None,
     ) -> Tuple[List[object], StageInfo, MetricsRegistry]:
         """Hand a stage to the runner; fold outcomes into ordered results."""
         self._stage_ids += 1
+        # root-level spans sort by (phase, seq): planning phases come first,
+        # scan-plan spans next, stages last -- see docs/observability.md
+        stage_span = self.trace.child(
+            f"stage-{self._stage_ids}", "stage", order=(2, self._stage_ids),
+            stage_kind=kind, num_tasks=len(tasks),
+        )
+        if scope is not None and stage_span.enabled:
+            stage_span.set(scope=scope)
+        self._stage_span = stage_span
         specs = [
             TaskSpec(index=i, body=body, preferred=preferred)
             for i, (body, preferred) in enumerate(tasks)
         ]
-        execution = self._runner.run(specs, self._run_with_retries)
+        try:
+            execution = self._runner.run(specs, self._run_with_retries)
+        finally:
+            self._stage_span = NOOP_SPAN
 
         metrics = MetricsRegistry()
         results: List[object] = []
@@ -316,6 +386,11 @@ class TaskScheduler:
             # record the duplicated simulated seconds as waste
             metrics.merge(lost.metrics)
             metrics.incr("engine.speculative_wasted_s", lost.seconds)
+            loser_span = self._span_ledgers.get(id(lost))
+            if loser_span is not None:
+                loser_span.set(wasted=True, wasted_sim_s=lost.seconds)
+        with self._trace_lock:
+            self._span_ledgers.clear()
         info = StageInfo(
             stage_id=self._stage_ids,
             kind=kind,
@@ -324,7 +399,14 @@ class TaskScheduler:
             local_tasks=local_tasks,
             output_bytes=0,
             wall_clock_s=execution.wall_clock_s,
+            scope=scope,
         )
+        if stage_span.enabled:
+            stage_span.set(local_tasks=local_tasks,
+                           speculative_launched=execution.speculative_launched,
+                           speculative_won=execution.speculative_won)
+            stage_span.finish(sim_seconds=execution.sim_makespan_s,
+                              metrics=metrics.snapshot())
         return results, info, metrics
 
     def _run_with_retries(self, spec: TaskSpec, host: str,
@@ -342,9 +424,21 @@ class TaskScheduler:
         attempts = 0
         carry: Optional[CostLedger] = None
         last_error: Optional[Exception] = None
+        task_span = self._stage_span.child(
+            f"task-{spec.index}" + ("-spec" if spec.speculative else ""),
+            "task", order=(spec.index, 1 if spec.speculative else 0),
+            index=spec.index, placed_host=placed_host,
+            speculative=spec.speculative,
+        )
         while attempts <= self.max_task_retries:
             ledger = CostLedger()
-            ctx = TaskContext(host, ledger, self)
+            attempt_span = task_span.child(f"attempt-{attempts + 1}", "attempt",
+                                           order=attempts, host=host)
+            if attempt_span.enabled:
+                # lets ledger-only code paths (the HBase client's retry
+                # decorator) record events against the running attempt
+                ledger.trace_span = attempt_span
+            ctx = TaskContext(host, ledger, self, span=attempt_span)
             spec.live_host = host
             spec.live_ledger = ledger
             try:
@@ -353,6 +447,10 @@ class TaskScheduler:
             except Exception as exc:  # noqa: BLE001 - task code is user code
                 attempts += 1
                 last_error = exc
+                if attempt_span.enabled:
+                    attempt_span.set(failed=True, error=repr(exc))
+                    attempt_span.finish(sim_seconds=ledger.seconds,
+                                        metrics=ledger.metrics.snapshot())
                 self._note_host_failure(host, ledger)
                 if carry is None:
                     carry = CostLedger()
@@ -364,8 +462,17 @@ class TaskScheduler:
                     # skipping any that are blacklisted
                     host = self._retry_host(slot_idx, attempts)
                 continue
+            if attempt_span.enabled:
+                attempt_span.finish(sim_seconds=ledger.seconds,
+                                    metrics=ledger.metrics.snapshot())
             if carry is not None:
                 ledger.merge(carry)
+            if task_span.enabled:
+                task_span.set(ran_on_host=host, failures=attempts)
+                task_span.finish(sim_seconds=ledger.seconds,
+                                 metrics=ledger.metrics.snapshot())
+                with self._trace_lock:
+                    self._span_ledgers[id(ledger)] = task_span
             return TaskOutcome(
                 index=spec.index,
                 value=value,
@@ -374,6 +481,9 @@ class TaskScheduler:
                 ran_on_host=host,
                 failures=attempts,
             )
+        if task_span.enabled:
+            task_span.set(failures=attempts, aborted=True)
+            task_span.finish()
         raise FatalTaskError(
             f"task failed after {attempts} attempts: {last_error}"
         ) from last_error

@@ -369,6 +369,13 @@ def _retries(method):
                     ) from exc
                 ledger.charge(backoff, "hbase.backoff_s", backoff)
                 ledger.count("hbase.retries")
+                # the scheduler parks the running attempt's span on the
+                # ledger when tracing is on; record the retry against it
+                span = getattr(ledger, "trace_span", None)
+                if span is not None and span.enabled:
+                    span.event("hbase-retry", op=method.__name__,
+                               table=self.name, attempt=attempt,
+                               backoff_s=backoff)
 
     return wrapper
 

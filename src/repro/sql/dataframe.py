@@ -182,16 +182,35 @@ class DataFrame:
             ) + "|")
         print(line)
 
-    def explain(self) -> str:
-        """The optimized logical and physical plans, as text."""
+    def explain(self, analyze: bool = False) -> str:
+        """The optimized logical and physical plans, as text.
+
+        With ``analyze=True`` the query is *executed* (once, with tracing
+        on) and the physical plan comes back annotated per-operator with
+        regions pruned vs. scanned, filters pushed vs. residual and
+        locality hits, followed by a stage table and a query summary --
+        see docs/observability.md.  The executed ``QueryResult`` is kept
+        on ``self.last_analyzed`` for callers that want the trace object.
+        """
         from repro.sql.optimizer import optimize
         from repro.sql.planner import Planner
 
         optimized = optimize(self.plan)
         physical = Planner(self.session.conf).plan(optimized)
+        if not analyze:
+            return (
+                "== Optimized Logical Plan ==\n" + optimized.pretty()
+                + "\n== Physical Plan ==\n" + physical.pretty()
+            )
+        from repro.common.tracing import Span
+        from repro.sql.explain import explain_analyze_report
+
+        trace = Span("query", "query")
+        result = self.session.execute_physical(physical, trace=trace)
+        self.last_analyzed = result
         return (
             "== Optimized Logical Plan ==\n" + optimized.pretty()
-            + "\n== Physical Plan ==\n" + physical.pretty()
+            + "\n" + explain_analyze_report(physical, result)
         )
 
     def create_or_replace_temp_view(self, name: str) -> None:

@@ -15,11 +15,13 @@ vanilla connector diverge (SHC knows region sizes, a generic scan does not).
 
 from __future__ import annotations
 
+import itertools
 import threading
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.common.errors import AnalysisError
 from repro.common.metrics import MetricsRegistry
+from repro.common.tracing import NOOP_SPAN
 from repro.engine.rdd import RDD, ParallelCollectionRDD
 from repro.engine.scheduler import JobResult, TaskScheduler
 from repro.engine.shuffle import estimate_size
@@ -37,7 +39,8 @@ class ExecContext:
     the accounting must stay consistent either way.
     """
 
-    def __init__(self, scheduler: TaskScheduler, cost, conf: Dict[str, object]) -> None:
+    def __init__(self, scheduler: TaskScheduler, cost, conf: Dict[str, object],
+                 trace=NOOP_SPAN) -> None:
         self.scheduler = scheduler
         self.cost = cost
         self.conf = conf
@@ -46,7 +49,19 @@ class ExecContext:
         self.driver_seconds = 0.0
         self.wall_seconds = 0.0
         self.all_stages = []
+        #: root span of the query's trace (NOOP_SPAN = tracing disabled)
+        self.trace = trace if trace is not None else NOOP_SPAN
+        #: per-operator runtime stats keyed by ``PhysicalPlan.op_id``,
+        #: recorded by operators as they execute; EXPLAIN ANALYZE renders
+        #: these as plan annotations.  Always on: a couple of dict writes
+        #: per operator per query.
+        self.operator_stats: Dict[int, Dict[str, object]] = {}
         self._lock = threading.Lock()
+
+    def record_operator(self, op: "PhysicalPlan", **stats: object) -> None:
+        """Attach runtime stats to ``op`` for EXPLAIN ANALYZE."""
+        with self._lock:
+            self.operator_stats.setdefault(op.op_id, {}).update(stats)
 
     def run_job(self, rdd: RDD) -> JobResult:
         result = self.scheduler.run_job(rdd)
@@ -68,21 +83,43 @@ class ExecContext:
         return int(self.conf.get("sql.shuffle.partitions", 8))
 
 
+#: process-wide operator id sequence; ids only need to be unique within a
+#: query, a global counter trivially guarantees it
+_op_ids = itertools.count(1)
+
+
 class PhysicalPlan:
-    """Base class for physical operators."""
+    """Base class for physical operators.
+
+    Every operator gets a unique ``op_id`` at construction;
+    ``ExecContext.operator_stats`` and ``StageInfo.scope`` refer back to it,
+    which is how EXPLAIN ANALYZE joins runtime numbers onto plan nodes.
+    """
 
     def __init__(self, output: Sequence[E.Attribute],
                  children: Sequence["PhysicalPlan"] = ()) -> None:
         self.output = list(output)
         self.children = list(children)
+        self.op_id = next(_op_ids)
 
     def execute(self, ctx: ExecContext) -> RDD:
         raise NotImplementedError
 
-    def pretty(self, indent: int = 0) -> str:
+    def pretty(self, indent: int = 0,
+               annotations: Optional[Dict[int, Sequence[str]]] = None) -> str:
         head = "  " * indent + self.describe()
-        body = "\n".join(c.pretty(indent + 1) for c in self.children)
-        return head + ("\n" + body if body else "")
+        lines = [head]
+        if annotations:
+            for note in annotations.get(self.op_id, ()):
+                lines.append("  " * indent + "  +- " + note)
+        lines.extend(c.pretty(indent + 1, annotations) for c in self.children)
+        return "\n".join(lines)
+
+    def walk(self) -> Iterable["PhysicalPlan"]:
+        """Pre-order traversal of this operator subtree."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
 
     def describe(self) -> str:
         return type(self).__name__
@@ -106,16 +143,55 @@ class DataSourceScanExec(PhysicalPlan):
         pushed_filters: Sequence[SourceFilter],
         residual: Optional[E.Expression],
         relation_name: str = "",
+        handled_filters: Optional[Sequence[SourceFilter]] = None,
     ) -> None:
         super().__init__(output)
         self.relation = relation
         self.pushed_filters = list(pushed_filters)
         self.residual = residual
         self.relation_name = relation_name
+        #: the subset of ``pushed_filters`` the relation actually handles
+        #: (offered minus ``unhandled_filters``); what EXPLAIN ANALYZE
+        #: reports as "pushed", since unhandled offers run again as residual
+        self.handled_filters = (list(handled_filters)
+                                if handled_filters is not None
+                                else list(pushed_filters))
 
     def execute(self, ctx: ExecContext) -> RDD:
         required = [a.name for a in self.output]
+        span = ctx.trace.child(
+            f"scan-plan:{self.relation_name or type(self.relation).__name__}",
+            "scan-plan", order=(1, self.op_id), op=self.op_id,
+        )
         rdd = self.relation.build_scan(required, self.pushed_filters)
+        #: stamp the scan operator onto the RDD so the scheduler can
+        #: attribute downstream stages (and their locality) back to this
+        #: plan node -- see TaskScheduler._stage_scope
+        rdd.scope = self.op_id
+        residual_count = (len(E.split_conjuncts(self.residual))
+                          if self.residual is not None else 0)
+        stats: Dict[str, object] = {
+            "relation": self.relation_name or type(self.relation).__name__,
+            "filters_pushed": len(self.handled_filters),
+            "filters_residual": residual_count,
+        }
+        # counters never charge simulated seconds, so cost totals are
+        # unchanged whether or not anyone is looking
+        ctx.metrics.incr("shc.filters_pushed", len(self.handled_filters))
+        ctx.metrics.incr("shc.filters_residual", residual_count)
+        scan_parts = getattr(rdd, "scan_partitions", None)
+        if scan_parts is not None:
+            scanned = sum(len(p.work) for p in scan_parts)
+            total = getattr(rdd, "regions_total", scanned)
+            stats.update(regions_total=total, regions_scanned=scanned,
+                         regions_pruned=max(0, total - scanned),
+                         partitions=len(scan_parts))
+            ctx.metrics.incr("shc.regions_scanned", scanned)
+            ctx.metrics.incr("shc.regions_pruned", max(0, total - scanned))
+        ctx.record_operator(self, **stats)
+        if span.enabled:
+            span.set(**stats)
+            span.finish()
         if self.residual is not None:
             bound = E.bind_expression(self.residual, self.output)
             per_row = ctx.cost.row_cpu_s

@@ -173,7 +173,8 @@ class Planner:
         if not scan_attrs:
             scan_attrs = rel_node.output[:1]
         scan = P.DataSourceScanExec(
-            rel_node.relation, scan_attrs, offered, residual, rel_node.name
+            rel_node.relation, scan_attrs, offered, residual, rel_node.name,
+            handled_filters=[f for f in offered if f not in unhandled],
         )
         if project_list is None:
             return scan

@@ -18,6 +18,7 @@ from repro.common.cost import DEFAULT_COST_MODEL, CostModel
 from repro.common.errors import AnalysisError
 from repro.common.metrics import MetricsRegistry
 from repro.common.simclock import SimClock
+from repro.common.tracing import NOOP_SPAN, Span
 from repro.engine.cluster import ComputeCluster, YarnResourceManager
 from repro.engine.scheduler import StageInfo, TaskScheduler
 from repro.sql.analyzer import Analyzer, Catalog
@@ -41,6 +42,10 @@ class QueryResult:
     metrics: MetricsRegistry
     stages: List[StageInfo] = field(default_factory=list)
     wall_clock_s: float = 0.0
+    #: per-operator runtime stats keyed by PhysicalPlan.op_id (always on)
+    operator_stats: Dict[int, Dict[str, object]] = field(default_factory=dict)
+    #: root Span of the query trace, or None when tracing was disabled
+    trace: Optional[Span] = None
 
     @property
     def shuffle_bytes(self) -> float:
@@ -62,6 +67,9 @@ class WriteResult:
 
 DEFAULT_CONF: Dict[str, object] = {
     "sql.shuffle.partitions": 8,
+    # per-query span-tree tracing (docs/observability.md); off by default so
+    # the hot path runs against the no-op recorder
+    "tracing.enabled": False,
     "sql.autoBroadcastJoinThreshold": 128 * 1024,
     "engine.locality.enabled": True,
     # thread-pool stage runner: one worker per executor slot; turn off for
@@ -129,9 +137,10 @@ class SparkSession:
     def analyze(self, plan: LogicalPlan) -> LogicalPlan:
         return self._analyzer.analyze(plan)
 
-    def new_scheduler(self) -> TaskScheduler:
+    def new_scheduler(self, trace=NOOP_SPAN) -> TaskScheduler:
         return TaskScheduler(
             self.cluster, self.cost,
+            trace=trace,
             locality_enabled=bool(self.conf.get("engine.locality.enabled", True)),
             parallel=bool(self.conf.get("engine.parallel.enabled", True)),
             locality_wait_skips=int(self.conf.get("engine.locality.wait.skips", 2)),
@@ -214,14 +223,38 @@ class SparkSession:
             pool.shutdown(wait=True)
 
     # -- execution -----------------------------------------------------------------------
-    def execute_plan(self, plan: LogicalPlan) -> QueryResult:
+    def query_trace(self, trace=None) -> "Span | object":
+        """The root span for a query: the caller's, a fresh one when
+        ``tracing.enabled`` is set, or the no-op recorder."""
+        if trace is not None:
+            return trace
+        if bool(self.conf.get("tracing.enabled", False)):
+            return Span("query", "query")
+        return NOOP_SPAN
+
+    def execute_plan(self, plan: LogicalPlan, trace=None) -> QueryResult:
         from repro.sql.logical import InsertIntoTable
 
         if isinstance(plan, InsertIntoTable):
             return self._execute_insert(plan)
+        trace = self.query_trace(trace)
+        span = trace.child("optimize", "plan", order=(0, 0))
         optimized = optimize(plan)
+        span.finish()
+        span = trace.child("plan", "plan", order=(0, 1))
         physical = Planner(self.conf).plan(optimized)
-        ctx = ExecContext(self.new_scheduler(), self.cost, self.conf)
+        span.finish()
+        return self.execute_physical(physical, trace=trace)
+
+    def execute_physical(self, physical, trace=NOOP_SPAN) -> QueryResult:
+        """Run an already-planned physical operator tree.
+
+        Shared by ``execute_plan`` and ``DataFrame.explain(analyze=True)``,
+        which needs the physical plan object itself to annotate.
+        """
+        trace = trace if trace is not None else NOOP_SPAN
+        ctx = ExecContext(self.new_scheduler(trace), self.cost, self.conf,
+                          trace=trace)
         rdd = physical.execute(ctx)
         job = ctx.run_job(rdd)
         schema = StructType()
@@ -230,8 +263,13 @@ class SparkSession:
         rows = [Row(values, schema) for values in job.rows()]
         seconds = self.cost.driver_overhead_s + ctx.driver_seconds + ctx.job_seconds
         self.clock.advance(seconds)
+        if trace.enabled:
+            trace.set(rows=len(rows), stages=len(ctx.all_stages))
+            trace.finish(sim_seconds=seconds, metrics=ctx.metrics.snapshot())
         return QueryResult(rows, schema, seconds, ctx.metrics, ctx.all_stages,
-                           wall_clock_s=ctx.wall_seconds)
+                           wall_clock_s=ctx.wall_seconds,
+                           operator_stats=ctx.operator_stats,
+                           trace=trace if trace.enabled else None)
 
     def _execute_insert(self, plan) -> QueryResult:
         """Run ``INSERT INTO view SELECT/VALUES`` through the relation."""

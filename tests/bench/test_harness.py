@@ -62,6 +62,41 @@ def test_system_under_test_options_flow(registered_env):
     assert full.metrics["hbase.rows_visited"] > pruned.metrics["hbase.rows_visited"]
 
 
+def test_run_query_tracing_exports(registered_env, tmp_path):
+    import json
+
+    from repro.cli import print_trace
+
+    run = run_query(registered_env, SHC_SYSTEM, "count",
+                    "select count(*) from inventory", tracing=True)
+    assert run.trace is not None
+    assert run.trace["kind"] == "query"
+
+    trace_path = tmp_path / "trace.json"
+    run.export_trace(str(trace_path))
+    import io
+
+    out = io.StringIO()
+    print_trace(str(trace_path), show_metrics=True, stdout=out)
+    assert "query [query]" in out.getvalue()
+    assert "stage-" in out.getvalue()
+
+    run_path = tmp_path / "run.json"
+    run.export_json(str(run_path))
+    doc = json.loads(run_path.read_text())
+    assert doc["system"] == "SHC"
+    assert doc["trace"] == run.trace
+    assert doc["metrics"] == run.metrics
+
+
+def test_untraced_run_refuses_trace_export(registered_env, tmp_path):
+    run = run_query(registered_env, SHC_SYSTEM, "count",
+                    "select count(*) from warehouse")
+    assert run.trace is None
+    with pytest.raises(ValueError, match="not traced"):
+        run.export_trace(str(tmp_path / "nope.json"))
+
+
 def test_sweep_produces_one_run_per_size_and_system():
     cache = {}
     runs = sweep_data_sizes(

@@ -1,0 +1,47 @@
+"""Intra-repo markdown links must point at files that exist.
+
+Scans every tracked ``*.md`` page (repo root and ``docs/``) for inline
+``[text](target)`` links, resolves relative targets against the page's own
+directory, and fails on any that point nowhere.  External URLs and pure
+in-page anchors are out of scope.
+"""
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+_LINK_RE = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _markdown_pages():
+    pages = sorted(REPO.glob("*.md")) + sorted(REPO.glob("docs/*.md"))
+    assert pages, "no markdown pages found -- wrong repo root?"
+    return pages
+
+
+def _intra_repo_links(page: Path):
+    inside_fence = False
+    for line in page.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            inside_fence = not inside_fence
+            continue
+        if inside_fence:
+            continue
+        for target in _LINK_RE.findall(line):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            yield target
+
+
+def test_intra_repo_markdown_links_resolve():
+    broken = []
+    for page in _markdown_pages():
+        for target in _intra_repo_links(page):
+            path = target.split("#", 1)[0]
+            resolved = (REPO / path if path.startswith("/")
+                        else page.parent / path)
+            if not resolved.exists():
+                broken.append(f"{page.relative_to(REPO)} -> {target}")
+    assert not broken, "broken intra-repo markdown links:\n" + "\n".join(broken)

@@ -1,0 +1,120 @@
+"""docs/metrics.md must list every metric name the source emits -- and
+nothing else.
+
+The scanner walks the AST of every module under ``src/`` and collects the
+metric-name argument of each ``incr(...)``, ``record_peak(...)``,
+``count(...)`` and ``charge(..., counter=...)`` call site.  f-string names
+(``f"faults.injected.{point}"``) normalise their interpolated parts to
+``<...>`` placeholders, matching how the reference table documents metric
+families.  Anything that does not look like a dotted metric name (for
+example ``itertools.count(1)``) is ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Optional, Set
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+METRICS_DOC = REPO / "docs" / "metrics.md"
+
+#: methods whose first argument names a metric
+_NAME_ARG0 = {"incr", "record_peak", "count"}
+#: CostLedger.charge / ExecContext.charge_driver (seconds, counter=...):
+#: the name is argument 1 (or the ``counter`` keyword)
+_NAME_ARG1 = {"charge", "charge_driver"}
+
+#: what an emitted metric name looks like: at least two dotted segments of
+#: lower-case identifiers, possibly with a <placeholder> segment.  Filters
+#: out unrelated calls that share a method name (str.count, itertools.count)
+_METRIC_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+|\.<[a-z0-9_]+>)+$")
+
+
+def _literal_name(node: ast.expr) -> Optional[str]:
+    """The metric name at a call site, or None if it is not one."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr):
+        parts = []
+        for piece in node.values:
+            if isinstance(piece, ast.Constant):
+                parts.append(str(piece.value))
+            else:  # FormattedValue -> a documented <placeholder> segment
+                parts.append("<point>")
+        return "".join(parts)
+    return None
+
+
+def emitted_metric_names(root: Path = SRC) -> Set[str]:
+    """Every metric name any module under ``root`` emits."""
+    names: Set[str] = set()
+    for path in sorted(root.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            candidate: Optional[ast.expr] = None
+            if func.attr in _NAME_ARG0 and node.args:
+                candidate = node.args[0]
+            elif func.attr in _NAME_ARG1:
+                if len(node.args) > 1:
+                    candidate = node.args[1]
+                else:
+                    for kw in node.keywords:
+                        if kw.arg == "counter":
+                            candidate = kw.value
+            if candidate is None:
+                continue
+            name = _literal_name(candidate)
+            if name is not None and _METRIC_RE.match(name):
+                names.add(name)
+    return names
+
+
+def documented_metric_names(doc: Path = METRICS_DOC) -> Set[str]:
+    """Backticked metric names in docs/metrics.md reference-table rows."""
+    names: Set[str] = set()
+    for line in doc.read_text(encoding="utf-8").splitlines():
+        if not line.lstrip().startswith("|"):
+            continue
+        for token in re.findall(r"`([^`]+)`", line):
+            if _METRIC_RE.match(token):
+                names.add(token)
+    return names
+
+
+def test_scanner_sees_the_known_emitters():
+    """Guard the scanner itself: a few names we know the source emits."""
+    names = emitted_metric_names()
+    for expected in ("engine.shuffle_write_bytes", "hbase.bytes_scanned",
+                     "shc.cells_decoded", "engine.peak_stage_bytes",
+                     "faults.injected.<point>", "shc.regions_pruned"):
+        assert expected in names, f"scanner missed {expected}"
+    # and nothing that merely shares a method name with the metrics API
+    assert not any(n.startswith("itertools") for n in names)
+
+
+def test_every_emitted_metric_is_documented():
+    emitted = emitted_metric_names()
+    documented = documented_metric_names()
+    undocumented = sorted(emitted - documented)
+    assert not undocumented, (
+        f"metric names emitted in src/ but missing from docs/metrics.md: "
+        f"{undocumented}"
+    )
+
+
+def test_no_orphaned_documentation():
+    emitted = emitted_metric_names()
+    documented = documented_metric_names()
+    orphaned = sorted(documented - emitted)
+    assert not orphaned, (
+        f"docs/metrics.md documents metric names nothing in src/ emits: "
+        f"{orphaned}"
+    )

@@ -1,17 +1,32 @@
-"""The README's quickstart code block must actually run."""
+"""The README's python code blocks must actually run."""
 
 import pathlib
 import re
 
 
-def test_readme_quickstart_executes(capsys):
+def _python_blocks():
     readme = (pathlib.Path(__file__).parents[1] / "README.md").read_text()
-    blocks = re.findall(r"```python\n(.*?)```", readme, re.DOTALL)
+    return re.findall(r"```python\n(.*?)```", readme, re.DOTALL)
+
+
+def test_readme_quickstart_executes(capsys):
+    blocks = _python_blocks()
     assert blocks, "README lost its quickstart code block"
     namespace = {}
     exec(compile(blocks[0], "README.md", "exec"), namespace)  # noqa: S102
     out = capsys.readouterr().out
     assert "visit_pages" in out  # the final .show() rendered a table
+
+
+def test_readme_observability_snippet_executes(capsys):
+    blocks = [b for b in _python_blocks() if "explain(analyze" in b]
+    assert blocks, "README lost its explain(analyze=True) snippet"
+    namespace = {}
+    exec(compile(blocks[0], "README.md", "exec"), namespace)  # noqa: S102
+    out = capsys.readouterr().out
+    assert "EXPLAIN ANALYZE" in out
+    assert "regions" in out          # the scan annotation rendered
+    assert "Query Summary" in out
 
 
 def test_readme_mentions_key_entry_points():

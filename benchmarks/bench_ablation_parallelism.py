@@ -17,7 +17,7 @@ from repro.bench.reporting import format_table
 from repro.core.relation import DEFAULT_FORMAT
 from repro.workloads.queries import q39a
 
-from conftest import write_report
+from conftest import write_bench_json, write_report
 
 #: real seconds slept per simulated task-second (I/O emulation)
 REALTIME_SCALE = 0.1
@@ -92,5 +92,23 @@ def test_parallelism_report(benchmark):
         # the acceptance bar: >= 2x wall-clock speedup at 4 slots
         four = _RESULTS["thread pool x4"]
         assert serial.wall_clock_s / four.wall_clock_s >= 2.0
+
+        # regression-gate artifact: simulated quantities only -- wall-clock
+        # speedups are real-machine-dependent and would flake the gate
+        write_bench_json("parallelism", {
+            "serial_sim_seconds": {
+                "value": serial.seconds, "direction": "lower"},
+            "threadpool_x4_sim_seconds": {
+                "value": four.seconds, "direction": "lower"},
+            "tasks": {
+                "value": serial.metrics.get("engine.tasks"),
+                "direction": "lower"},
+            "hdfs_read_bytes": {
+                "value": serial.metrics.get("hbase.bytes_scanned"),
+                "direction": "lower"},
+            "shuffle_write_bytes": {
+                "value": serial.metrics.get("engine.shuffle_write_bytes"),
+                "direction": "lower"},
+        })
 
     benchmark.pedantic(report, iterations=1, rounds=1)

@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""CI perf-regression gate: compare BENCH_*.json artifacts to baselines.
+
+The bench suite emits ``benchmarks/results/BENCH_<name>.json`` files holding
+*simulated* (deterministic) metrics -- simulated seconds, HDFS bytes read,
+task counts.  This script compares each metric against the committed
+baseline in ``benchmarks/baselines/`` and fails the build when a tracked
+metric regresses beyond the tolerance in its bad direction:
+
+* ``direction: lower``  -- a cost; fails when current > baseline * (1+tol)
+* ``direction: higher`` -- a benefit (e.g. a speedup ratio); fails when
+  current < baseline * (1-tol)
+
+Improvements beyond the tolerance are reported as stale-baseline warnings
+(exit 0) so intentional wins get their baselines refreshed.  Scale mismatch
+(smoke baseline vs full-scale run) is an error: simulated totals are only
+comparable at the same nominal data size.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        [--baselines benchmarks/baselines] [--results benchmarks/results] \
+        [--tolerance 0.15]
+
+Refresh a baseline by re-running the bench and copying the artifact::
+
+    BENCH_SMOKE=1 pytest benchmarks/bench_ablation_caching.py
+    cp benchmarks/results/BENCH_caching.json benchmarks/baselines/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import List
+
+DEFAULT_TOLERANCE = 0.15
+
+
+def _load(path: pathlib.Path) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def check_bench(baseline: dict, current: dict, tolerance: float,
+                failures: List[str], warnings: List[str]) -> List[str]:
+    """Compare one bench's current metrics to its baseline; returns report lines."""
+    lines = []
+    name = baseline.get("bench", "?")
+    if baseline.get("scale") != current.get("scale"):
+        failures.append(
+            f"{name}: scale mismatch -- baseline is "
+            f"{baseline.get('scale')!r}, current run is "
+            f"{current.get('scale')!r}; rerun at the baseline's scale"
+        )
+        return lines
+    for metric, entry in baseline.get("metrics", {}).items():
+        base_value = float(entry["value"])
+        direction = entry["direction"]
+        now = current.get("metrics", {}).get(metric)
+        if now is None:
+            failures.append(f"{name}.{metric}: missing from current run")
+            continue
+        value = float(now["value"])
+        delta = (value - base_value) / base_value if base_value else 0.0
+        marker = "ok"
+        if direction == "lower" and value > base_value * (1.0 + tolerance):
+            marker = "REGRESSION"
+            failures.append(
+                f"{name}.{metric}: {value:.6g} is {delta:+.1%} vs baseline "
+                f"{base_value:.6g} (lower is better, tolerance "
+                f"{tolerance:.0%})"
+            )
+        elif direction == "higher" and value < base_value * (1.0 - tolerance):
+            marker = "REGRESSION"
+            failures.append(
+                f"{name}.{metric}: {value:.6g} is {delta:+.1%} vs baseline "
+                f"{base_value:.6g} (higher is better, tolerance "
+                f"{tolerance:.0%})"
+            )
+        elif (direction == "lower" and value < base_value * (1.0 - tolerance)) \
+                or (direction == "higher"
+                    and value > base_value * (1.0 + tolerance)):
+            marker = "improved"
+            warnings.append(
+                f"{name}.{metric}: improved {delta:+.1%}; consider "
+                f"refreshing the baseline"
+            )
+        lines.append(
+            f"  {metric:<35} {base_value:>14.6g} -> {value:>14.6g} "
+            f"({delta:+7.1%}) [{marker}]"
+        )
+    return lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    here = pathlib.Path(__file__).parent
+    parser.add_argument("--baselines", type=pathlib.Path,
+                        default=here / "baselines")
+    parser.add_argument("--results", type=pathlib.Path,
+                        default=here / "results")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    args = parser.parse_args(argv)
+
+    baseline_files = sorted(args.baselines.glob("BENCH_*.json"))
+    if not baseline_files:
+        print(f"no baselines found under {args.baselines}", file=sys.stderr)
+        return 2
+
+    failures: List[str] = []
+    warnings: List[str] = []
+    for baseline_path in baseline_files:
+        current_path = args.results / baseline_path.name
+        baseline = _load(baseline_path)
+        print(f"{baseline.get('bench', baseline_path.stem)} "
+              f"(scale={baseline.get('scale')}):")
+        if not current_path.exists():
+            failures.append(
+                f"{baseline_path.name}: no current artifact at "
+                f"{current_path} -- did the bench run?"
+            )
+            continue
+        for line in check_bench(baseline, _load(current_path),
+                                args.tolerance, failures, warnings):
+            print(line)
+
+    if warnings:
+        print("\nwarnings:")
+        for w in warnings:
+            print(f"  {w}")
+    if failures:
+        print("\nFAIL: tracked bench metrics regressed:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nOK: all tracked metrics within {args.tolerance:.0%} "
+          f"of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,14 +1,24 @@
-"""Benchmark-suite fixtures: shared TPC-DS environments per nominal size."""
+"""Benchmark-suite fixtures: shared TPC-DS environments per nominal size.
+
+Setting ``BENCH_SMOKE=1`` shrinks the single-size experiments so the suite
+finishes in CI minutes instead of laptop-hours; the emitted ``BENCH_*.json``
+artifacts record which scale produced them so the regression gate
+(``check_regression.py``) never compares across scales.
+"""
+
+import os
 
 import pytest
 
 from repro.workloads.loader import load_tpcds
 from repro.workloads.tpcds_schema import Q38_TABLES, Q39_TABLES
 
+#: reduced-scale mode for the CI bench-smoke job
+BENCH_SMOKE = bool(os.environ.get("BENCH_SMOKE"))
 #: the paper's x-axis (Figures 4, 5 and 7)
 DATA_SIZES_GB = (5, 10, 15, 20, 25, 30)
 #: a mid-sweep size for the single-size experiments (Fig 6, Table II, ablations)
-FIXED_SIZE_GB = 15
+FIXED_SIZE_GB = 2 if BENCH_SMOKE else 15
 
 
 @pytest.fixture(scope="session")
@@ -35,3 +45,32 @@ def write_report(name: str, text: str) -> None:
     out_dir.mkdir(exist_ok=True)
     (out_dir / f"{name}.txt").write_text(text + "\n")
     print(f"\n{text}\n")
+
+
+def write_bench_json(name: str, metrics: dict) -> None:
+    """Persist tracked bench metrics as ``BENCH_<name>.json``.
+
+    ``metrics`` maps a metric name to ``{"value": float, "direction":
+    "lower"|"higher"}``.  Only *simulated* (deterministic) quantities belong
+    here -- the CI regression gate (``check_regression.py``) compares these
+    values against the committed baselines in ``benchmarks/baselines/`` and
+    wall-clock numbers would flake the build.
+    """
+    import json
+    import pathlib
+
+    for key, entry in metrics.items():
+        assert set(entry) == {"value", "direction"}, key
+        assert entry["direction"] in ("lower", "higher"), key
+    out_dir = pathlib.Path(__file__).parent / "results"
+    out_dir.mkdir(exist_ok=True)
+    payload = {
+        "bench": name,
+        "scale": "smoke" if BENCH_SMOKE else "full",
+        "metrics": {k: {"value": float(v["value"]),
+                        "direction": v["direction"]}
+                    for k, v in metrics.items()},
+    }
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")

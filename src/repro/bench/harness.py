@@ -15,7 +15,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 from repro.baselines import BASELINE_FORMAT
 from repro.common.tracing import save_trace
 from repro.core.relation import DEFAULT_FORMAT
-from repro.sql.session import QueryResult, SparkSession
+from repro.sql.session import QueryResult
 from repro.workloads.loader import TpcdsEnvironment, load_tpcds
 
 

@@ -37,6 +37,9 @@ class CostModel:
     write_bytes_per_sec: float = 30_000.0
     #: fixed cost per Put batch (WAL sync) (s)
     wal_sync_cost_s: float = 0.004
+    #: block-cache memory read bandwidth (bytes/s); ~20x the HDFS scan rate,
+    #: mirroring the DRAM-vs-disk gap the LLAP-style cache exploits
+    blockcache_bytes_per_sec: float = 480_000.0
 
     # -- network --------------------------------------------------------------
     #: client <-> region server transfer bandwidth (bytes/s)
@@ -62,6 +65,9 @@ class CostModel:
     shuffle_bytes_per_sec: float = 7_000.0
     #: fixed cost per shuffle exchange (s)
     shuffle_setup_s: float = 0.1
+    #: executor partition-cache memory read bandwidth (bytes/s); reading a
+    #: cached partition skips the scan + decode pipeline entirely
+    cached_partition_bytes_per_sec: float = 600_000.0
 
     # -- coders -----------------------------------------------------------------
     #: base per-cell decode cost (s); multiplied by each coder's cpu_factor

@@ -11,7 +11,6 @@ before they are pushed into HBase, so no data is lost to misordered scans.
 from __future__ import annotations
 
 import math
-import struct
 from typing import List, Optional
 
 from repro.common.errors import CoderError

@@ -12,7 +12,7 @@ metered and shows up in the ablation benchmark.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.common.cost import CostModel

@@ -16,7 +16,7 @@ segments and pushed as an OR of range filter lists, so no data is lost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.catalog import HBaseTableCatalog
 from repro.core.coders.base import ByteRange, FieldCoder

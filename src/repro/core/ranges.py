@@ -15,7 +15,7 @@ future work is implemented behind ``prune_all_dimensions=True``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.catalog import HBaseTableCatalog
 from repro.core.coders.base import ByteRange, FieldCoder

@@ -10,7 +10,7 @@ benchmarks can isolate its contribution.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+from typing import Dict, Optional, Sequence, TYPE_CHECKING
 
 from repro.common.errors import CatalogError, HBaseError
 from repro.core.catalog import HBaseSparkConf, HBaseTableCatalog

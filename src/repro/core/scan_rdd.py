@@ -13,7 +13,6 @@ from __future__ import annotations
 from typing import Iterator, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
 
 from repro.common.errors import (
-    CatalogError,
     FilterEvalError,
     RegionOfflineError,
     RetriesExhaustedError,
@@ -25,7 +24,6 @@ from repro.core.partitions import HBaseScanPartition
 from repro.engine.rdd import Partition, RDD
 from repro.hbase.client import Get, Result, Scan
 from repro.hbase.filters import Filter as HFilter
-from repro.hbase.region import TimeRange
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.relation import HBaseRelation

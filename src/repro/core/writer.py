@@ -10,7 +10,7 @@ batched ``Put``s against the region servers.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, TYPE_CHECKING
+from typing import List, TYPE_CHECKING
 
 from repro.common.errors import CatalogError
 from repro.core.catalog import HBaseTableCatalog

@@ -21,7 +21,7 @@ the standard SHC path, so answers never change.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.core.pushdown import PushdownCompiler
 from repro.core.ranges import FULL_SCAN, RangeBuilder

@@ -9,7 +9,7 @@ memstore, store files and scanners all rely on this order.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 

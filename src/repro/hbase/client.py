@@ -22,7 +22,6 @@ from repro.common.errors import (
     OperationTimeoutError,
     RegionOfflineError,
     RetriesExhaustedError,
-    SecurityError,
     TransientRpcError,
 )
 from repro.common.faults import FAULT_FILTER, FAULT_RPC, FAULT_STALE_META, FAULT_SCAN_STREAM

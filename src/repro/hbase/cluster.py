@@ -109,6 +109,31 @@ class HBaseCluster:
             Configuration.CLIENT_HOST: client_host,
         })
 
+    def enable_block_cache(self, capacity_bytes: int) -> None:
+        """Give every region server a fresh LRU block cache of this size.
+
+        Replaces any existing caches (so repeated calls reset hit counters).
+        The cache is an opt-in ablation knob: until this is called, scans
+        charge the exact uncached cost path.
+        """
+        from repro.hbase.blockcache import BlockCache
+
+        for server in self.region_servers.values():
+            server.block_cache = BlockCache(capacity_bytes)
+
+    def disable_block_cache(self) -> None:
+        """Detach every server's block cache, restoring uncached charging."""
+        for server in self.region_servers.values():
+            server.block_cache = None
+
+    def block_cache_stats(self) -> Dict[str, object]:
+        """Per-server cache snapshots, for tests and benchmark reports."""
+        return {
+            server_id: server.block_cache.stats()
+            for server_id, server in self.region_servers.items()
+            if server.block_cache is not None
+        }
+
     def install_fault_injector(self, injector) -> None:
         """Attach a :class:`~repro.common.faults.FaultInjector` (None removes it).
 

@@ -11,7 +11,7 @@ and AND/OR filter lists.
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence
 
 from repro.hbase.cell import Cell
 

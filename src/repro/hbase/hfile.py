@@ -90,11 +90,30 @@ class StoreFile:
 
     def scanned_bytes(self, start_row: bytes = b"", stop_row: bytes | None = None) -> int:
         """Bytes a scan over the given range touches (block-granular)."""
+        return sum(nbytes for _, nbytes in self.blocks_for_range(start_row, stop_row))
+
+    def blocks_for_range(
+        self, start_row: bytes = b"", stop_row: bytes | None = None
+    ) -> List[tuple]:
+        """The ``(block_index, nbytes)`` pairs a scan of the range reads.
+
+        HBase reads whole blocks, so the range is rounded out to block
+        boundaries; the per-block sizes sum exactly to ``scanned_bytes``
+        for the same range.  Block indices are stable for the lifetime of
+        this (immutable) file, which is what lets the region-server block
+        cache key on ``(file_id, block_index)``.
+        """
         lo = self.seek_index(start_row) if start_row else 0
         hi = bisect.bisect_left(self._rows, stop_row) if stop_row is not None else len(self._cells)
         if lo >= hi:
-            return 0
-        # round out to block boundaries: HBase reads whole blocks
-        lo_block = (lo // self._block_cells) * self._block_cells
-        hi_block = min(len(self._cells), ((hi + self._block_cells - 1) // self._block_cells) * self._block_cells)
-        return sum(c.heap_size() for c in self._cells[lo_block:hi_block])
+            return []
+        bc = self._block_cells
+        first_block = lo // bc
+        last_block = (hi + bc - 1) // bc  # exclusive
+        blocks: List[tuple] = []
+        for block_idx in range(first_block, last_block):
+            start = block_idx * bc
+            stop = min(len(self._cells), start + bc)
+            nbytes = sum(c.heap_size() for c in self._cells[start:stop])
+            blocks.append((block_idx, nbytes))
+        return blocks

@@ -240,6 +240,44 @@ class Region:
             local += sum(c.heap_size() for c in store.memstore.scan(lo, hi))
         return local, remote
 
+    def touched_blocks_by_file(
+        self,
+        host: str,
+        start_row: bytes = b"",
+        stop_row: Optional[bytes] = None,
+        families: Optional[Set[str]] = None,
+        columns: Optional[Set[Tuple[str, str]]] = None,
+    ) -> Tuple[List[Tuple[StoreFile, bool, List[tuple]]], int]:
+        """Block-granular view of the I/O a range scan performs.
+
+        Returns ``(files, memstore_bytes)`` where ``files`` lists, for every
+        store file the scan touches, the file itself, whether its HDFS
+        replica is local to ``host``, and its ``(block_index, nbytes)``
+        pairs.  Summing all block bytes plus ``memstore_bytes`` reproduces
+        :meth:`io_bytes_by_locality` exactly -- the block cache uses this
+        decomposition to charge hits and misses per block while keeping
+        cache-off totals byte-identical.
+        """
+        lo, hi = self.clamp(start_row, stop_row)
+        if hi is not None and lo >= hi:
+            return [], 0
+        files: List[Tuple[StoreFile, bool, List[tuple]]] = []
+        memstore_bytes = 0
+        for family in self._chosen_families(families, columns):
+            store = self.stores[family]
+            for store_file in store.files:
+                blocks = store_file.blocks_for_range(lo, hi)
+                if blocks:
+                    placed = store_file.hdfs_file
+                    is_local = placed is None or placed.is_local_to(host)
+                    files.append((store_file, is_local, blocks))
+            memstore_bytes += sum(c.heap_size() for c in store.memstore.scan(lo, hi))
+        return files, memstore_bytes
+
+    def store_file_ids(self) -> Set[int]:
+        """The ``file_id`` of every store file currently in this region."""
+        return {f.file_id for store in self.stores.values() for f in store.files}
+
     def _chosen_families(
         self,
         families: Optional[Set[str]],

@@ -20,6 +20,7 @@ from repro.common.errors import (
     RegionServerStoppedError,
 )
 from repro.common.metrics import CostLedger
+from repro.hbase.blockcache import BlockCache
 from repro.hbase.cell import Cell
 from repro.hbase.filters import Filter, PageFilter
 from repro.hbase.region import Region, TimeRange
@@ -44,6 +45,9 @@ class RegionServer:
         self.region_max_bytes: Optional[int] = None
         #: the cluster's HDFS, set at wiring time; placement is skipped if None
         self.hdfs = None
+        #: optional LRU block cache fronting HFile reads; None (the default)
+        #: keeps the scan cost path byte-identical to the uncached simulation
+        self.block_cache: Optional[BlockCache] = None
         #: serialises WAL append + memstore apply + flush decisions; parallel
         #: engine tasks write into the same regions concurrently
         self._write_lock = threading.RLock()
@@ -62,17 +66,28 @@ class RegionServer:
         self.regions[region.name] = region
 
     def close_region(self, region_name: str) -> Region:
+        """Stop serving a region; drops its cached blocks and flush debts.
+
+        Every way a region leaves a server (balance move, split, merge,
+        table drop) funnels through here, so evicting the region's store
+        files from the block cache at this single point keeps the cache
+        free of blocks this server can no longer legitimately serve.
+        """
         self._check_alive()
         region = self.regions.pop(region_name, None)
         if region is None:
             raise RegionOfflineError(f"{region_name} not served by {self.server_id}")
         self._flush_debts.pop(region_name, None)
+        if self.block_cache is not None:
+            self.block_cache.invalidate_files(region.store_file_ids())
         return region
 
     def crash(self) -> None:
-        """Simulate process death: memstores are volatile and vanish."""
+        """Simulate process death: memstores and the block cache vanish."""
         self.alive = False
         self._flush_debts.clear()
+        if self.block_cache is not None:
+            self.block_cache.clear()
         for region in self.regions.values():
             for store in region.stores.values():
                 store.memstore.clear()
@@ -151,10 +166,14 @@ class RegionServer:
     def compact_region(self, region_name: str, major: bool = False) -> None:
         with self._write_lock:
             region = self._region(region_name)
+            before = region.store_file_ids()
             region.compact(major=major)
             # compactions write fresh files on THIS server's host, which is how
             # HBase re-localises a region after it has been moved
             self._place_new_files(region)
+            if self.block_cache is not None:
+                # the merged-away inputs no longer exist; their blocks must go
+                self.block_cache.invalidate_files(before - region.store_file_ids())
 
     def _place_new_files(self, region: Region) -> None:
         if self.hdfs is None:
@@ -191,25 +210,29 @@ class RegionServer:
         if isinstance(row_filter, PageFilter):
             row_filter.reset()
 
-        local_bytes, remote_bytes = region.io_bytes_by_locality(
-            self.host, start_row, stop_row, families, columns
-        )
-        io_bytes = local_bytes + remote_bytes
-        touched_files = sum(
-            len(region.stores[f].files)
-            for f in region._chosen_families(families, columns)
-        )
-        ledger.charge(self.cost.seek_cost_s * max(1, touched_files), "hbase.seeks", max(1, touched_files))
-        ledger.charge(local_bytes / self.cost.scan_bytes_per_sec,
-                      "hbase.bytes_scanned", io_bytes)
-        if remote_bytes:
-            # short-circuit-read is gone: the remote datanode still reads the
-            # blocks off disk AND streams them over the network
-            ledger.charge(
-                remote_bytes / self.cost.scan_bytes_per_sec
-                + remote_bytes / self.cost.network_bytes_per_sec,
-                "hbase.remote_hdfs_bytes", remote_bytes,
+        if self.block_cache is not None:
+            self._charge_scan_cached(region, ledger, start_row, stop_row,
+                                     families, columns)
+        else:
+            local_bytes, remote_bytes = region.io_bytes_by_locality(
+                self.host, start_row, stop_row, families, columns
             )
+            io_bytes = local_bytes + remote_bytes
+            touched_files = sum(
+                len(region.stores[f].files)
+                for f in region._chosen_families(families, columns)
+            )
+            ledger.charge(self.cost.seek_cost_s * max(1, touched_files), "hbase.seeks", max(1, touched_files))
+            ledger.charge(local_bytes / self.cost.scan_bytes_per_sec,
+                          "hbase.bytes_scanned", io_bytes)
+            if remote_bytes:
+                # short-circuit-read is gone: the remote datanode still reads
+                # the blocks off disk AND streams them over the network
+                ledger.charge(
+                    remote_bytes / self.cost.scan_bytes_per_sec
+                    + remote_bytes / self.cost.network_bytes_per_sec,
+                    "hbase.remote_hdfs_bytes", remote_bytes,
+                )
 
         results: List[RowResult] = []
         rows_visited = 0
@@ -241,6 +264,76 @@ class RegionServer:
         returned = sum(c.heap_size() for __, cells in results for c in cells)
         ledger.count("hbase.bytes_returned", returned)
         return results
+
+    def _charge_scan_cached(
+        self,
+        region: Region,
+        ledger: CostLedger,
+        start_row: bytes,
+        stop_row: Optional[bytes],
+        families: Optional[Set[str]],
+        columns: Optional[Set[Tuple[str, str]]],
+    ) -> None:
+        """Bill a range scan block-by-block through the block cache.
+
+        Cached blocks cost a memory read (``blockcache_bytes_per_sec``);
+        missed blocks cost exactly what the uncached path charges for them
+        -- HDFS scan bandwidth, plus the network for remote replicas -- and
+        are admitted to the cache as they are read.  Memstore bytes are
+        always read directly (they live in this process's heap already) and
+        never enter the block cache.  Seeks are charged per store file that
+        needed at least one disk read; a fully cached file costs none.
+        """
+        cache = self.block_cache
+        assert cache is not None
+        files, memstore_bytes = region.touched_blocks_by_file(
+            self.host, start_row, stop_row, families, columns
+        )
+        hits = misses = evictions = miss_files = 0
+        hit_bytes = local_miss_bytes = remote_miss_bytes = 0
+        for store_file, is_local, blocks in files:
+            file_missed = False
+            for block_idx, nbytes in blocks:
+                outcome = cache.access(store_file.file_id, block_idx, nbytes)
+                if outcome.hit:
+                    hits += 1
+                    hit_bytes += nbytes
+                else:
+                    misses += 1
+                    file_missed = True
+                    if is_local:
+                        local_miss_bytes += nbytes
+                    else:
+                        remote_miss_bytes += nbytes
+                evictions += outcome.evicted_blocks
+            if file_missed:
+                miss_files += 1
+        ledger.charge(self.cost.seek_cost_s * max(1, miss_files),
+                      "hbase.seeks", max(1, miss_files))
+        disk_local = local_miss_bytes + memstore_bytes
+        ledger.charge(disk_local / self.cost.scan_bytes_per_sec,
+                      "hbase.bytes_scanned", disk_local + remote_miss_bytes)
+        if remote_miss_bytes:
+            ledger.charge(
+                remote_miss_bytes / self.cost.scan_bytes_per_sec
+                + remote_miss_bytes / self.cost.network_bytes_per_sec,
+                "hbase.remote_hdfs_bytes", remote_miss_bytes,
+            )
+        if hits:
+            ledger.charge(hit_bytes / self.cost.blockcache_bytes_per_sec,
+                          "hbase.blockcache.hit_bytes", hit_bytes)
+            ledger.count("hbase.blockcache.hits", hits)
+        if misses:
+            ledger.count("hbase.blockcache.misses", misses)
+            ledger.count("hbase.blockcache.miss_bytes",
+                         local_miss_bytes + remote_miss_bytes)
+        if evictions:
+            ledger.count("hbase.blockcache.evictions", evictions)
+        span = getattr(ledger, "trace_span", None)
+        if span is not None and span.enabled and (hits or misses):
+            span.event("blockcache", server=self.server_id, hits=hits,
+                       misses=misses, hit_bytes=hit_bytes,
+                       miss_bytes=local_miss_bytes + remote_miss_bytes)
 
     def get(
         self,

@@ -16,7 +16,7 @@ Responsibilities mirroring Catalyst's resolution batch:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.common.errors import AnalysisError
 from repro.sql import expressions as E

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence, Union, TYPE_CHECKING
 from repro.common.errors import AnalysisError
 from repro.sql import expressions as E
 from repro.sql import logical as L
-from repro.sql.functions import Column, _to_expr, col
+from repro.sql.functions import Column, col
 from repro.sql.parser import parse_expression
 from repro.sql.row import Row
 from repro.sql.types import StructType
@@ -150,6 +150,57 @@ class DataFrame:
             self.session, L.SetOperation("intersect", self.plan, other.plan)
         )
 
+    # -- caching -----------------------------------------------------------------
+    def _cache_fingerprints(self) -> List[str]:
+        """Fingerprints of this plan's analyzed and optimized forms.
+
+        Both are registered so the planner matches whether the cached plan
+        appears verbatim or in the shape the optimizer rewrites it to when
+        the DataFrame itself is executed.
+        """
+        from repro.sql.fingerprint import plan_fingerprint
+        from repro.sql.optimizer import optimize
+
+        fingerprints = [plan_fingerprint(self.plan)]
+        optimized_fp = plan_fingerprint(optimize(self.plan))
+        if optimized_fp not in fingerprints:
+            fingerprints.append(optimized_fp)
+        return fingerprints
+
+    def persist(self) -> "DataFrame":
+        """Mark this plan for executor-memory caching (Spark ``MEMORY_ONLY``).
+
+        Lazy, like Spark: nothing materialises until an action runs.  The
+        first execution fills the cache partition by partition; later
+        executions of a structurally identical plan serve from memory and
+        skip the scan entirely.  No-op when ``sql.cache.enabled`` is off.
+        """
+        manager = self.session.cache_manager
+        if manager is not None:
+            description = self.plan.describe()
+            for fingerprint in self._cache_fingerprints():
+                manager.register(fingerprint, description)
+        return self
+
+    cache = persist
+
+    def unpersist(self) -> "DataFrame":
+        """Drop this plan's cache registration and any materialised rows."""
+        manager = self.session.cache_manager
+        if manager is not None:
+            for fingerprint in self._cache_fingerprints():
+                manager.unregister(fingerprint)
+        return self
+
+    @property
+    def is_cached(self) -> bool:
+        """Whether this plan is currently registered in the partition cache."""
+        manager = self.session.cache_manager
+        if manager is None:
+            return False
+        return any(manager.is_registered(fp)
+                   for fp in self._cache_fingerprints())
+
     # -- actions -----------------------------------------------------------------
     def run(self) -> "QueryResult":
         """Execute and return rows *plus* simulated time and metrics."""
@@ -196,7 +247,8 @@ class DataFrame:
         from repro.sql.planner import Planner
 
         optimized = optimize(self.plan)
-        physical = Planner(self.session.conf).plan(optimized)
+        physical = Planner(self.session.conf,
+                           cache=self.session.cache_manager).plan(optimized)
         if not analyze:
             return (
                 "== Optimized Logical Plan ==\n" + optimized.pretty()

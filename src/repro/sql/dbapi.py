@@ -9,7 +9,7 @@ with standard semantics.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import List, Optional, Sequence, TYPE_CHECKING
 
 from repro.common.errors import SqlError
 

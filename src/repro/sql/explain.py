@@ -55,6 +55,16 @@ def operator_annotations(physical: PhysicalPlan, result) -> Dict[int, List[str]]
                     f"filters: pushed={stats['filters_pushed']} "
                     f"residual={stats['filters_residual']}"
                 )
+            if "cached_partitions" in stats:
+                notes.append(
+                    f"cache: serving {stats['cached_partitions']} partitions "
+                    f"({_fmt_bytes(stats['cached_bytes'])}) from memory"
+                )
+            elif "cached_fingerprint" in stats:
+                notes.append(
+                    f"cache: materializing as {stats['cached_fingerprint']} "
+                    f"({_fmt_bytes(stats['cached_bytes'])} cached)"
+                )
         scan_stages = stages_by_scope.get(op.op_id)
         if scan_stages:
             local = sum(s.local_tasks for s in scan_stages)
@@ -66,6 +76,22 @@ def operator_annotations(physical: PhysicalPlan, result) -> Dict[int, List[str]]
                 f"of {tasks} tasks"
             )
             notes.append(f"stages: [{ids}] sim={sim:.4f}s")
+            cache_hits = sum(s.cache_hit_partitions for s in scan_stages)
+            cache_misses = sum(s.cache_miss_partitions for s in scan_stages)
+            if cache_hits or cache_misses:
+                ratio = cache_hits / (cache_hits + cache_misses)
+                notes.append(
+                    f"partition cache: hits={cache_hits} "
+                    f"misses={cache_misses} ({ratio:.0%} hit ratio)"
+                )
+            bc_hit = sum(s.blockcache_hit_bytes for s in scan_stages)
+            bc_miss = sum(s.blockcache_miss_bytes for s in scan_stages)
+            if bc_hit or bc_miss:
+                ratio = bc_hit / (bc_hit + bc_miss)
+                notes.append(
+                    f"block cache: hit={_fmt_bytes(bc_hit)} "
+                    f"miss={_fmt_bytes(bc_miss)} ({ratio:.0%} byte hit ratio)"
+                )
         if notes:
             annotations[op.op_id] = notes
     return annotations
@@ -107,6 +133,17 @@ def _summary(result) -> List[str]:
         f"won={int(m.get('engine.speculative_won'))} "
         f"wasted={m.get('engine.speculative_wasted_s'):.4f}s",
     ]
+    cache_hits = int(m.get("engine.cache.hits"))
+    cache_misses = int(m.get("engine.cache.misses"))
+    bc_hits = int(m.get("hbase.blockcache.hits"))
+    bc_misses = int(m.get("hbase.blockcache.misses"))
+    if cache_hits or cache_misses or bc_hits or bc_misses:
+        lines.append(
+            f"caches: partition hits={cache_hits} misses={cache_misses} "
+            f"read={_fmt_bytes(m.get('engine.cache.read_bytes'))}; "
+            f"block hits={bc_hits} misses={bc_misses} "
+            f"hit_bytes={_fmt_bytes(m.get('hbase.blockcache.hit_bytes'))}"
+        )
     return lines
 
 

@@ -11,7 +11,7 @@ usual precedence, and aggregate calls including COUNT(DISTINCT x).
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.common.errors import ParseError
 from repro.sql import expressions as E

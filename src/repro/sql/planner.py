@@ -69,15 +69,43 @@ def estimate_plan_size(plan: L.LogicalPlan) -> int:
 
 
 class Planner:
-    """Compiles one optimized logical plan."""
+    """Compiles one optimized logical plan.
 
-    def __init__(self, conf: Dict[str, object]) -> None:
+    When a partition-cache manager is attached (``session.cache_manager``),
+    every subtree is fingerprinted against the persisted plans: a complete
+    entry compiles to a :class:`~repro.sql.physical.CachedRelationExec`
+    leaf, a registered-but-incomplete one wraps its normal compilation in a
+    :class:`~repro.sql.physical.CacheMaterializeExec` that fills the cache
+    as it runs.  With no manager (or nothing persisted) planning is exactly
+    the uncached pipeline.
+    """
+
+    def __init__(self, conf: Dict[str, object], cache=None) -> None:
         self.conf = conf
+        self.cache = cache
         self.broadcast_threshold = int(
             conf.get("sql.autoBroadcastJoinThreshold", 128 * 1024)
         )
 
     def plan(self, node: L.LogicalPlan) -> P.PhysicalPlan:
+        if self.cache is not None and self.cache.has_registrations():
+            from repro.sql.fingerprint import plan_fingerprint
+
+            fingerprint = plan_fingerprint(node)
+            if self.cache.is_registered(fingerprint):
+                description = node.describe()
+                snapshot = self.cache.snapshot(fingerprint)
+                if snapshot is not None:
+                    return P.CachedRelationExec(
+                        list(node.output), fingerprint, snapshot, description
+                    )
+                return P.CacheMaterializeExec(
+                    fingerprint, self.cache, self._plan_dispatch(node),
+                    description,
+                )
+        return self._plan_dispatch(node)
+
+    def _plan_dispatch(self, node: L.LogicalPlan) -> P.PhysicalPlan:
         if isinstance(node, L.SubqueryAlias):
             return self.plan(node.children[0])
 

@@ -19,6 +19,7 @@ from repro.common.errors import AnalysisError
 from repro.common.metrics import MetricsRegistry
 from repro.common.simclock import SimClock
 from repro.common.tracing import NOOP_SPAN, Span
+from repro.engine.cachemanager import CacheManager
 from repro.engine.cluster import ComputeCluster, YarnResourceManager
 from repro.engine.scheduler import StageInfo, TaskScheduler
 from repro.sql.analyzer import Analyzer, Catalog
@@ -71,6 +72,12 @@ DEFAULT_CONF: Dict[str, object] = {
     # the hot path runs against the no-op recorder
     "tracing.enabled": False,
     "sql.autoBroadcastJoinThreshold": 128 * 1024,
+    # DataFrame.cache()/persist(): executor-memory partition cache.  The
+    # enabled flag gates persist() itself -- with it off (or with no
+    # persist() calls, the default state) planning and execution are
+    # byte-identical to an uncached session
+    "sql.cache.enabled": True,
+    "sql.cache.max.bytes": 64 * 1024 * 1024,
     "engine.locality.enabled": True,
     # thread-pool stage runner: one worker per executor slot; turn off for
     # the serial driver-thread baseline the parallelism ablation measures
@@ -123,6 +130,13 @@ class SparkSession:
         self._pool_lock = threading.Lock()
         #: optional FaultInjector for engine-side fault points; None = off
         self.faults = None
+        #: executor-side partition cache behind DataFrame.persist(); None
+        #: when sql.cache.enabled is off (persist() then no-ops)
+        self.cache_manager: Optional[CacheManager] = None
+        if bool(self.conf.get("sql.cache.enabled", True)):
+            self.cache_manager = CacheManager(
+                int(self.conf.get("sql.cache.max.bytes", 64 * 1024 * 1024))
+            )
 
     def install_fault_injector(self, injector) -> None:
         """Attach a :class:`~repro.common.faults.FaultInjector` (None removes it).
@@ -217,10 +231,18 @@ class SparkSession:
         return pool.submit(lambda: self.sql(text).run())
 
     def shutdown(self) -> None:
+        """Stop the query pool and release cached partitions.
+
+        Dropping the partition cache here mirrors the shuffle-store cleanup
+        on job abort: a long-lived process that opens and closes sessions
+        must not accumulate unreachable cached rows.
+        """
         with self._pool_lock:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+        if self.cache_manager is not None:
+            self.cache_manager.clear()
 
     # -- execution -----------------------------------------------------------------------
     def query_trace(self, trace=None) -> "Span | object":
@@ -242,7 +264,7 @@ class SparkSession:
         optimized = optimize(plan)
         span.finish()
         span = trace.child("plan", "plan", order=(0, 1))
-        physical = Planner(self.conf).plan(optimized)
+        physical = Planner(self.conf, cache=self.cache_manager).plan(optimized)
         span.finish()
         return self.execute_physical(physical, trace=trace)
 

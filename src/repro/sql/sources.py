@@ -11,14 +11,13 @@ deliberately small, serialisable language distinct from Catalyst expressions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Dict, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.sql import expressions as E
 from repro.sql.types import StructType
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.rdd import RDD
-    from repro.engine.scheduler import TaskScheduler
 
 
 # -- the source filter language --------------------------------------------------

@@ -9,7 +9,7 @@ session, and the tests assert they return the same rows as the SQL forms.
 from __future__ import annotations
 
 from repro.sql.dataframe import DataFrame
-from repro.sql.functions import avg, col, count, stddev, when
+from repro.sql.functions import avg, col, stddev, when
 from repro.workloads.tpcds_gen import date_sk_range_for_year
 
 Q39_YEAR = 2001

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from typing import List, Tuple
 
 #: d_date_sk of 1999-01-01; three generated years end at BASE + 3*365 - 1
 DATE_SK_BASE = 2451000

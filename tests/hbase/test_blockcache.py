@@ -1,0 +1,114 @@
+"""BlockCache unit tests: LRU protocol, invalidation, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.hbase.blockcache import BlockCache
+
+
+def test_miss_then_hit():
+    cache = BlockCache(1000)
+    first = cache.access(1, 0, 100)
+    assert not first.hit and first.evicted_blocks == 0
+    second = cache.access(1, 0, 100)
+    assert second.hit
+    stats = cache.stats()
+    assert (stats.hits, stats.misses) == (1, 1)
+    assert stats.current_bytes == 100
+    assert stats.hit_ratio == 0.5
+
+
+def test_distinct_blocks_of_one_file_are_distinct_keys():
+    cache = BlockCache(1000)
+    cache.access(1, 0, 100)
+    assert not cache.access(1, 1, 100).hit
+    assert cache.contains(1, 0) and cache.contains(1, 1)
+    assert len(cache) == 2
+
+
+def test_lru_eviction_order():
+    cache = BlockCache(300)
+    cache.access(1, 0, 100)
+    cache.access(1, 1, 100)
+    cache.access(1, 2, 100)
+    # touch block 0 so block 1 is now the least recently used
+    assert cache.access(1, 0, 100).hit
+    outcome = cache.access(1, 3, 100)
+    assert outcome.evicted_blocks == 1 and outcome.evicted_bytes == 100
+    assert cache.contains(1, 0) and not cache.contains(1, 1)
+    assert cache.stats().evictions == 1
+    assert cache.stats().current_bytes == 300
+
+
+def test_block_larger_than_budget_is_never_admitted():
+    cache = BlockCache(100)
+    outcome = cache.access(1, 0, 500)
+    assert not outcome.hit and outcome.evicted_blocks == 0
+    assert len(cache) == 0
+    # and the lookup still counted as a miss
+    assert cache.stats().misses == 1
+
+
+def test_invalidate_files_drops_only_those_files():
+    cache = BlockCache(10_000)
+    cache.access(1, 0, 100)
+    cache.access(1, 1, 100)
+    cache.access(2, 0, 100)
+    dropped = cache.invalidate_files([1, 99])
+    assert dropped == 2
+    assert not cache.contains(1, 0) and not cache.contains(1, 1)
+    assert cache.contains(2, 0)
+    assert cache.stats().current_bytes == 100
+    assert cache.stats().invalidations == 2
+
+
+def test_clear_empties_everything():
+    cache = BlockCache(10_000)
+    cache.access(1, 0, 100)
+    cache.access(2, 0, 100)
+    assert cache.clear() == 2
+    assert len(cache) == 0
+    assert cache.stats().current_bytes == 0
+    # a cleared cache re-admits from scratch
+    assert not cache.access(1, 0, 100).hit
+    assert cache.contains(1, 0)
+
+
+def test_eviction_also_unlinks_file_index():
+    """An evicted block must not resurface through invalidate_files math."""
+    cache = BlockCache(100)
+    cache.access(1, 0, 100)
+    cache.access(2, 0, 100)  # evicts file 1's block
+    assert not cache.contains(1, 0)
+    assert cache.invalidate_files([1]) == 0
+    assert cache.stats().current_bytes == 100
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        BlockCache(0)
+
+
+def test_concurrent_access_is_consistent():
+    """Many threads hammering overlapping blocks: totals must reconcile."""
+    cache = BlockCache(50 * 64)
+    errors = []
+
+    def worker(seed):
+        try:
+            for i in range(500):
+                cache.access((seed + i) % 7, i % 40, 64)
+        except Exception as exc:  # pragma: no cover - only on bugs
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(s,)) for s in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    stats = cache.stats()
+    assert stats.hits + stats.misses == 8 * 500
+    assert stats.current_bytes <= cache.capacity_bytes
+    assert stats.current_bytes == len(cache) * 64

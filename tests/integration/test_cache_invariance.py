@@ -1,0 +1,36 @@
+"""Cache-off invariance: with both tiers disabled the simulation is the seed.
+
+The caching subsystem threads through the region server's scan charging and
+the planner, so the load-bearing guarantee is that its *availability* costs
+nothing: a query run with the partition cache merely enabled-but-unused and
+no block cache attached must produce a byte-identical cost ledger (every
+metric, every simulated second) to a run with the feature switched off
+entirely.
+"""
+
+from repro.workloads import load_tpcds
+
+QUERY = ("SELECT ss_item_sk, ss_quantity FROM store_sales "
+         "WHERE ss_quantity > 1")
+
+
+def run_fresh(conf):
+    env = load_tpcds(2, ["store_sales"])
+    session = env.new_session(conf=conf)
+    result = session.sql(QUERY).run()
+    session.shutdown()
+    return result
+
+
+def test_unused_caches_are_byte_identical_to_disabled():
+    enabled = run_fresh(None)  # default conf: partition cache on, unused
+    disabled = run_fresh({"sql.cache.enabled": False})
+
+    assert [tuple(r.values) for r in enabled.rows] == \
+        [tuple(r.values) for r in disabled.rows]
+    assert enabled.seconds == disabled.seconds
+    assert dict(enabled.metrics.snapshot()) == dict(disabled.metrics.snapshot())
+    # and no cache counter leaked into either ledger
+    for key in enabled.metrics.snapshot():
+        assert not key.startswith("engine.cache."), key
+        assert not key.startswith("hbase.blockcache."), key

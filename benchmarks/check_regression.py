@@ -44,6 +44,58 @@ def _load(path: pathlib.Path) -> dict:
         return json.load(fh)
 
 
+def validate_payload(payload: object, label: str) -> List[str]:
+    """Structural validation of one ``BENCH_*.json`` payload.
+
+    Returns human-readable problems (empty = valid) instead of letting a
+    malformed baseline or artifact surface as a bare ``KeyError`` deep in
+    the comparison: the gate names the file, the metric and exactly which
+    keys are missing or unexpected.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"{label}: payload must be a JSON object, "
+                f"got {type(payload).__name__}"]
+    missing = sorted({"bench", "scale", "metrics"} - set(payload))
+    if missing:
+        problems.append(
+            f"{label}: missing top-level key(s) {', '.join(missing)}")
+    metrics = payload.get("metrics")
+    if metrics is None:
+        return problems
+    if not isinstance(metrics, dict):
+        return problems + [
+            f"{label}: 'metrics' must be an object, "
+            f"got {type(metrics).__name__}"]
+    for name, entry in metrics.items():
+        if not isinstance(entry, dict):
+            problems.append(
+                f"{label}: metric {name!r} must be an object with "
+                f"'value' and 'direction', got {type(entry).__name__}")
+            continue
+        missing = sorted({"value", "direction"} - set(entry))
+        extra = sorted(set(entry) - {"value", "direction"})
+        if missing:
+            problems.append(
+                f"{label}: metric {name!r} is missing key(s) "
+                f"{', '.join(missing)}")
+        if extra:
+            problems.append(
+                f"{label}: metric {name!r} has unexpected key(s) "
+                f"{', '.join(extra)}")
+        if "direction" in entry and entry["direction"] not in (
+                "lower", "higher"):
+            problems.append(
+                f"{label}: metric {name!r} direction must be 'lower' or "
+                f"'higher', got {entry['direction']!r}")
+        if "value" in entry and not isinstance(
+                entry["value"], (int, float)):
+            problems.append(
+                f"{label}: metric {name!r} value must be numeric, "
+                f"got {type(entry['value']).__name__}")
+    return problems
+
+
 def check_bench(baseline: dict, current: dict, tolerance: float,
                 failures: List[str], warnings: List[str]) -> List[str]:
     """Compare one bench's current metrics to its baseline; returns report lines."""
@@ -123,7 +175,15 @@ def main(argv=None) -> int:
                 f"{current_path} -- did the bench run?"
             )
             continue
-        for line in check_bench(baseline, _load(current_path),
+        current = _load(current_path)
+        problems = validate_payload(
+            baseline, f"baseline {baseline_path.name}")
+        problems += validate_payload(
+            current, f"artifact {current_path.name}")
+        if problems:
+            failures.extend(problems)
+            continue
+        for line in check_bench(baseline, current,
                                 args.tolerance, failures, warnings):
             print(line)
 

@@ -105,6 +105,17 @@ class Span:
             found.extend(c.find(kind))
         return found
 
+    def find_events(self, name: str) -> List[Dict[str, Any]]:
+        """All events of ``name`` in this span and every descendant.
+
+        Lets tests and the observability docs locate e.g. the adaptive
+        executor's ``reopt`` events without walking the tree by hand.
+        """
+        found = [dict(e) for e in self.events if e.get("event") == name]
+        for c in self.children:
+            found.extend(c.find_events(name))
+        return found
+
     def total(self, metric: str) -> float:
         """Sum a metric over this span and every descendant."""
         return (self.metrics.get(metric, 0.0)
@@ -166,6 +177,9 @@ class _NoopSpan:
         return self
 
     def find(self, kind: str) -> List[Span]:
+        return []
+
+    def find_events(self, name: str) -> List[Dict[str, Any]]:
         return []
 
     def total(self, metric: str) -> float:

@@ -183,3 +183,47 @@ class ShuffledRDD(RDD):
         if self.post_shuffle is None:
             return iter(rows)
         return iter(self.post_shuffle(rows, ctx))
+
+
+class ShuffleReadRDD(RDD):
+    """Reduce side of an *adaptively re-planned* exchange.
+
+    Where :class:`ShuffledRDD` reads exactly one reduce partition of one
+    shuffle per task, this RDD's partitions are arbitrary groups of
+    ``(shuffle_id, reduce_partition, map_ids)`` read specs: the adaptive
+    executor coalesces several small reduce partitions into one task, or
+    splits a skewed partition into several tasks that each fetch a disjoint
+    ``map_ids`` subset (docs/adaptive.md).  It has no lineage parents -- the
+    caller guarantees every referenced shuffle is already materialised in
+    the block store (that is what the stage barrier did).
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[Sequence[Tuple[int, int, Optional[frozenset]]]],
+        post_shuffle: Optional[Callable[[Iterable[object], "TaskContext"], Iterable[object]]] = None,
+    ) -> None:
+        super().__init__()
+        self._specs: List[List[Tuple[int, int, Optional[frozenset]]]] = [
+            list(group) for group in specs
+        ] or [[]]
+        self.post_shuffle = post_shuffle
+
+    def partitions(self) -> List[Partition]:
+        return [Partition(i) for i in range(len(self._specs))]
+
+    def preferred_locations(self, partition: Partition) -> Sequence[str]:
+        return ()  # like reduce tasks, these fetch from everywhere
+
+    def compute(self, partition: Partition, ctx: "TaskContext") -> Iterator[object]:
+        specs = self._specs[partition.index]
+
+        def fetch() -> Iterator[object]:
+            for shuffle_id, reduce_partition, map_ids in specs:
+                yield from ctx.fetch_shuffle(shuffle_id, reduce_partition,
+                                             map_ids=map_ids)
+
+        rows = fetch()
+        if self.post_shuffle is None:
+            return rows
+        return iter(self.post_shuffle(rows, ctx))

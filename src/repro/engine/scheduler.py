@@ -43,7 +43,13 @@ from repro.engine.runner import (
     TaskSpec,
     ThreadPoolStageRunner,
 )
-from repro.engine.shuffle import ShuffleBlockStore, estimate_size, stable_hash
+from repro.engine.shuffle import (
+    KeySketch,
+    ShuffleBlockStore,
+    ShuffleRuntimeStats,
+    estimate_size,
+    stable_hash,
+)
 
 
 class TaskContext:
@@ -62,12 +68,16 @@ class TaskContext:
         self.span = span
         self._scheduler = scheduler
 
-    def fetch_shuffle(self, shuffle_id: int, reduce_partition: int) -> Iterator[object]:
+    def fetch_shuffle(self, shuffle_id: int, reduce_partition: int,
+                      map_ids: Optional[frozenset] = None) -> Iterator[object]:
         """Stream one reduce partition's rows, paying shuffle-read bandwidth.
 
         Rows are yielded block by block (one block per upstream map task) and
         each block's bytes are charged as it is fetched, so a consumer that
         stops early -- a LIMIT, say -- never pays for blocks it did not pull.
+        ``map_ids`` restricts the fetch to blocks from those map tasks; the
+        adaptive executor uses this to split a skewed reduce partition into
+        several tasks that each read a disjoint subset of map outputs.
         """
         cost = self._scheduler.cost
         faults = self._scheduler.faults
@@ -75,7 +85,9 @@ class TaskContext:
         fetched_bytes = 0
         fetched_blocks = 0
         try:
-            for __, rows in blocks:
+            for map_id, rows in blocks:
+                if map_ids is not None and map_id not in map_ids:
+                    continue
                 if faults is not None:
                     faults.check(FAULT_SHUFFLE_FETCH,
                                  key=f"{shuffle_id}:{reduce_partition}",
@@ -114,6 +126,10 @@ class StageInfo:
     #: region-server block-cache bytes this stage's scans served / missed (tier 1)
     blockcache_hit_bytes: int = 0
     blockcache_miss_bytes: int = 0
+    #: join output surfaced per stage so EXPLAIN ANALYZE join rows reconcile
+    #: with the ledger counters, mirroring how scan stages report locality
+    join_rows_out: int = 0
+    join_bytes_out: int = 0
 
 
 @dataclass
@@ -186,6 +202,9 @@ class TaskScheduler:
         self._blacklisted: set[str] = set()
         self.block_store = ShuffleBlockStore()
         self._materialized_shuffles: set[int] = set()
+        #: runtime statistics per shuffle_id, populated only for shuffles
+        #: materialised through :meth:`materialize_shuffle` (adaptive runs)
+        self.shuffle_stats: Dict[int, ShuffleRuntimeStats] = {}
         self._stage_ids = 0
         self._slots = cluster.slots()
         runner_cls = ThreadPoolStageRunner if parallel else SerialStageRunner
@@ -260,11 +279,67 @@ class TaskScheduler:
         return ordered
 
     # -- stage execution ----------------------------------------------------
-    def _run_shuffle_map_stage(self, shuffled: ShuffledRDD) -> Tuple[StageInfo, MetricsRegistry]:
+    def materialize_shuffle(
+        self, shuffled: ShuffledRDD
+    ) -> Tuple[List[StageInfo], MetricsRegistry, ShuffleRuntimeStats]:
+        """Eagerly run map stages up to and including ``shuffled``'s exchange.
+
+        This is the adaptive executor's stage barrier: any unmaterialised
+        upstream shuffles run first (without stats -- they were either already
+        adapted or need none), then ``shuffled``'s own map stage runs with
+        runtime-statistics collection on.  The returned
+        :class:`~repro.engine.shuffle.ShuffleRuntimeStats` (also kept in
+        :attr:`shuffle_stats`) is what re-optimisation decides from.
+        """
+        stages: List[StageInfo] = []
+        metrics = MetricsRegistry()
+        for node in self._pending_shuffles(shuffled):
+            collect = node.shuffle_id == shuffled.shuffle_id
+            info, stage_metrics = self._run_shuffle_map_stage(
+                node, collect_stats=collect)
+            stages.append(info)
+            metrics.merge(stage_metrics)
+        stats = self.shuffle_stats.get(shuffled.shuffle_id)
+        if stats is None:
+            # the shuffle was already materialised by an earlier job (e.g. a
+            # shared cached subplan); synthesise stats from the block store
+            stats = self._stats_from_store(shuffled)
+            self.shuffle_stats[shuffled.shuffle_id] = stats
+        return stages, metrics, stats
+
+    def _stats_from_store(self, shuffled: ShuffledRDD) -> ShuffleRuntimeStats:
+        """Rebuild runtime stats for an already-materialised shuffle.
+
+        Free of simulated cost: the blocks already sit in the store, so
+        sizing them again is driver-side bookkeeping, not data movement.
+        """
+        stats = ShuffleRuntimeStats(shuffled.shuffle_id, shuffled.num_partitions)
+        per_map: Dict[int, Tuple[List[int], List[int], KeySketch]] = {}
+        for reduce_idx in range(shuffled.num_partitions):
+            blocks = self.block_store.blocks_for(shuffled.shuffle_id, reduce_idx)
+            for map_id, rows in blocks:
+                rows_v, bytes_v, sketch = per_map.setdefault(
+                    map_id,
+                    ([0] * shuffled.num_partitions,
+                     [0] * shuffled.num_partitions, KeySketch()),
+                )
+                for row in rows:
+                    nbytes = estimate_size(row)
+                    rows_v[reduce_idx] += 1
+                    bytes_v[reduce_idx] += nbytes
+                    sketch.add(shuffled.key_fn(row), nbytes)
+        for map_id in sorted(per_map):
+            rows_v, bytes_v, sketch = per_map[map_id]
+            stats.add_map_output(rows_v, bytes_v, sketch)
+        return stats
+
+    def _run_shuffle_map_stage(
+        self, shuffled: ShuffledRDD, collect_stats: bool = False
+    ) -> Tuple[StageInfo, MetricsRegistry]:
         parent = shuffled.parents[0]
 
-        def make_runner(partition: Partition) -> Callable[[TaskContext], int]:
-            def run(ctx: TaskContext) -> int:
+        def make_runner(partition: Partition) -> Callable[[TaskContext], object]:
+            def run(ctx: TaskContext) -> object:
                 buckets: List[List[object]] = [[] for __ in range(shuffled.num_partitions)]
                 nbytes = 0
                 for row in parent.compute(partition, ctx):
@@ -280,7 +355,17 @@ class TaskScheduler:
                     nbytes / self.cost.shuffle_bytes_per_sec,
                     "engine.shuffle_write_bytes", nbytes,
                 )
-                return nbytes
+                if not collect_stats:
+                    return nbytes
+                reduce_rows = [len(bucket) for bucket in buckets]
+                reduce_bytes = [
+                    sum(estimate_size(r) for r in bucket) for bucket in buckets
+                ]
+                sketch = KeySketch()
+                for bucket in buckets:
+                    for row in bucket:
+                        sketch.add(shuffled.key_fn(row), estimate_size(row))
+                return nbytes, reduce_rows, reduce_bytes, sketch
 
             return run
 
@@ -290,7 +375,14 @@ class TaskScheduler:
         ]
         outputs, info, metrics = self._execute(tasks, kind="shuffle-map",
                                                scope=self._stage_scope(parent))
-        info.output_bytes = sum(outputs)
+        if collect_stats:
+            stats = ShuffleRuntimeStats(shuffled.shuffle_id, shuffled.num_partitions)
+            for nbytes, reduce_rows, reduce_bytes, sketch in outputs:
+                stats.add_map_output(reduce_rows, reduce_bytes, sketch)
+            self.shuffle_stats[shuffled.shuffle_id] = stats
+            info.output_bytes = stats.total_bytes
+        else:
+            info.output_bytes = sum(outputs)
         metrics.incr("engine.shuffles", 1)
         self._materialized_shuffles.add(shuffled.shuffle_id)
         return info, metrics
@@ -410,6 +502,8 @@ class TaskScheduler:
             cache_miss_partitions=int(metrics.get("engine.cache.misses")),
             blockcache_hit_bytes=int(metrics.get("hbase.blockcache.hit_bytes")),
             blockcache_miss_bytes=int(metrics.get("hbase.blockcache.miss_bytes")),
+            join_rows_out=int(metrics.get("engine.join.rows_out")),
+            join_bytes_out=int(metrics.get("engine.join.bytes_out")),
         )
         if stage_span.enabled:
             stage_span.set(local_tasks=local_tasks,

@@ -55,6 +55,16 @@ def operator_annotations(physical: PhysicalPlan, result) -> Dict[int, List[str]]
                     f"filters: pushed={stats['filters_pushed']} "
                     f"residual={stats['filters_residual']}"
                 )
+            if "rows_out" in stats:
+                notes.append(
+                    f"join: rows_out={int(stats['rows_out'])} "
+                    f"({_fmt_bytes(stats.get('bytes_out', 0))})"
+                )
+            if "final_strategy" in stats:
+                notes.append(
+                    f"aqe: {stats.get('initial_strategy', '?')} -> "
+                    f"{stats['final_strategy']}"
+                )
             if "cached_partitions" in stats:
                 notes.append(
                     f"cache: serving {stats['cached_partitions']} partitions "
@@ -91,6 +101,13 @@ def operator_annotations(physical: PhysicalPlan, result) -> Dict[int, List[str]]
                 notes.append(
                     f"block cache: hit={_fmt_bytes(bc_hit)} "
                     f"miss={_fmt_bytes(bc_miss)} ({ratio:.0%} byte hit ratio)"
+                )
+            join_rows = sum(s.join_rows_out for s in scan_stages)
+            join_bytes = sum(s.join_bytes_out for s in scan_stages)
+            if join_rows:
+                notes.append(
+                    f"join stages: rows_out={join_rows} "
+                    f"({_fmt_bytes(join_bytes)})"
                 )
         if notes:
             annotations[op.op_id] = notes
@@ -147,6 +164,36 @@ def _summary(result) -> List[str]:
     return lines
 
 
+def _adaptive_section(physical: PhysicalPlan, result) -> List[str]:
+    """The adaptive-execution section: reopt events plus the final plan.
+
+    Empty (section omitted entirely) for non-adaptive runs, so existing
+    reports are unchanged unless ``sql.aqe.enabled`` re-optimised something.
+    The initial plan is the tree EXPLAIN ANALYZE already printed; the final
+    plan re-renders it with each adapted operator's executed strategy.
+    """
+    events = list(getattr(result, "reopt_events", ()) or ())
+    if not events:
+        return []
+    overrides: Dict[int, str] = {}
+    for op in physical.walk():
+        stats = result.operator_stats.get(op.op_id) or {}
+        final = stats.get("final_strategy")
+        if final is not None:
+            overrides[op.op_id] = f"{op.describe()} => {final}"
+    lines = [
+        "",
+        "== Adaptive Execution ==",
+        f"reoptimizations: {len(events)}",
+    ]
+    lines.extend(
+        f"  op {e['op_id']}: {e['rule']} -- {e['detail']}" for e in events
+    )
+    lines.append("final plan:")
+    lines.append(physical.pretty(overrides=overrides))
+    return lines
+
+
 def explain_analyze_report(physical: PhysicalPlan, result) -> str:
     """The full EXPLAIN ANALYZE text for one executed query."""
     sections = [
@@ -158,5 +205,6 @@ def explain_analyze_report(physical: PhysicalPlan, result) -> str:
         "",
         "== Query Summary ==",
         *_summary(result),
+        *_adaptive_section(physical, result),
     ]
     return "\n".join(sections)

@@ -56,12 +56,57 @@ class ExecContext:
         #: these as plan annotations.  Always on: a couple of dict writes
         #: per operator per query.
         self.operator_stats: Dict[int, Dict[str, object]] = {}
+        #: adaptive query execution (docs/adaptive.md); off by default so
+        #: the non-adaptive path stays byte-identical
+        self.adaptive = bool(conf.get("sql.aqe.enabled", False))
+        #: re-optimisation decisions taken at stage barriers, in decision
+        #: order; EXPLAIN ANALYZE renders these as the adaptive section
+        self.reopt_events: List[Dict[str, object]] = []
         self._lock = threading.Lock()
 
     def record_operator(self, op: "PhysicalPlan", **stats: object) -> None:
         """Attach runtime stats to ``op`` for EXPLAIN ANALYZE."""
         with self._lock:
             self.operator_stats.setdefault(op.op_id, {}).update(stats)
+
+    def accumulate_operator(self, op: "PhysicalPlan", **deltas: float) -> None:
+        """Numerically accumulate runtime stats onto ``op`` (thread-safe).
+
+        Unlike :meth:`record_operator` this *adds* -- join tasks on several
+        partitions each contribute their slice of ``rows_out``.
+        """
+        with self._lock:
+            stats = self.operator_stats.setdefault(op.op_id, {})
+            for key, delta in deltas.items():
+                stats[key] = stats.get(key, 0) + delta
+
+    def record_reopt(self, op: "PhysicalPlan", rule: str, detail: str) -> None:
+        """Log one adaptive re-optimisation decision for ``op``."""
+        with self._lock:
+            self.reopt_events.append(
+                {"op_id": op.op_id, "rule": rule, "detail": detail}
+            )
+        self.metrics.incr("engine.aqe.reoptimizations", 1)
+        if self.trace.enabled:
+            self.trace.event("reopt", op=op.op_id, rule=rule, detail=detail)
+
+    def materialize_stage(self, shuffled: RDD):
+        """Run map stages up to ``shuffled``'s exchange; fold in their cost.
+
+        The adaptive executor's stage barrier: returns the materialised
+        shuffle's :class:`~repro.engine.shuffle.ShuffleRuntimeStats` so the
+        caller can re-plan the reduce side from actual sizes.
+        """
+        stages, metrics, stats = self.scheduler.materialize_shuffle(shuffled)
+        with self._lock:
+            self.job_seconds += sum(s.duration_s for s in stages)
+            self.wall_seconds += sum(s.wall_clock_s for s in stages)
+            self.all_stages.extend(stages)
+        self.metrics.merge(metrics)
+        peak = max((s.output_bytes for s in stages), default=0)
+        self.metrics.record_peak("engine.peak_stage_bytes", peak)
+        self.metrics.incr("engine.aqe.stages_materialized", len(stages))
+        return stats
 
     def run_job(self, rdd: RDD) -> JobResult:
         result = self.scheduler.run_job(rdd)
@@ -106,13 +151,22 @@ class PhysicalPlan:
         raise NotImplementedError
 
     def pretty(self, indent: int = 0,
-               annotations: Optional[Dict[int, Sequence[str]]] = None) -> str:
-        head = "  " * indent + self.describe()
+               annotations: Optional[Dict[int, Sequence[str]]] = None,
+               overrides: Optional[Dict[int, str]] = None) -> str:
+        """Render the subtree; ``overrides`` swaps an operator's headline.
+
+        EXPLAIN ANALYZE uses overrides to print the *final* adaptive plan:
+        the tree shape is the planned one, but operators the runtime
+        re-optimised show what actually executed (docs/adaptive.md).
+        """
+        described = overrides.get(self.op_id) if overrides else None
+        head = "  " * indent + (described if described is not None else self.describe())
         lines = [head]
         if annotations:
             for note in annotations.get(self.op_id, ()):
                 lines.append("  " * indent + "  +- " + note)
-        lines.extend(c.pretty(indent + 1, annotations) for c in self.children)
+        lines.extend(c.pretty(indent + 1, annotations, overrides)
+                     for c in self.children)
         return "\n".join(lines)
 
     def walk(self) -> Iterable["PhysicalPlan"]:
@@ -481,6 +535,11 @@ class HashAggregateExec(PhysicalPlan):
 
         partial_rdd = child.execute(ctx).map_partitions(partial)
         num_parts = 1 if global_agg else ctx.shuffle_partitions()
+        if ctx.adaptive and num_parts > 1:
+            from repro.sql.adaptive import adaptive_exchange
+
+            return adaptive_exchange(ctx, partial_rdd, num_parts,
+                                     lambda kv: kv[0], final, self)
         return partial_rdd.partition_by(num_parts, key_fn=lambda kv: kv[0],
                                         post_shuffle=final)
 
@@ -534,6 +593,109 @@ def _join_output(left: PhysicalPlan, right: PhysicalPlan, how: str):
     return list(left.output) + list(right.output)
 
 
+def _make_join_reducer(how: str, left_width: int, right_width: int,
+                       residual_bound: Optional[E.Expression], per_row: float,
+                       on_output: Callable[[int, int], None]):
+    """Build the reduce-side closure of a shuffled hash join.
+
+    Consumes ``(key, side, row)`` entries for one reduce partition (side 1
+    builds, side 0 streams), emits joined rows, and surfaces its output
+    through the ``engine.join.rows_out`` / ``engine.join.bytes_out``
+    counters plus the ``on_output(rows, bytes)`` callback -- that is how
+    EXPLAIN ANALYZE join rows reconcile with the ledger.  Shared between
+    :class:`ShuffledHashJoinExec` and the adaptive executor so both paths
+    join (and count) identically.
+    """
+
+    def join_partition(entries, task_ctx):
+        build: Dict[tuple, List[tuple]] = {}
+        stream: List[Tuple[tuple, tuple]] = []
+        for key, side, row in entries:
+            if side == 1:
+                build.setdefault(key, []).append(row)
+            else:
+                stream.append((key, row))
+        out = []
+        for key, left_row in stream:
+            if None in key:
+                matches: List[tuple] = []
+            else:
+                matches = build.get(key, [])
+            emitted = False
+            for right_row in matches:
+                combined = _combine_rows(left_row, right_row, left_width, right_width)
+                if residual_bound is None or residual_bound.eval(combined) is True:
+                    emitted = True
+                    if how in ("semi", "anti"):
+                        break
+                    out.append(combined)
+            if how == "left" and not emitted:
+                out.append(_combine_rows(left_row, None, left_width, right_width))
+            elif how == "semi" and emitted:
+                out.append(left_row)
+            elif how == "anti" and not emitted:
+                out.append(left_row)
+        nbytes = sum(estimate_size(r) for r in out)
+        task_ctx.ledger.count("engine.join.rows_out", len(out))
+        task_ctx.ledger.count("engine.join.bytes_out", nbytes)
+        on_output(len(out), nbytes)
+        task_ctx.ledger.charge(per_row * len(out), "engine.rows_processed", len(out))
+        return iter(out)
+
+    return join_partition
+
+
+def _make_broadcast_probe(table: Dict[tuple, List[tuple]],
+                          bound_keys: Sequence[E.Expression], how: str,
+                          left_width: int, right_width: int,
+                          residual_bound: Optional[E.Expression], per_row: float,
+                          on_output: Callable[[int, int], None]):
+    """Build the probe-side closure of a broadcast hash join.
+
+    Streams the big side against the broadcast ``table``; like
+    :func:`_make_join_reducer` it counts its output rows/bytes so join
+    volume is observable regardless of strategy.  Shared between
+    :class:`BroadcastHashJoinExec` and the adaptive executor's
+    broadcast-conversion rule.
+    """
+
+    def probe(rows, task_ctx):
+        out_count = 0
+        out_bytes = 0
+        for left_row in rows:
+            key = tuple(k.eval(left_row) for k in bound_keys)
+            matches = table.get(key, []) if None not in key else []
+            emitted = False
+            for right_row in matches:
+                combined = _combine_rows(left_row, right_row, left_width, right_width)
+                if residual_bound is None or residual_bound.eval(combined) is True:
+                    emitted = True
+                    if how in ("semi", "anti"):
+                        break
+                    out_count += 1
+                    out_bytes += estimate_size(combined)
+                    yield combined
+            if how == "left" and not emitted:
+                filled = _combine_rows(left_row, None, left_width, right_width)
+                out_count += 1
+                out_bytes += estimate_size(filled)
+                yield filled
+            elif how == "semi" and emitted:
+                out_count += 1
+                out_bytes += estimate_size(left_row)
+                yield left_row
+            elif how == "anti" and not emitted:
+                out_count += 1
+                out_bytes += estimate_size(left_row)
+                yield left_row
+        task_ctx.ledger.count("engine.join.rows_out", out_count)
+        task_ctx.ledger.count("engine.join.bytes_out", out_bytes)
+        on_output(out_count, out_bytes)
+        task_ctx.ledger.charge(per_row * out_count, "engine.rows_processed", out_count)
+
+    return probe
+
+
 class ShuffledHashJoinExec(PhysicalPlan):
     """Equi-join where both sides are shuffled by the join key."""
 
@@ -567,43 +729,23 @@ class ShuffledHashJoinExec(PhysicalPlan):
             tagged = ((tuple(k.eval(r) for k in bound_right), 1, r) for r in rows)
             return _cpu_charged(tagged, task_ctx, per_row)
 
-        def join_partition(entries, task_ctx):
-            build: Dict[tuple, List[tuple]] = {}
-            stream: List[Tuple[tuple, tuple]] = []
-            for key, side, row in entries:
-                if side == 1:
-                    build.setdefault(key, []).append(row)
-                else:
-                    stream.append((key, row))
-            out = []
-            for key, left_row in stream:
-                if None in key:
-                    matches: List[tuple] = []
-                else:
-                    matches = build.get(key, [])
-                emitted = False
-                for right_row in matches:
-                    combined = _combine_rows(left_row, right_row, left_width, right_width)
-                    if residual_bound is None or residual_bound.eval(combined) is True:
-                        emitted = True
-                        if how in ("semi", "anti"):
-                            break
-                        out.append(combined)
-                if how == "left" and not emitted:
-                    out.append(_combine_rows(left_row, None, left_width, right_width))
-                elif how == "semi" and emitted:
-                    out.append(left_row)
-                elif how == "anti" and not emitted:
-                    out.append(left_row)
-            task_ctx.ledger.charge(per_row * len(out), "engine.rows_processed", len(out))
-            return iter(out)
+        join_partition = _make_join_reducer(
+            how, left_width, right_width, residual_bound, per_row,
+            lambda rows_out, bytes_out: ctx.accumulate_operator(
+                self, rows_out=rows_out, bytes_out=bytes_out),
+        )
 
         tagged = left.execute(ctx).map_partitions(tag_left).union(
             right.execute(ctx).map_partitions(tag_right)
         )
-        return tagged.partition_by(
+        shuffled = tagged.partition_by(
             ctx.shuffle_partitions(), key_fn=lambda e: e[0], post_shuffle=join_partition
         )
+        # the reduce stage's lineage stops at this exchange, so stamping the
+        # join operator here attributes that stage to the join in EXPLAIN
+        # ANALYZE (like DataSourceScanExec stamps scan stages)
+        shuffled.scope = self.op_id
+        return shuffled
 
     def describe(self) -> str:
         return f"ShuffledHashJoin({self.how}, {self.left_keys!r} = {self.right_keys!r})"
@@ -648,31 +790,14 @@ class BroadcastHashJoinExec(PhysicalPlan):
             if None not in key:
                 table.setdefault(key, []).append(row)
 
-        def probe(rows, task_ctx):
-            out_count = 0
-            for left_row in rows:
-                key = tuple(k.eval(left_row) for k in bound_left)
-                matches = table.get(key, []) if None not in key else []
-                emitted = False
-                for right_row in matches:
-                    combined = _combine_rows(left_row, right_row, left_width, right_width)
-                    if residual_bound is None or residual_bound.eval(combined) is True:
-                        emitted = True
-                        if how in ("semi", "anti"):
-                            break
-                        out_count += 1
-                        yield combined
-                if how == "left" and not emitted:
-                    out_count += 1
-                    yield _combine_rows(left_row, None, left_width, right_width)
-                elif how == "semi" and emitted:
-                    out_count += 1
-                    yield left_row
-                elif how == "anti" and not emitted:
-                    out_count += 1
-                    yield left_row
-            task_ctx.ledger.charge(per_row * out_count, "engine.rows_processed", out_count)
-
+        probe = _make_broadcast_probe(
+            table, bound_left, how, left_width, right_width, residual_bound,
+            per_row,
+            lambda rows_out, bytes_out: ctx.accumulate_operator(
+                self, rows_out=rows_out, bytes_out=bytes_out),
+        )
+        # no scope stamp: the probe pipelines inside the big side's scan
+        # stage, whose scope already belongs to the scan operator
         return left.execute(ctx).map_partitions(probe)
 
     def describe(self) -> str:
@@ -836,8 +961,15 @@ class DistinctExec(PhysicalPlan):
                     seen.add(row)
                     yield row
 
-        return self.children[0].execute(ctx).partition_by(
-            ctx.shuffle_partitions(), key_fn=lambda r: r, post_shuffle=dedupe
+        child_rdd = self.children[0].execute(ctx)
+        num_parts = ctx.shuffle_partitions()
+        if ctx.adaptive and num_parts > 1:
+            from repro.sql.adaptive import adaptive_exchange
+
+            return adaptive_exchange(ctx, child_rdd, num_parts,
+                                     lambda r: r, dedupe, self)
+        return child_rdd.partition_by(
+            num_parts, key_fn=lambda r: r, post_shuffle=dedupe
         )
 
 
@@ -864,6 +996,12 @@ class IntersectExec(PhysicalPlan):
         tagged = self.children[0].execute(ctx).map_partitions(tag(0)).union(
             self.children[1].execute(ctx).map_partitions(tag(1))
         )
+        num_parts = ctx.shuffle_partitions()
+        if ctx.adaptive and num_parts > 1:
+            from repro.sql.adaptive import adaptive_exchange
+
+            return adaptive_exchange(ctx, tagged, num_parts,
+                                     lambda p: p[0], intersect, self)
         return tagged.partition_by(
-            ctx.shuffle_partitions(), key_fn=lambda p: p[0], post_shuffle=intersect
+            num_parts, key_fn=lambda p: p[0], post_shuffle=intersect
         )

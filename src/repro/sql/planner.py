@@ -86,6 +86,11 @@ class Planner:
         self.broadcast_threshold = int(
             conf.get("sql.autoBroadcastJoinThreshold", 128 * 1024)
         )
+        #: adaptive query execution (docs/adaptive.md): shuffled joins plan
+        #: as AdaptiveJoinExec stage barriers instead of committing to a
+        #: strategy from size estimates
+        self.adaptive = bool(conf.get("sql.aqe.enabled", False))
+        self.local_scan_partitions = int(conf.get("sql.local.scan.partitions", 2))
 
     def plan(self, node: L.LogicalPlan) -> P.PhysicalPlan:
         if self.cache is not None and self.cache.has_registrations():
@@ -133,7 +138,8 @@ class Planner:
             return self._plan_scan(None, None, node)
 
         if isinstance(node, L.LocalRelation):
-            return P.LocalScanExec(node.output, node.rows)
+            return P.LocalScanExec(node.output, node.rows,
+                                   num_partitions=self.local_scan_partitions)
 
         if isinstance(node, L.Join):
             return self._plan_join(node)
@@ -298,6 +304,13 @@ class Planner:
                 if residual is not None:
                     return P.FilterExec(residual, reordered)
                 return reordered
+            if self.adaptive:
+                from repro.sql.adaptive import AdaptiveJoinExec
+
+                return AdaptiveJoinExec(
+                    left_plan, right_plan, left_keys, right_keys, node.how,
+                    residual,
+                )
             return P.ShuffledHashJoinExec(
                 left_plan, right_plan, left_keys, right_keys, node.how, residual
             )

@@ -47,6 +47,9 @@ class QueryResult:
     operator_stats: Dict[int, Dict[str, object]] = field(default_factory=dict)
     #: root Span of the query trace, or None when tracing was disabled
     trace: Optional[Span] = None
+    #: adaptive re-optimisation decisions (sql.aqe.enabled), in decision
+    #: order; empty for non-adaptive runs
+    reopt_events: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def shuffle_bytes(self) -> float:
@@ -72,6 +75,19 @@ DEFAULT_CONF: Dict[str, object] = {
     # the hot path runs against the no-op recorder
     "tracing.enabled": False,
     "sql.autoBroadcastJoinThreshold": 128 * 1024,
+    # adaptive query execution (docs/adaptive.md): re-optimise plans at
+    # shuffle-stage barriers from measured partition sizes.  Off by default
+    # -- the non-adaptive path must stay byte-identical
+    "sql.aqe.enabled": False,
+    # rule 2/3 sizing: coalesce small reduce partitions toward this many
+    # bytes per task, and cap each skew-split chunk at it
+    "sql.aqe.targetPartitionBytes": 64 * 1024,
+    # rule 3 trigger: a partition is skewed when larger than `factor` x the
+    # median partition AND over the absolute threshold
+    "sql.aqe.skewedPartitionFactor": 4.0,
+    "sql.aqe.skewedPartitionThresholdBytes": 64 * 1024,
+    # partitions for driver-local (VALUES / createDataFrame) scans
+    "sql.local.scan.partitions": 2,
     # DataFrame.cache()/persist(): executor-memory partition cache.  The
     # enabled flag gates persist() itself -- with it off (or with no
     # persist() calls, the default state) planning and execution are
@@ -291,7 +307,8 @@ class SparkSession:
         return QueryResult(rows, schema, seconds, ctx.metrics, ctx.all_stages,
                            wall_clock_s=ctx.wall_seconds,
                            operator_stats=ctx.operator_stats,
-                           trace=trace if trace.enabled else None)
+                           trace=trace if trace.enabled else None,
+                           reopt_events=ctx.reopt_events)
 
     def _execute_insert(self, plan) -> QueryResult:
         """Run ``INSERT INTO view SELECT/VALUES`` through the relation."""

@@ -1,0 +1,160 @@
+"""The CI regression gate: payload validation and comparison outcomes.
+
+``benchmarks/check_regression.py`` is a standalone script (benchmarks/ is
+not a package), so it is loaded by file path.  The important behaviours:
+malformed baselines or artifacts fail with messages naming the file, the
+metric and the offending keys -- never a bare ``KeyError`` -- and the
+tolerance comparison fails in the metric's bad direction only.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_SCRIPT = (pathlib.Path(__file__).resolve().parents[2]
+           / "benchmarks" / "check_regression.py")
+_spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+
+def payload(**metrics):
+    return {
+        "bench": "demo",
+        "scale": "smoke",
+        "metrics": {
+            name: {"value": value, "direction": direction}
+            for name, (value, direction) in metrics.items()
+        },
+    }
+
+
+# -- validate_payload --------------------------------------------------------------
+
+def test_valid_payload_has_no_problems():
+    good = payload(latency=(2.0, "lower"), speedup=(3.0, "higher"))
+    assert check_regression.validate_payload(good, "baseline X") == []
+
+
+def test_non_object_payload_is_named():
+    problems = check_regression.validate_payload([1, 2], "artifact Y")
+    assert problems == ["artifact Y: payload must be a JSON object, got list"]
+
+
+def test_missing_top_level_keys_are_listed():
+    problems = check_regression.validate_payload({"metrics": {}}, "baseline B")
+    assert problems == ["baseline B: missing top-level key(s) bench, scale"]
+
+
+def test_metric_entry_problems_name_the_metric():
+    bad = {
+        "bench": "demo", "scale": "smoke",
+        "metrics": {
+            "no_value": {"direction": "lower"},
+            "extra": {"value": 1.0, "direction": "lower", "unit": "s"},
+            "bad_dir": {"value": 1.0, "direction": "sideways"},
+            "bad_value": {"value": "fast", "direction": "higher"},
+            "not_dict": 3.0,
+        },
+    }
+    problems = check_regression.validate_payload(bad, "baseline B")
+    text = "\n".join(problems)
+    assert "metric 'no_value' is missing key(s) value" in text
+    assert "metric 'extra' has unexpected key(s) unit" in text
+    assert "metric 'bad_dir' direction must be 'lower' or 'higher'" in text
+    assert "metric 'bad_value' value must be numeric" in text
+    assert "metric 'not_dict' must be an object" in text
+    assert "KeyError" not in text
+
+
+def test_non_object_metrics_is_reported():
+    bad = {"bench": "demo", "scale": "smoke", "metrics": [1]}
+    problems = check_regression.validate_payload(bad, "baseline B")
+    assert problems == ["baseline B: 'metrics' must be an object, got list"]
+
+
+# -- check_bench -------------------------------------------------------------------
+
+def run_check(baseline, current, tolerance=0.15):
+    failures, warnings = [], []
+    lines = check_regression.check_bench(
+        baseline, current, tolerance, failures, warnings)
+    return lines, failures, warnings
+
+
+def test_within_tolerance_passes():
+    __, failures, warnings = run_check(
+        payload(latency=(10.0, "lower")), payload(latency=(10.5, "lower")))
+    assert not failures and not warnings
+
+
+def test_lower_metric_regresses_upward():
+    __, failures, __ = run_check(
+        payload(latency=(10.0, "lower")), payload(latency=(13.0, "lower")))
+    assert failures and "demo.latency" in failures[0]
+
+
+def test_higher_metric_regresses_downward():
+    __, failures, __ = run_check(
+        payload(speedup=(3.0, "higher")), payload(speedup=(1.6, "higher")))
+    assert failures and "demo.speedup" in failures[0]
+
+
+def test_improvement_warns_stale_baseline():
+    __, failures, warnings = run_check(
+        payload(latency=(10.0, "lower")), payload(latency=(5.0, "lower")))
+    assert not failures
+    assert warnings and "refreshing the baseline" in warnings[0]
+
+
+def test_scale_mismatch_fails():
+    current = payload(latency=(10.0, "lower"))
+    current["scale"] = "full"
+    __, failures, __ = run_check(payload(latency=(10.0, "lower")), current)
+    assert failures and "scale mismatch" in failures[0]
+
+
+def test_missing_current_metric_fails():
+    __, failures, __ = run_check(
+        payload(latency=(10.0, "lower")), payload())
+    assert failures == ["demo.latency: missing from current run"]
+
+
+# -- main (end to end over temp dirs) ----------------------------------------------
+
+def write(dirpath, name, data):
+    dirpath.mkdir(parents=True, exist_ok=True)
+    (dirpath / name).write_text(json.dumps(data) + "\n")
+
+
+def test_main_rejects_malformed_baseline_with_clear_message(tmp_path, capsys):
+    baselines, results = tmp_path / "baselines", tmp_path / "results"
+    write(baselines, "BENCH_demo.json", {"bench": "demo", "scale": "smoke",
+                                         "metrics": {"m": {"value": 1.0}}})
+    write(results, "BENCH_demo.json", payload(m=(1.0, "lower")))
+    rc = check_regression.main([
+        "--baselines", str(baselines), "--results", str(results)])
+    assert rc == 1
+    err = capsys.readouterr().err
+    assert "baseline BENCH_demo.json" in err
+    assert "metric 'm' is missing key(s) direction" in err
+
+
+def test_main_passes_matching_artifacts(tmp_path):
+    baselines, results = tmp_path / "baselines", tmp_path / "results"
+    write(baselines, "BENCH_demo.json", payload(m=(1.0, "lower")))
+    write(results, "BENCH_demo.json", payload(m=(1.05, "lower")))
+    assert check_regression.main([
+        "--baselines", str(baselines), "--results", str(results)]) == 0
+
+
+def test_main_fails_when_artifact_missing(tmp_path, capsys):
+    baselines, results = tmp_path / "baselines", tmp_path / "results"
+    write(baselines, "BENCH_demo.json", payload(m=(1.0, "lower")))
+    results.mkdir()
+    rc = check_regression.main([
+        "--baselines", str(baselines), "--results", str(results)])
+    assert rc == 1
+    assert "did the bench run?" in capsys.readouterr().err

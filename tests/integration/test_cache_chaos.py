@@ -113,7 +113,11 @@ def test_retried_tasks_keep_cached_partitions_single_sourced():
     baseline = rows(env.new_session().sql(QUERY).run())
 
     injector = FaultInjector(seed=606)
-    injector.inject(FAULT_RPC, rate=0.3, times=5)
+    # rate=1.0 fires on the first five RPC draws regardless of region
+    # naming: fractional rates hash the region name, which embeds a
+    # process-global region counter, so they re-roll whenever an earlier
+    # test creates tables and can silently drop to zero injections
+    injector.inject(FAULT_RPC, rate=1.0, times=5)
     env.cluster.install_fault_injector(injector)
     session = env.new_session(
         extra_options={HBaseSparkConf.CACHED_ROWS: "40"})

@@ -69,6 +69,35 @@ def test_explain_analyze_matches_metrics_on_q39a(session):
         metrics.get("shc.regions_pruned")
 
 
+def test_explain_analyze_join_rows_match_ledger_on_q39a(session):
+    """Join operators must surface their output through the report, the
+    operator stats and StageInfo, and all three must agree with the
+    ``engine.join.rows_out`` ledger counter for the same run."""
+    df = session.sql(q39a())
+    report = df.explain(analyze=True)
+    result = df.last_analyzed
+    metrics = result.metrics
+
+    ledger_rows = metrics.get("engine.join.rows_out")
+    assert ledger_rows > 0, "q39a must execute at least one hash join"
+    # the per-operator annotation lines quote the same totals
+    assert _sum_notes(report, r"join: rows_out=(\d+)") == ledger_rows
+    # per-operator stats reconcile with the ledger
+    joins = [s for s in result.operator_stats.values() if "rows_out" in s]
+    assert joins and sum(s["rows_out"] for s in joins) == ledger_rows
+    assert sum(s["bytes_out"] for s in joins) == \
+        metrics.get("engine.join.bytes_out")
+    # any reduce stage attributed to a join carries its share of the counter
+    stage_rows = sum(s.join_rows_out for s in result.stages)
+    assert stage_rows <= ledger_rows
+    # stages attributed to a single operator render "join stages" notes;
+    # multi-scope stages keep their counts only in StageInfo
+    scoped_rows = sum(s.join_rows_out for s in result.stages
+                      if s.scope is not None)
+    if scoped_rows:
+        assert _sum_notes(report, r"join stages: rows_out=(\d+)") == scoped_rows
+
+
 def test_explain_analyze_trace_totals_match(session):
     df = session.sql("select count(*) from inventory "
                      "where inv_date_sk >= 2451800")

@@ -168,3 +168,108 @@ def test_estimate_plan_size_propagation():
     unknown = L.LogicalRelation(FakeRelation(), "t")
     assert estimate_plan_size(unknown) == UNKNOWN_SIZE
     assert estimate_plan_size(L.Filter(None, unknown)) == UNKNOWN_SIZE // 4
+
+
+# -- broadcast-swap path (small left side, inner join) ---------------------------
+
+def _planned_join(how="join", left=None, right=None, extra_cond=""):
+    left = left if left is not None else FakeRelation(size=100)
+    right = right if right is not None else FakeRelation(size=10**9)
+    sql = (f"select a.g from t a {how} u b on a.k = b.k{extra_cond}")
+    return plan_for(sql, {"t": left, "u": right}), left, right
+
+
+def test_swapped_broadcast_builds_on_the_small_left_relation():
+    physical, small, big = _planned_join()
+    join = find(physical, P.BroadcastHashJoinExec)[0]
+    # BroadcastHashJoinExec broadcasts its *right* child: after the swap the
+    # build side must be the small relation and the stream side the big one
+    build_scans = find(join.children[1], P.DataSourceScanExec)
+    stream_scans = find(join.children[0], P.DataSourceScanExec)
+    assert [s.relation for s in build_scans] == [small]
+    assert [s.relation for s in stream_scans] == [big]
+    assert join.how == "inner"
+
+
+def test_swapped_broadcast_swaps_the_key_sides():
+    physical, small, big = _planned_join()
+    join = find(physical, P.BroadcastHashJoinExec)[0]
+    # probe keys (left_keys) must resolve against the stream (big) side and
+    # build keys (right_keys) against the broadcast (small) side
+    stream_ids = {a.attr_id for a in join.children[0].output}
+    build_ids = {a.attr_id for a in join.children[1].output}
+    assert all(k.references() <= stream_ids for k in join.left_keys)
+    assert all(k.references() <= build_ids for k in join.right_keys)
+
+
+def test_swapped_broadcast_restores_column_order():
+    physical, small, big = _planned_join()
+    join = find(physical, P.BroadcastHashJoinExec)[0]
+    project = find(physical, P.ProjectExec)[0]
+    # the reordering projection directly above the swapped join lists the
+    # original left output first, then the right output
+    projects_above_join = [
+        p for p in find(physical, P.ProjectExec) if join in p.children
+    ]
+    assert projects_above_join
+    reorder = projects_above_join[0]
+    left_ids = [a.attr_id for a in join.children[1].output]   # original left
+    right_ids = [a.attr_id for a in join.children[0].output]  # original right
+    assert [a.attr_id for a in reorder.project_list] == left_ids + right_ids
+
+
+def test_swapped_broadcast_keeps_residual_as_filter():
+    physical, small, big = _planned_join(extra_cond=" and a.v < b.v")
+    join = find(physical, P.BroadcastHashJoinExec)[0]
+    assert join.residual is None  # residual moved above the reordering
+    filters = find(physical, P.FilterExec)
+    assert filters, "non-equi conjunct must survive as an engine filter"
+
+
+def test_small_left_side_not_swapped_for_outer_join():
+    physical, small, big = _planned_join(how="left join")
+    assert find(physical, P.ShuffledHashJoinExec)
+    assert not find(physical, P.BroadcastHashJoinExec)
+
+
+# -- adaptive planning (sql.aqe.enabled) -----------------------------------------
+
+def plan_with_conf(sql, relations, conf):
+    catalog = Catalog()
+    for name, relation in relations.items():
+        catalog.register(name, L.LogicalRelation(relation, name))
+    analyzed = Analyzer(catalog).analyze(parse(sql))
+    return Planner(conf).plan(optimize(analyzed))
+
+
+def test_adaptive_conf_plans_shuffled_joins_as_adaptive():
+    from repro.sql.adaptive import AdaptiveJoinExec, QueryStageExec
+
+    conf = dict(CONF, **{"sql.aqe.enabled": True})
+    physical = plan_with_conf(
+        "select a.g from t a join u b on a.k = b.k",
+        {"t": FakeRelation(), "u": FakeRelation()}, conf)
+    joins = find(physical, AdaptiveJoinExec)
+    assert joins and not find(physical, P.ShuffledHashJoinExec)
+    assert all(isinstance(c, QueryStageExec) for c in joins[0].children)
+
+
+def test_adaptive_conf_leaves_estimated_broadcasts_alone():
+    from repro.sql.adaptive import AdaptiveJoinExec
+
+    conf = dict(CONF, **{"sql.aqe.enabled": True})
+    physical = plan_with_conf(
+        "select a.g from t a join u b on a.k = b.k",
+        {"t": FakeRelation(size=10**9), "u": FakeRelation(size=100)}, conf)
+    # an estimate already under the threshold broadcasts at plan time; AQE
+    # only takes over joins the estimates would have shuffled
+    assert find(physical, P.BroadcastHashJoinExec)
+    assert not find(physical, AdaptiveJoinExec)
+
+
+def test_local_scan_partitions_knob():
+    conf = dict(CONF, **{"sql.local.scan.partitions": 7})
+    local = L.LocalRelation(SCHEMA, [(1, "a", 1.0), (2, "b", 2.0)])
+    physical = Planner(conf).plan(optimize(local))
+    scans = find(physical, P.LocalScanExec)
+    assert scans and scans[0].num_partitions == 7

@@ -20,7 +20,11 @@ Usage::
 
     python benchmarks/check_regression.py \
         [--baselines benchmarks/baselines] [--results benchmarks/results] \
-        [--tolerance 0.15]
+        [--tolerance 0.15] [--require <name> ...]
+
+``--require vectorized`` makes a *missing* ``BENCH_vectorized.json``
+baseline a named failure instead of a silent skip -- the glob-driven loop
+otherwise only gates benches that already have a committed baseline.
 
 Refresh a baseline by re-running the bench and copying the artifact::
 
@@ -155,6 +159,9 @@ def main(argv=None) -> int:
     parser.add_argument("--results", type=pathlib.Path,
                         default=here / "results")
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    parser.add_argument(
+        "--require", action="append", default=[], metavar="NAME",
+        help="fail if BENCH_<NAME>.json has no committed baseline")
     args = parser.parse_args(argv)
 
     baseline_files = sorted(args.baselines.glob("BENCH_*.json"))
@@ -164,6 +171,14 @@ def main(argv=None) -> int:
 
     failures: List[str] = []
     warnings: List[str] = []
+    present = {p.name for p in baseline_files}
+    for name in args.require:
+        wanted = f"BENCH_{name}.json"
+        if wanted not in present:
+            failures.append(
+                f"{name}: no baseline {wanted} under {args.baselines} -- "
+                f"run the bench at smoke scale and commit the artifact"
+            )
     for baseline_path in baseline_files:
         current_path = args.results / baseline_path.name
         baseline = _load(baseline_path)

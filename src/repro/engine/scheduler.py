@@ -130,6 +130,9 @@ class StageInfo:
     #: with the ledger counters, mirroring how scan stages report locality
     join_rows_out: int = 0
     join_bytes_out: int = 0
+    #: set-operator (union/distinct/intersect) output rows per stage, same
+    #: reconciliation contract as the join fields above
+    setop_rows_out: int = 0
 
 
 @dataclass
@@ -504,6 +507,7 @@ class TaskScheduler:
             blockcache_miss_bytes=int(metrics.get("hbase.blockcache.miss_bytes")),
             join_rows_out=int(metrics.get("engine.join.rows_out")),
             join_bytes_out=int(metrics.get("engine.join.bytes_out")),
+            setop_rows_out=int(metrics.get("engine.setop.rows_out")),
         )
         if stage_span.enabled:
             stage_span.set(local_tasks=local_tasks,

@@ -248,7 +248,7 @@ class DataFrame:
 
         optimized = optimize(self.plan)
         physical = Planner(self.session.conf,
-                           cache=self.session.cache_manager).plan(optimized)
+                           cache=self.session.cache_manager).plan_query(optimized)
         if not analyze:
             return (
                 "== Optimized Logical Plan ==\n" + optimized.pretty()

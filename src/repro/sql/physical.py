@@ -141,6 +141,12 @@ class PhysicalPlan:
     which is how EXPLAIN ANALYZE joins runtime numbers onto plan nodes.
     """
 
+    #: True when ``execute`` returns an RDD of
+    #: :class:`~repro.sql.columnar.RecordBatch` instead of row tuples; the
+    #: vectorizing planner pass (:mod:`repro.sql.vectorized`) inserts
+    #: explicit transitions wherever producer and consumer modes differ
+    columnar_output = False
+
     def __init__(self, output: Sequence[E.Attribute],
                  children: Sequence["PhysicalPlan"] = ()) -> None:
         self.output = list(output)
@@ -211,7 +217,14 @@ class DataSourceScanExec(PhysicalPlan):
                                 if handled_filters is not None
                                 else list(pushed_filters))
 
-    def execute(self, ctx: ExecContext) -> RDD:
+    def execute_source(self, ctx: ExecContext) -> RDD:
+        """Build the relation scan and record its stats -- residual not applied.
+
+        Split out of :meth:`execute` so the vectorized scan
+        (:class:`~repro.sql.vectorized.VectorScanExec`) can reuse the exact
+        pushdown/pruning/accounting path while applying the residual filter
+        batch-at-a-time instead of row-at-a-time.
+        """
         required = [a.name for a in self.output]
         span = ctx.trace.child(
             f"scan-plan:{self.relation_name or type(self.relation).__name__}",
@@ -246,6 +259,10 @@ class DataSourceScanExec(PhysicalPlan):
         if span.enabled:
             span.set(**stats)
             span.finish()
+        return rdd
+
+    def execute(self, ctx: ExecContext) -> RDD:
+        rdd = self.execute_source(ctx)
         if self.residual is not None:
             bound = E.bind_expression(self.residual, self.output)
             per_row = ctx.cost.row_cpu_s
@@ -461,9 +478,15 @@ class HashAggregateExec(PhysicalPlan):
         self.groupings = list(groupings)
         self.aggregate_list = list(aggregate_list)
 
-    def execute(self, ctx: ExecContext) -> RDD:
-        child = self.children[0]
-        child_attrs = child.output
+    def _agg_setup(self):
+        """Bind groupings, aggregate instances and result expressions.
+
+        Shared with the vectorized subclass
+        (:class:`~repro.sql.vectorized.VectorHashAggregateExec`), which only
+        swaps the partial-build closure: accumulator protocol, merge and
+        result evaluation stay this exact code on both paths.
+        """
+        child_attrs = self.children[0].output
         bound_groupings = [E.bind_expression(g, child_attrs) for g in self.groupings]
 
         # collect the distinct aggregate function instances, in plan order
@@ -493,9 +516,11 @@ class HashAggregateExec(PhysicalPlan):
             self._result_expr(item, key_position, agg_position, self.groupings)
             for item in self.aggregate_list
         ]
+        return bound_groupings, bound_aggs, result_exprs
 
+    def _make_partial(self, ctx: ExecContext, bound_groupings, bound_aggs):
+        """The map-side build closure: rows in, ``(key, accs)`` pairs out."""
         per_row = ctx.cost.row_cpu_s
-        global_agg = not self.groupings
 
         def partial(rows, task_ctx):
             table: Dict[tuple, list] = {}
@@ -511,6 +536,15 @@ class HashAggregateExec(PhysicalPlan):
                     accs[i] = agg.update(accs[i], row)
             task_ctx.ledger.charge(per_row * count, "engine.rows_processed", count)
             return iter(table.items())
+
+        return partial
+
+    def execute(self, ctx: ExecContext) -> RDD:
+        child = self.children[0]
+        bound_groupings, bound_aggs, result_exprs = self._agg_setup()
+        per_row = ctx.cost.row_cpu_s
+        global_agg = not self.groupings
+        partial = self._make_partial(ctx, bound_groupings, bound_aggs)
 
         def final(pairs, task_ctx):
             table: Dict[tuple, list] = {}
@@ -645,25 +679,22 @@ def _make_join_reducer(how: str, left_width: int, right_width: int,
     return join_partition
 
 
-def _make_broadcast_probe(table: Dict[tuple, List[tuple]],
-                          bound_keys: Sequence[E.Expression], how: str,
-                          left_width: int, right_width: int,
-                          residual_bound: Optional[E.Expression], per_row: float,
-                          on_output: Callable[[int, int], None]):
-    """Build the probe-side closure of a broadcast hash join.
+def _make_keyed_probe(table: Dict[tuple, List[tuple]], how: str,
+                      left_width: int, right_width: int,
+                      residual_bound: Optional[E.Expression], per_row: float,
+                      on_output: Callable[[int, int], None]):
+    """Probe a broadcast ``table`` with pre-keyed ``(key, row)`` pairs.
 
-    Streams the big side against the broadcast ``table``; like
-    :func:`_make_join_reducer` it counts its output rows/bytes so join
-    volume is observable regardless of strategy.  Shared between
-    :class:`BroadcastHashJoinExec` and the adaptive executor's
-    broadcast-conversion rule.
+    The join body shared by the row probe (:func:`_make_broadcast_probe`)
+    and the vectorized probe, which computes its keys batch-at-a-time
+    (:class:`~repro.sql.vectorized.VectorBroadcastHashJoinExec`); both paths
+    therefore match, filter and count output identically.
     """
 
-    def probe(rows, task_ctx):
+    def probe_keyed(keyed_rows, task_ctx):
         out_count = 0
         out_bytes = 0
-        for left_row in rows:
-            key = tuple(k.eval(left_row) for k in bound_keys)
+        for key, left_row in keyed_rows:
             matches = table.get(key, []) if None not in key else []
             emitted = False
             for right_row in matches:
@@ -692,6 +723,29 @@ def _make_broadcast_probe(table: Dict[tuple, List[tuple]],
         task_ctx.ledger.count("engine.join.bytes_out", out_bytes)
         on_output(out_count, out_bytes)
         task_ctx.ledger.charge(per_row * out_count, "engine.rows_processed", out_count)
+
+    return probe_keyed
+
+
+def _make_broadcast_probe(table: Dict[tuple, List[tuple]],
+                          bound_keys: Sequence[E.Expression], how: str,
+                          left_width: int, right_width: int,
+                          residual_bound: Optional[E.Expression], per_row: float,
+                          on_output: Callable[[int, int], None]):
+    """Build the probe-side closure of a broadcast hash join.
+
+    Streams the big side against the broadcast ``table``; like
+    :func:`_make_join_reducer` it counts its output rows/bytes so join
+    volume is observable regardless of strategy.  Shared between
+    :class:`BroadcastHashJoinExec` and the adaptive executor's
+    broadcast-conversion rule.
+    """
+    probe_keyed = _make_keyed_probe(table, how, left_width, right_width,
+                                    residual_bound, per_row, on_output)
+
+    def probe(rows, task_ctx):
+        keyed = ((tuple(k.eval(r) for k in bound_keys), r) for r in rows)
+        return probe_keyed(keyed, task_ctx)
 
     return probe
 
@@ -763,20 +817,14 @@ class BroadcastHashJoinExec(PhysicalPlan):
         self.how = how
         self.residual = residual
 
-    def execute(self, ctx: ExecContext) -> RDD:
-        left, right = self.children
-        bound_left = [E.bind_expression(k, left.output) for k in self.left_keys]
-        bound_right = [E.bind_expression(k, right.output) for k in self.right_keys]
-        left_width, right_width = len(left.output), len(right.output)
-        combined_attrs = list(left.output) + list(right.output)
-        residual_bound = (
-            E.bind_expression(self.residual, combined_attrs)
-            if self.residual is not None else None
-        )
-        how = self.how
-        per_row = ctx.cost.row_cpu_s
+    def _broadcast_build(self, ctx: ExecContext) -> Dict[tuple, List[tuple]]:
+        """Collect the (small) right side as a driver sub-job and hash it.
 
-        # collect + broadcast the build side
+        Shared with the vectorized variant: broadcast volume accounting and
+        table layout are identical whichever probe consumes the table.
+        """
+        right = self.children[1]
+        bound_right = [E.bind_expression(k, right.output) for k in self.right_keys]
         build_rows = ctx.run_job(right.execute(ctx)).rows()
         build_bytes = sum(estimate_size(r) for r in build_rows)
         executors = len(ctx.scheduler.cluster.executors)
@@ -789,6 +837,20 @@ class BroadcastHashJoinExec(PhysicalPlan):
             key = tuple(k.eval(row) for k in bound_right)
             if None not in key:
                 table.setdefault(key, []).append(row)
+        return table
+
+    def execute(self, ctx: ExecContext) -> RDD:
+        left, right = self.children
+        bound_left = [E.bind_expression(k, left.output) for k in self.left_keys]
+        left_width, right_width = len(left.output), len(right.output)
+        combined_attrs = list(left.output) + list(right.output)
+        residual_bound = (
+            E.bind_expression(self.residual, combined_attrs)
+            if self.residual is not None else None
+        )
+        how = self.how
+        per_row = ctx.cost.row_cpu_s
+        table = self._broadcast_build(ctx)
 
         probe = _make_broadcast_probe(
             table, bound_left, how, left_width, right_width, residual_bound,
@@ -938,13 +1000,30 @@ class LimitExec(PhysicalPlan):
 
 
 class UnionExec(PhysicalPlan):
-    """Bag union (UNION ALL): concatenates partitions, no exchange."""
+    """Bag union (UNION ALL): concatenates partitions, no exchange.
+
+    Each side streams through a counting pass-through, so EXPLAIN ANALYZE
+    can reconcile the operator's output with ``engine.setop.rows_out``
+    exactly like joins reconcile with ``engine.join.rows_out`` (set
+    operators were left behind when joins gained this accounting).
+    Counters never charge simulated seconds.
+    """
 
     def __init__(self, left: PhysicalPlan, right: PhysicalPlan) -> None:
         super().__init__(left.output, [left, right])
 
     def execute(self, ctx: ExecContext) -> RDD:
-        return self.children[0].execute(ctx).union(self.children[1].execute(ctx))
+        def count_side(rows, task_ctx):
+            out = 0
+            for row in rows:
+                out += 1
+                yield row
+            task_ctx.ledger.count("engine.setop.rows_out", out)
+            ctx.accumulate_operator(self, setop_rows_out=out)
+
+        return self.children[0].execute(ctx).map_partitions(count_side).union(
+            self.children[1].execute(ctx).map_partitions(count_side)
+        )
 
 
 class DistinctExec(PhysicalPlan):
@@ -956,10 +1035,14 @@ class DistinctExec(PhysicalPlan):
     def execute(self, ctx: ExecContext) -> RDD:
         def dedupe(rows, task_ctx):
             seen = set()
+            out = 0
             for row in rows:
                 if row not in seen:
                     seen.add(row)
+                    out += 1
                     yield row
+            task_ctx.ledger.count("engine.setop.rows_out", out)
+            ctx.accumulate_operator(self, setop_rows_out=out)
 
         child_rdd = self.children[0].execute(ctx)
         num_parts = ctx.shuffle_partitions()
@@ -968,9 +1051,13 @@ class DistinctExec(PhysicalPlan):
 
             return adaptive_exchange(ctx, child_rdd, num_parts,
                                      lambda r: r, dedupe, self)
-        return child_rdd.partition_by(
+        shuffled = child_rdd.partition_by(
             num_parts, key_fn=lambda r: r, post_shuffle=dedupe
         )
+        # stamp the reduce stage onto this operator (like joins do), so
+        # StageInfo.setop_rows_out attributes back to the plan node
+        shuffled.scope = self.op_id
+        return shuffled
 
 
 class IntersectExec(PhysicalPlan):
@@ -991,7 +1078,10 @@ class IntersectExec(PhysicalPlan):
             right_seen: set = set()
             for row, side in pairs:
                 (left_seen if side == 0 else right_seen).add(row)
-            return iter(left_seen & right_seen)
+            both = left_seen & right_seen
+            task_ctx.ledger.count("engine.setop.rows_out", len(both))
+            ctx.accumulate_operator(self, setop_rows_out=len(both))
+            return iter(both)
 
         tagged = self.children[0].execute(ctx).map_partitions(tag(0)).union(
             self.children[1].execute(ctx).map_partitions(tag(1))
@@ -1002,6 +1092,8 @@ class IntersectExec(PhysicalPlan):
 
             return adaptive_exchange(ctx, tagged, num_parts,
                                      lambda p: p[0], intersect, self)
-        return tagged.partition_by(
+        shuffled = tagged.partition_by(
             num_parts, key_fn=lambda p: p[0], post_shuffle=intersect
         )
+        shuffled.scope = self.op_id
+        return shuffled

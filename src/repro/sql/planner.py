@@ -91,6 +91,24 @@ class Planner:
         #: strategy from size estimates
         self.adaptive = bool(conf.get("sql.aqe.enabled", False))
         self.local_scan_partitions = int(conf.get("sql.local.scan.partitions", 2))
+        #: vectorized batch execution (docs/vectorized.md): plan_query rewrites
+        #: the finished tree into batch-at-a-time operators where kernels exist
+        self.vectorized = bool(conf.get("sql.vectorized.enabled", False))
+
+    def plan_query(self, node: L.LogicalPlan) -> P.PhysicalPlan:
+        """Compile a whole query: :meth:`plan` plus the vectorization pass.
+
+        ``plan`` recurses per subtree, so the batch-mode rewrite (which must
+        see the finished tree to place columnar/row transitions) hangs off
+        this entry point instead; execution paths call ``plan_query``, tests
+        poking at individual strategies keep calling ``plan``.
+        """
+        physical = self.plan(node)
+        if self.vectorized:
+            from repro.sql.vectorized import vectorize_plan
+
+            physical = vectorize_plan(physical, self.conf)
+        return physical
 
     def plan(self, node: L.LogicalPlan) -> P.PhysicalPlan:
         if self.cache is not None and self.cache.has_registrations():

@@ -9,6 +9,7 @@ execute -- and returns rows together with simulated seconds and metrics.
 
 from __future__ import annotations
 
+import os
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -88,6 +89,15 @@ DEFAULT_CONF: Dict[str, object] = {
     "sql.aqe.skewedPartitionThresholdBytes": 64 * 1024,
     # partitions for driver-local (VALUES / createDataFrame) scans
     "sql.local.scan.partitions": 2,
+    # vectorized batch execution (docs/vectorized.md): rewrite planned trees
+    # into batch-at-a-time operators over RecordBatch column vectors.  Off by
+    # default -- the row path must stay byte-identical
+    "sql.vectorized.enabled": False,
+    # rows per RecordBatch at scan/transition boundaries
+    "sql.vectorized.batchSize": 1024,
+    # collapse scan -> filter -> project chains into one whole-stage pass;
+    # turned off only by the fusion ablation leg
+    "sql.vectorized.fusion": True,
     # DataFrame.cache()/persist(): executor-memory partition cache.  The
     # enabled flag gates persist() itself -- with it off (or with no
     # persist() calls, the default state) planning and execution are
@@ -135,6 +145,10 @@ class SparkSession:
         self.cost = cost_model if cost_model is not None else DEFAULT_COST_MODEL
         self.clock = clock if clock is not None else SimClock()
         self.conf: Dict[str, object] = dict(DEFAULT_CONF)
+        # CI's vectorized tier-1 leg flips the default without editing every
+        # test; an explicit session conf still wins (applied after)
+        if os.environ.get("REPRO_SQL_VECTORIZED"):
+            self.conf["sql.vectorized.enabled"] = True
         if conf:
             self.conf.update(conf)
         self.cluster = ComputeCluster(
@@ -280,7 +294,7 @@ class SparkSession:
         optimized = optimize(plan)
         span.finish()
         span = trace.child("plan", "plan", order=(0, 1))
-        physical = Planner(self.conf, cache=self.cache_manager).plan(optimized)
+        physical = Planner(self.conf, cache=self.cache_manager).plan_query(optimized)
         span.finish()
         return self.execute_physical(physical, trace=trace)
 
@@ -314,7 +328,7 @@ class SparkSession:
         """Run ``INSERT INTO view SELECT/VALUES`` through the relation."""
         ctx = ExecContext(self.new_scheduler(), self.cost, self.conf)
         optimized = optimize(plan.children[0])
-        physical = Planner(self.conf).plan(optimized)
+        physical = Planner(self.conf).plan_query(optimized)
         rdd = physical.execute(ctx)
         schema = StructType()
         for attr in physical.output:
@@ -346,7 +360,7 @@ class SparkSession:
                 return WriteResult(0, 0.0, MetricsRegistry())
         ctx = ExecContext(self.new_scheduler(), self.cost, self.conf)
         optimized = optimize(plan)
-        physical = Planner(self.conf).plan(optimized)
+        physical = Planner(self.conf).plan_query(optimized)
         rdd = physical.execute(ctx)
         schema = StructType()
         for attr in physical.output:

@@ -1,0 +1,85 @@
+"""Vectorized-off invariance: with the flag down the simulation is the seed.
+
+Vectorized execution hooks the planner (``plan_query``'s rewrite pass), the
+scan operators (``execute_source`` split) and the aggregate/join internals
+(``_make_partial`` / ``_make_keyed_probe`` extractions).  The load-bearing
+guarantee is that those seams cost nothing while dormant: a run under the
+default configuration must produce a byte-identical cost ledger -- every
+metric, every simulated second -- to a run with ``sql.vectorized.enabled``
+forced off, and no ``engine.vectorized.*`` counter may leak into either
+ledger.  A third run with the flag *up* checks answers (not costs) are
+unchanged, full-stack through the HBase substrate.  Same contract as
+tests/integration/test_aqe_invariance.py and test_cache_invariance.py.
+"""
+
+import os
+
+import pytest
+
+from repro.workloads import load_tpcds
+
+pytestmark = pytest.mark.skipif(
+    bool(os.environ.get("REPRO_SQL_VECTORIZED")),
+    reason="vectorized mode forced on by the environment",
+)
+
+SCAN_QUERY = ("SELECT ss_item_sk, ss_quantity FROM store_sales "
+              "WHERE ss_quantity > 1")
+AGG_QUERY = (
+    "SELECT ss_item_sk, count(*) AS n, sum(ss_quantity) AS q "
+    "FROM store_sales WHERE ss_quantity > 1 "
+    "GROUP BY ss_item_sk ORDER BY ss_item_sk"
+)
+JOIN_QUERY = (
+    "SELECT i.i_category, sum(ss.ss_quantity) AS q "
+    "FROM store_sales ss JOIN item i ON ss.ss_item_sk = i.i_item_sk "
+    "GROUP BY i.i_category ORDER BY i.i_category"
+)
+
+
+def run_fresh(query, conf):
+    env = load_tpcds(2, ["store_sales", "item"])
+    session = env.new_session(conf=conf)
+    result = session.sql(query).run()
+    session.shutdown()
+    return result
+
+
+def assert_ledgers_identical(a, b):
+    assert [tuple(r.values) for r in a.rows] == [tuple(r.values) for r in b.rows]
+    assert a.seconds == b.seconds
+    assert dict(a.metrics.snapshot()) == dict(b.metrics.snapshot())
+
+
+@pytest.mark.parametrize("query", [SCAN_QUERY, AGG_QUERY, JOIN_QUERY])
+def test_default_conf_is_byte_identical_to_vectorized_disabled(query):
+    default = run_fresh(query, None)
+    disabled = run_fresh(query, {"sql.vectorized.enabled": False})
+    assert_ledgers_identical(default, disabled)
+    for key in default.metrics.snapshot():
+        assert not key.startswith("engine.vectorized."), key
+
+
+@pytest.mark.parametrize("query", [SCAN_QUERY, AGG_QUERY, JOIN_QUERY])
+def test_vectorized_on_preserves_answers_full_stack(query):
+    baseline = run_fresh(query, {"sql.vectorized.enabled": False})
+    vectorized = run_fresh(query, {"sql.vectorized.enabled": True})
+    assert [tuple(r.values) for r in vectorized.rows] == \
+        [tuple(r.values) for r in baseline.rows]
+    # the flag really engaged: the scan produced batches
+    assert vectorized.metrics.get("engine.vectorized.batches") > 0
+    assert baseline.metrics.get("engine.vectorized.batches") == 0
+
+
+def test_vectorized_on_with_shuffled_join_preserves_answers():
+    baseline = run_fresh(JOIN_QUERY, {
+        "sql.vectorized.enabled": False,
+        "sql.autoBroadcastJoinThreshold": 1,
+    })
+    vectorized = run_fresh(JOIN_QUERY, {
+        "sql.vectorized.enabled": True,
+        "sql.autoBroadcastJoinThreshold": 1,
+    })
+    assert [tuple(r.values) for r in vectorized.rows] == \
+        [tuple(r.values) for r in baseline.rows]
+    assert vectorized.metrics.get("engine.vectorized.batches") > 0

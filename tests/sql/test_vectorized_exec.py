@@ -1,0 +1,285 @@
+"""End-to-end vectorized execution: parity, transitions, fusion, EXPLAIN.
+
+Row mode is the semantics oracle: every query here runs three ways -- row,
+vectorized, vectorized without fusion -- and must return identical rows.
+The planner's transition placement is checked structurally (columnar
+operators never feed row operators without an explicit ColumnarToRowExec),
+and EXPLAIN ANALYZE's per-operator batch notes must sum to exactly the
+run's ``engine.vectorized.*`` counters, the acceptance contract of ISSUE 6.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.sql import SparkSession
+from repro.sql import physical as P
+from repro.sql import vectorized as V
+from repro.sql.optimizer import optimize
+from repro.sql.planner import Planner
+from repro.sql.types import DoubleType, LongType, StringType, StructField, StructType
+
+SCHEMA = StructType([
+    StructField("id", LongType),
+    StructField("k", LongType),
+    StructField("v", DoubleType),
+    StructField("tag", StringType),
+])
+
+DIM_SCHEMA = StructType([
+    StructField("k", LongType),
+    StructField("label", StringType),
+])
+
+
+def make_rows(n=3000, null_p=0.15, seed=5):
+    rng = random.Random(seed)
+    rows = []
+    for i in range(n):
+        rows.append((
+            i,
+            None if rng.random() < null_p else rng.randint(0, 49),
+            None if rng.random() < null_p else round(rng.uniform(0, 100), 4),
+            None if rng.random() < null_p else rng.choice(["a", "b", "c"]),
+        ))
+    return rows
+
+
+DIM_ROWS = [(k, f"label-{k}") for k in range(0, 50, 2)]
+
+QUERIES = [
+    # fused scan -> filter -> project
+    "SELECT id, v * 2.0 + 1.0 AS vv, k % 7 AS kb FROM t "
+    "WHERE k > 5 AND k < 45 AND v > 10.0 AND tag IS NOT NULL",
+    # global aggregation (column-fold fast path)
+    "SELECT count(*) AS n, sum(v) AS sv, min(k) AS mn, max(v) AS mx, "
+    "avg(v) AS av FROM t WHERE k > 3",
+    # grouped aggregation
+    "SELECT k, count(*) AS n, sum(v) AS sv FROM t WHERE v > 5.0 "
+    "GROUP BY k ORDER BY k",
+    # joins (threshold conf decides broadcast vs shuffled per test run)
+    "SELECT t.k, d.label, t.v FROM t JOIN d ON t.k = d.k "
+    "WHERE t.v > 50.0 ORDER BY t.id",
+    # join + aggregation + residual-free keys
+    "SELECT d.label, count(*) AS n FROM t JOIN d ON t.k = d.k "
+    "GROUP BY d.label ORDER BY d.label",
+    # row-only tail operators downstream of batch operators
+    "SELECT DISTINCT tag FROM t WHERE k > 10 ORDER BY tag",
+    "SELECT tag FROM t WHERE k < 5 UNION SELECT tag FROM t WHERE k > 45",
+    # expressions the kernel compiler supports inside CASE/IN/LIKE
+    "SELECT id, CASE WHEN v > 50.0 THEN 'hi' WHEN v > 20.0 THEN 'mid' "
+    "ELSE 'lo' END AS band FROM t WHERE k IN (1, 2, 3, 4) "
+    "AND tag LIKE 'a%' ORDER BY id",
+]
+
+
+def fresh_session(conf=None):
+    merged = {"sql.vectorized.enabled": False}
+    merged.update(conf or {})
+    session = SparkSession(["h1", "h2"], conf=merged)
+    session.create_dataframe(make_rows(), SCHEMA).create_or_replace_temp_view("t")
+    session.create_dataframe(DIM_ROWS, DIM_SCHEMA).create_or_replace_temp_view("d")
+    return session
+
+
+def run_rows(query, conf):
+    session = fresh_session(conf)
+    result = session.sql(query).run()
+    session.shutdown()
+    return [tuple(r.values) for r in result.rows], result
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_vectorized_returns_identical_rows(query):
+    expected, __ = run_rows(query, None)
+    for conf in (
+        {"sql.vectorized.enabled": True},
+        {"sql.vectorized.enabled": True, "sql.vectorized.fusion": False},
+        {"sql.vectorized.enabled": True, "sql.vectorized.batchSize": 7},
+        {"sql.vectorized.enabled": True, "sql.autoBroadcastJoinThreshold": 1},
+    ):
+        got, result = run_rows(query, conf)
+        assert got == expected, (query, conf)
+        assert result.metrics.get("engine.vectorized.batches") > 0, (query, conf)
+
+
+def plan_for(query, conf):
+    session = fresh_session(conf)
+    df = session.sql(query)
+    physical = Planner(session.conf).plan_query(optimize(session.analyze(df.plan)))
+    session.shutdown()
+    return physical
+
+
+def test_transitions_are_explicit_everywhere():
+    """No columnar operator ever feeds a row operator directly."""
+    for query in QUERIES:
+        physical = plan_for(query, {"sql.vectorized.enabled": True})
+        assert physical.columnar_output is False  # session gets rows
+        for op in physical.walk():
+            for child in op.children:
+                if child.columnar_output:
+                    assert isinstance(op, (
+                        V.ColumnarToRowExec, V.VectorFilterExec,
+                        V.VectorProjectExec, V.VectorHashAggregateExec,
+                        V.VectorShuffledHashJoinExec,
+                        V.VectorBroadcastHashJoinExec,
+                    )), (query, op.describe(), child.describe())
+            if isinstance(op, V.RowToColumnarExec):
+                assert not op.children[0].columnar_output
+            # the broadcast build side must stay on the row path
+            if isinstance(op, V.VectorBroadcastHashJoinExec):
+                assert not op.children[1].columnar_output
+
+
+def test_fusion_collapses_scan_filter_project():
+    physical = plan_for(QUERIES[0], {"sql.vectorized.enabled": True})
+    fused = [op for op in physical.walk()
+             if isinstance(op, V.VectorScanExec) and len(op.fused) > 1]
+    assert fused, "scan->filter->project did not fuse"
+    assert "Filter" in fused[0].fused or "Project" in fused[0].fused
+
+
+def test_fusion_off_keeps_separate_vector_operators():
+    physical = plan_for(
+        QUERIES[0],
+        {"sql.vectorized.enabled": True, "sql.vectorized.fusion": False})
+    assert not [op for op in physical.walk()
+                if isinstance(op, V.VectorScanExec) and len(op.fused) > 1]
+    kinds = {type(op) for op in physical.walk()}
+    assert V.VectorProjectExec in kinds
+
+
+def test_row_mode_plan_is_untouched():
+    for query in QUERIES:
+        physical = plan_for(query, None)
+        for op in physical.walk():
+            assert not isinstance(op, (
+                V.RowToColumnarExec, V.ColumnarToRowExec, V.VectorScanExec)), \
+                query
+
+
+def explain_analyze(query, conf):
+    session = fresh_session(conf)
+    df = session.sql(query)
+    report = df.explain(analyze=True)
+    result = df.last_analyzed
+    session.shutdown()
+    return report, result
+
+
+@pytest.mark.parametrize("query", [QUERIES[0], QUERIES[2], QUERIES[4]])
+def test_explain_analyze_reconciles_with_counters(query):
+    report, result = explain_analyze(query, {"sql.vectorized.enabled": True})
+    stats = result.operator_stats.values()
+    assert sum(int(s.get("batches", 0)) for s in stats) == int(
+        result.metrics.get("engine.vectorized.batches"))
+    assert sum(int(s.get("rows", 0)) for s in stats if "batches" in s) == int(
+        result.metrics.get("engine.vectorized.rows"))
+    assert sum(int(s.get("conversions", 0)) for s in stats) == int(
+        result.metrics.get("engine.vectorized.transitions"))
+    assert sum(int(s.get("fused", 0)) for s in stats) == int(
+        result.metrics.get("engine.vectorized.fused_operators"))
+    # ... and the report prints those totals from the same ledger
+    assert "== Vectorized Execution ==" in report
+    batches = int(result.metrics.get("engine.vectorized.batches"))
+    assert f"batches processed: {batches}" in report
+
+
+def test_explain_analyze_marks_every_operator_mode():
+    report, result = explain_analyze(
+        QUERIES[5], {"sql.vectorized.enabled": True})
+    plan_section = report.split("== Stages ==")[0]
+    assert "mode: batch" in plan_section
+    assert "mode: row" in plan_section
+    # every operator line is followed by a mode note somewhere in its notes
+    modes = [s.get("vec_mode") for s in result.operator_stats.values()]
+    assert "batch" in modes and "row" in modes
+
+
+def test_explain_analyze_row_mode_has_no_vectorized_section():
+    report, result = explain_analyze(QUERIES[0], None)
+    assert "== Vectorized Execution ==" not in report
+    assert "mode:" not in report.split("== Stages ==")[0]
+
+
+@pytest.mark.parametrize("conf", [
+    None,
+    {"sql.vectorized.enabled": True},
+    {"sql.aqe.enabled": True},
+    {"sql.vectorized.enabled": True, "sql.aqe.enabled": True},
+])
+def test_setop_rows_reconcile_ledger_stages_operators(conf):
+    """UnionExec/DistinctExec/IntersectExec output accounting agrees across
+    the metrics ledger, StageInfo and per-operator stats -- both modes."""
+    for query in (
+        "SELECT tag FROM t WHERE k < 10 UNION SELECT tag FROM t WHERE k > 40",
+        "SELECT k FROM t INTERSECT SELECT k FROM d",
+        "SELECT DISTINCT k FROM t WHERE v > 20.0",
+        "SELECT tag FROM t WHERE k < 10 UNION ALL "
+        "SELECT tag FROM t WHERE k > 40",
+    ):
+        session = fresh_session(conf)
+        result = session.sql(query).run()
+        ledger = int(result.metrics.get("engine.setop.rows_out"))
+        stage_sum = sum(s.setop_rows_out for s in result.stages)
+        op_sum = sum(int(s.get("setop_rows_out", 0))
+                     for s in result.operator_stats.values())
+        assert ledger > 0, (query, conf)
+        assert ledger == stage_sum == op_sum, (query, conf)
+        session.shutdown()
+
+
+def test_setop_notes_in_explain_analyze():
+    report, result = explain_analyze(
+        "SELECT tag FROM t WHERE k < 10 UNION SELECT tag FROM t WHERE k > 40",
+        None)
+    assert "setop: rows_out=" in report
+    ledger = int(result.metrics.get("engine.setop.rows_out"))
+    total = sum(int(s.get("setop_rows_out", 0))
+                for s in result.operator_stats.values())
+    assert total == ledger
+
+
+@pytest.mark.skipif(bool(os.environ.get("REPRO_SQL_VECTORIZED")),
+                    reason="vectorized mode forced on by the environment")
+def test_flag_off_ledger_is_byte_identical():
+    """SQL-layer invariance: default conf == explicit off, key for key."""
+    for query in (QUERIES[0], QUERIES[2], QUERIES[4]):
+        __, default = run_rows(query, None)
+        __, off = run_rows(query, {"sql.vectorized.enabled": False})
+        assert default.seconds == off.seconds, query
+        assert dict(default.metrics.snapshot()) == dict(off.metrics.snapshot())
+        for key in default.metrics.snapshot():
+            assert not key.startswith("engine.vectorized."), key
+
+
+def test_unsupported_residual_keeps_scan_on_row_path():
+    """A scan whose residual the compiler rejects must not vectorize."""
+    from repro.sql import expressions as E
+
+    attrs = [E.Attribute("x", LongType), E.Attribute("y", LongType)]
+    residual = E.In(attrs[0], [attrs[1]])  # non-literal IN: unsupported
+
+    class FakeScan(P.DataSourceScanExec):
+        def __init__(self):
+            PhysicalPlan_init = P.PhysicalPlan.__init__
+            PhysicalPlan_init(self, attrs, [])
+            self.residual = residual
+
+    rewritten = V._rewrite(FakeScan(), 1024, True)
+    assert isinstance(rewritten, FakeScan)
+
+
+def test_vectorized_respects_batch_size_conf():
+    session = fresh_session({"sql.vectorized.enabled": True,
+                             "sql.vectorized.batchSize": 100})
+    result = session.sql(QUERIES[0]).run()
+    # 3000 rows over 2 partitions at 100 rows/batch: >= 30 scan batches
+    assert result.metrics.get("engine.vectorized.batches") >= 30
+    session.shutdown()
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-q"])

@@ -4,7 +4,10 @@ Each pinned seed runs q39a fault-free and then under the chaos schedule the
 integration suite replays (a region-server crash mid-scan plus transient RPC
 faults).  The answer must be byte-identical; the simulated latency gap is
 the price of recovery -- retries, backoff, relocation and re-scanning --
-which this benchmark records per seed into ``benchmarks/results/``.
+which this benchmark records per seed into ``benchmarks/results/`` along
+with a ``BENCH_chaos.json`` artifact for the CI regression gate
+(``check_regression.py``).  ``BENCH_SMOKE=1`` runs the reduced scale the
+committed smoke baseline was recorded at.
 """
 
 from repro.bench.reporting import format_table
@@ -19,11 +22,11 @@ from repro.workloads.loader import load_tpcds
 from repro.workloads.queries import q39a
 from repro.workloads.tpcds_schema import Q39_TABLES
 
-from conftest import write_report
+from conftest import FIXED_SIZE_GB, write_bench_json, write_report
 
 #: same pinned seeds as tests/integration/test_chaos.py
 CHAOS_SEEDS = (101, 202, 303)
-SIZE_GB = 15
+SIZE_GB = FIXED_SIZE_GB
 #: small scanner pages so the injected crash lands between result pages
 READER_OPTIONS = {HBaseSparkConf.CACHED_ROWS: "40"}
 
@@ -88,5 +91,16 @@ def test_chaos_overhead_report(benchmark):
                 "one region-server crash + transient RPC faults",
             ),
         )
+        pairs = list(_RESULTS.values())
+        baseline_mean = sum(b.seconds for b, *_ in pairs) / len(pairs)
+        chaos_mean = sum(c.seconds for __, c, *_ in pairs) / len(pairs)
+        write_bench_json("chaos", {
+            "fault_free_seconds_mean": {
+                "value": baseline_mean, "direction": "lower"},
+            "chaos_seconds_mean": {
+                "value": chaos_mean, "direction": "lower"},
+            "overhead_ratio_mean": {
+                "value": chaos_mean / baseline_mean, "direction": "lower"},
+        })
 
     benchmark.pedantic(report, iterations=1, rounds=1)

@@ -1,0 +1,186 @@
+"""Serving overload: open-loop mixed-tenant load against the front door.
+
+Measures single-query capacity, then drives an open-loop (arrivals do not
+wait for completions) mixed-tenant workload at 1x, 2x and 4x of that
+capacity through a :class:`~repro.serving.QueryServer`, recording p50/p99
+end-to-end latency (queue wait + execution, simulated) and *goodput* --
+completed queries per simulated second, normalised to capacity.  The
+bounded queue plus deterministic shedding must keep goodput near capacity
+while overload grows; a final leg injects latency degradation and checks
+the circuit breaker opens and sheds instead of letting the queue collapse.
+
+Emits a paper-style table under ``benchmarks/results/`` plus a
+``BENCH_serving.json`` artifact for the CI regression gate
+(``check_regression.py``).  ``BENCH_SMOKE=1`` runs the reduced scale the
+committed smoke baseline was recorded at.
+"""
+
+from repro.bench.reporting import format_table
+from repro.serving import BreakerConfig, QueryServer, ServingConfig
+from repro.workloads.loader import load_tpcds
+
+from conftest import BENCH_SMOKE, FIXED_SIZE_GB, write_bench_json, write_report
+
+QUERY = ("SELECT inv_warehouse_sk, AVG(inv_quantity_on_hand) "
+         "FROM inventory GROUP BY inv_warehouse_sk")
+TENANTS = ("alpha", "beta", "gamma")
+LOADS = (1, 2, 4)
+QUERIES_PER_LOAD = 18 if BENCH_SMOKE else 30
+SLOTS_PER_QUERY = 2
+
+_RESULTS = {}
+
+
+def _percentile(values, q):
+    """Nearest-rank percentile of a non-empty list (deterministic)."""
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1,
+                      int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def _config(**overrides):
+    base = dict(max_queue_depth=8, slots_per_query=SLOTS_PER_QUERY)
+    base.update(overrides)
+    return ServingConfig(**base)
+
+
+def _register_tenants(server):
+    server.register_tenant("alpha", weight=2.0, reserved_slots=2)
+    server.register_tenant("beta", weight=1.0)
+    server.register_tenant("gamma", weight=1.0)
+
+
+def _measure_capacity(env):
+    """Single-query seconds and the cluster's concurrent-query capacity.
+
+    Measured under the serving discipline -- the query runs on a leased
+    ``SLOTS_PER_QUERY``-slot bulkhead, exactly as served queries will --
+    so "capacity" is what the front door can actually deliver:
+    ``floor(slots / slots_per_query)`` such queries at once.
+    """
+    session = env.new_session()
+    session.sql(QUERY).run()  # warm the connection cache
+    lease = session.cluster.slots()[:SLOTS_PER_QUERY]
+    seconds = session.execute_plan(session.sql(QUERY).plan,
+                                   slots=lease).seconds
+    session.shutdown()
+    concurrent = len(session.cluster.slots()) // SLOTS_PER_QUERY
+    return seconds, concurrent / seconds  # queries per simulated second
+
+
+def _run_load(env, multiplier, capacity_qps):
+    """One open-loop leg: arrivals at ``multiplier``x capacity."""
+    session = env.new_session()
+    server = QueryServer(session, config=_config())
+    _register_tenants(server)
+    interarrival = 1.0 / (capacity_qps * multiplier)
+    tickets = [
+        server.submit(QUERY, tenant=TENANTS[i % len(TENANTS)],
+                      at=i * interarrival)
+        for i in range(QUERIES_PER_LOAD)
+    ]
+    server.drain()
+    session.shutdown()
+    done = [t for t in tickets if t.status == "completed"]
+    shed = [t for t in tickets if t.status == "shed"]
+    horizon = max(t.finish_s for t in tickets)
+    goodput_qps = len(done) / horizon if horizon else 0.0
+    latencies = [t.latency_s for t in done]
+    return {
+        "offered_qps": capacity_qps * multiplier,
+        "completed": len(done),
+        "shed": len(shed),
+        "goodput_ratio": goodput_qps / capacity_qps,
+        "p50_s": _percentile(latencies, 50),
+        "p99_s": _percentile(latencies, 99),
+        "queue_wait_s": server.metrics.get("serving.queue_wait_s"),
+    }
+
+
+def _run_degraded(env, single_query_s):
+    """The breaker leg: every completion reads as degraded latency."""
+    session = env.new_session()
+    breaker = BreakerConfig(window=6, min_samples=3, failure_threshold=0.5,
+                            cooldown_s=10.0 * single_query_s, probe_count=2,
+                            latency_threshold_s=0.5 * single_query_s)
+    server = QueryServer(session, config=_config(breaker=breaker))
+    _register_tenants(server)
+    tickets = [
+        server.submit(QUERY, tenant=TENANTS[i % len(TENANTS)],
+                      at=i * 0.5 * single_query_s)
+        for i in range(QUERIES_PER_LOAD)
+    ]
+    server.drain()
+    session.shutdown()
+    return {
+        "opened": server.metrics.get("serving.breaker.opened"),
+        "shed_breaker": server.metrics.get("serving.shed.breaker_open"),
+        "completed": sum(1 for t in tickets if t.status == "completed"),
+    }
+
+
+def test_serving_overload(benchmark):
+    def run_all():
+        env = load_tpcds(FIXED_SIZE_GB, ["inventory"])
+        single_s, capacity_qps = _measure_capacity(env)
+        _RESULTS["capacity"] = (single_s, capacity_qps)
+        for load in LOADS:
+            _RESULTS[load] = _run_load(env, load, capacity_qps)
+        _RESULTS["degraded"] = _run_degraded(env, single_s)
+
+    benchmark.pedantic(run_all, iterations=1, rounds=1)
+
+
+def test_serving_overload_report(benchmark):
+    def report():
+        single_s, capacity_qps = _RESULTS["capacity"]
+        rows = []
+        for load in LOADS:
+            leg = _RESULTS[load]
+            rows.append([
+                f"{load}x",
+                f"{leg['offered_qps']:.3f}/s",
+                leg["completed"],
+                leg["shed"],
+                f"{leg['goodput_ratio']:.2f}",
+                f"{leg['p50_s']:.2f}s",
+                f"{leg['p99_s']:.2f}s",
+            ])
+        degraded = _RESULTS["degraded"]
+        # the load-shedding contract: overload must not collapse goodput --
+        # at 4x open-loop load the completed work still fills >= 80% of
+        # measured capacity, and p99 stays bounded by the queue depth
+        assert _RESULTS[4]["goodput_ratio"] >= 0.8
+        assert _RESULTS[4]["shed"] > 0
+        queue_bound_s = single_s * (1 + _config().max_queue_depth)
+        assert _RESULTS[4]["p99_s"] <= queue_bound_s
+        # and the breaker really opens under injected degradation
+        assert degraded["opened"] >= 1
+        assert degraded["shed_breaker"] >= 1
+        write_report(
+            "serving_overload",
+            format_table(
+                ["load", "offered", "completed", "shed", "goodput/capacity",
+                 "p50", "p99"],
+                rows,
+                f"Serving overload: open-loop mixed tenants at "
+                f"{FIXED_SIZE_GB} GB nominal, capacity "
+                f"{capacity_qps:.3f} q/s ({single_s:.2f}s per query); "
+                f"breaker leg: opened={degraded['opened']:.0f} "
+                f"shed={degraded['shed_breaker']:.0f}",
+            ),
+        )
+        write_bench_json("serving", {
+            "goodput_ratio_4x": {
+                "value": _RESULTS[4]["goodput_ratio"],
+                "direction": "higher"},
+            "p50_latency_1x_s": {
+                "value": _RESULTS[1]["p50_s"], "direction": "lower"},
+            "p99_latency_4x_s": {
+                "value": _RESULTS[4]["p99_s"], "direction": "lower"},
+            "breaker_opened": {
+                "value": degraded["opened"], "direction": "higher"},
+        })
+
+    benchmark.pedantic(report, iterations=1, rounds=1)

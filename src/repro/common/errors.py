@@ -62,6 +62,25 @@ class RetriesExhaustedError(HBaseError):
     """A client operation kept failing after every allowed retry."""
 
 
+class OverloadedError(ReproError):
+    """The serving front door shed a query instead of letting queues collapse.
+
+    Structured so callers can build a well-behaved retry loop instead of
+    parsing message text: ``reason`` names which guardrail fired
+    (``queue_full`` / ``throttled`` / ``breaker_open`` / ``deadline`` /
+    ``injected``) and ``retry_after_s`` is the *simulated* seconds after
+    which a resubmission has a chance of being admitted -- the
+    queue-based-load-leveling contract from docs/serving.md.
+    """
+
+    def __init__(self, message: str, reason: str = "overloaded",
+                 retry_after_s: float = 0.0, tenant: "str | None" = None) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after_s = float(retry_after_s)
+        self.tenant = tenant
+
+
 class SecurityError(ReproError):
     """Authentication or token management failure."""
 

@@ -23,6 +23,7 @@ Fault points currently wired in:
 ``hbase.filter``        pushed-down filter blows up server-side
 ``engine.shuffle_fetch`` reduce-side block fetch fails (task retry)
 ``engine.slow_host``    inflates a task's simulated cost (straggler)
+``serving.admission``   front-door overload (queue-full / degraded server)
 ======================  ======================================================
 """
 
@@ -34,6 +35,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import (
     FilterEvalError,
+    OverloadedError,
     RegionOfflineError,
     RegionServerStoppedError,
     ShuffleFetchError,
@@ -49,6 +51,7 @@ FAULT_SCAN_STREAM = "hbase.scan_stream"
 FAULT_FILTER = "hbase.filter"
 FAULT_SHUFFLE_FETCH = "engine.shuffle_fetch"
 FAULT_SLOW_HOST = "engine.slow_host"
+FAULT_ADMISSION = "serving.admission"
 
 #: an action gets the site's context dict and either raises or returns an effect
 FaultAction = Callable[[dict], object]
@@ -72,6 +75,23 @@ def raise_filter_error(ctx: dict) -> None:
     """Pushed-down filter evaluation blows up on the server."""
     raise FilterEvalError(
         f"injected filter failure at {ctx.get('point')} ({ctx.get('key')})"
+    )
+
+
+def raise_overloaded(ctx: dict) -> None:
+    """The serving front door is overloaded (queue-full / degraded server).
+
+    The default action for :data:`FAULT_ADMISSION`: the query under
+    admission is shed with a structured retry-after error exactly as if the
+    bounded queue had filled, which is how the chaos suite injects overload
+    scenarios without having to saturate the simulated cluster for real.
+    ``retry_after_s`` may be supplied through the site context.
+    """
+    raise OverloadedError(
+        f"injected admission overload at {ctx.get('point')} ({ctx.get('key')})",
+        reason="injected",
+        retry_after_s=float(ctx.get("retry_after_s", 1.0)),
+        tenant=str(ctx.get("key")) or None,
     )
 
 
@@ -118,6 +138,13 @@ class SlowHostEffect:
     def __call__(self, ctx: dict) -> "SlowHostEffect":
         """Acting on a slow-host fault just hands the effect to the site."""
         return self
+
+
+#: per-point default actions for rules registered without an explicit one;
+#: every point not listed here injects a retryable RPC failure
+_DEFAULT_ACTIONS: Dict[str, FaultAction] = {
+    FAULT_ADMISSION: raise_overloaded,
+}
 
 
 @dataclass
@@ -214,7 +241,10 @@ class FaultInjector:
         self.metrics.incr(f"faults.injected.{point}")
         if ledger is not None:
             ledger.count("faults.injected")
-        action = chosen.action if chosen.action is not None else raise_transient
+        if chosen.action is not None:
+            action = chosen.action
+        else:
+            action = _DEFAULT_ACTIONS.get(point, raise_transient)
         ctx.update({"point": point, "key": key})
         return action(ctx)
 

@@ -111,6 +111,12 @@ class CostLedger:
         #: ledger (the HBase client's retry decorator) record trace events
         #: without threading a span through every call signature.
         self.trace_span = None
+        #: simulated seconds the work unit already spent queued at the
+        #: serving front door before it started running.  Client operation
+        #: deadlines (``hbase.client.operation.timeout``) count this wait
+        #: against their budget -- a query that sat in the admission queue
+        #: has less time left for attempts and backoff (docs/serving.md).
+        self.queued_s: float = 0.0
 
     def charge(self, seconds: float, counter: str | None = None, amount: float = 1.0) -> None:
         """Add ``seconds`` of simulated work, optionally bumping a counter."""

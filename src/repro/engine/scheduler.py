@@ -184,6 +184,8 @@ class TaskScheduler:
         retry_backoff_s: float = 0.05,
         retry_backoff_max_s: float = 2.0,
         trace=NOOP_SPAN,
+        slots=None,
+        queued_s: float = 0.0,
     ) -> None:
         self.cluster = cluster
         self.cost = cost_model
@@ -209,7 +211,15 @@ class TaskScheduler:
         #: materialised through :meth:`materialize_shuffle` (adaptive runs)
         self.shuffle_stats: Dict[int, ShuffleRuntimeStats] = {}
         self._stage_ids = 0
-        self._slots = cluster.slots()
+        #: simulated seconds the query spent in the serving admission queue
+        #: before this scheduler ran; stamped onto every task ledger so
+        #: client operation deadlines charge queue wait against their budget
+        self.queued_s = queued_s
+        #: the executor slots this job may run on: the whole cluster by
+        #: default, or the subset the serving front door leased (bulkhead
+        #: slot partitions -- one tenant's scan storm cannot occupy another
+        #: tenant's reserved slots)
+        self._slots = list(slots) if slots is not None else cluster.slots()
         runner_cls = ThreadPoolStageRunner if parallel else SerialStageRunner
         self._runner: StageRunner = runner_cls(
             self._slots,
@@ -540,6 +550,7 @@ class TaskScheduler:
         )
         while attempts <= self.max_task_retries:
             ledger = CostLedger()
+            ledger.queued_s = self.queued_s
             attempt_span = task_span.child(f"attempt-{attempts + 1}", "attempt",
                                            order=attempts, host=host)
             if attempt_span.enabled:

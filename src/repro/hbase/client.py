@@ -359,7 +359,9 @@ def _retries(method):
                         f"{attempt} attempts: {exc}"
                     ) from exc
                 backoff = policy.backoff_s(attempt, key=(self.name, method.__name__))
-                spent = ledger.seconds - start_s
+                # admission-queue wait counts against the operation deadline:
+                # the timeout caps queue wait + attempts + backoff together
+                spent = ledger.seconds - start_s + ledger.queued_s
                 if not policy.within_deadline(spent + backoff):
                     raise OperationTimeoutError(
                         f"{method.__name__} on {self.name} exceeded its "

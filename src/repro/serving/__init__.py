@@ -1,0 +1,33 @@
+"""Multi-tenant serving front door for the SQL session (docs/serving.md).
+
+The subsystem between clients and the engine: a bounded weighted-fair
+admission queue, per-tenant token-bucket throttling, bulkhead executor-slot
+partitions and a circuit breaker over region-server health -- all running on
+simulated time so every admit/shed decision is deterministic and replayable
+under a pinned chaos seed.
+"""
+
+from repro.serving.admission import FairQueue, TokenBucket
+from repro.serving.breaker import (CLOSED, HALF_OPEN, OPEN, BreakerConfig,
+                                   CircuitBreaker)
+from repro.serving.server import (COMPLETED, FAILED, PENDING, SHED,
+                                  QueryServer, ServingConfig, TenantSpec,
+                                  Ticket)
+
+__all__ = [
+    "BreakerConfig",
+    "CircuitBreaker",
+    "CLOSED",
+    "COMPLETED",
+    "FAILED",
+    "FairQueue",
+    "HALF_OPEN",
+    "OPEN",
+    "PENDING",
+    "QueryServer",
+    "SHED",
+    "ServingConfig",
+    "TenantSpec",
+    "Ticket",
+    "TokenBucket",
+]

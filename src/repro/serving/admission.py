@@ -1,0 +1,125 @@
+"""Admission primitives: per-tenant token buckets and weighted fair queuing.
+
+Both primitives run on *simulated* time and contain no wall clock and no
+``random`` source, so every throttle and dequeue decision is a pure function
+of the request sequence -- the property the chaos suite pins (byte-identical
+admit/shed sets for a given seed).
+
+:class:`TokenBucket` is the classic throttling pattern: a tenant may burst up
+to ``burst`` queries and sustain ``rate`` queries per simulated second; a
+request finding no token is shed with a deterministic ``retry_after_s`` hint
+rather than queued (queueing throttled work would defeat the rate limit).
+
+:class:`FairQueue` is weighted fair queuing by virtual time: each enqueued
+request gets a virtual finish time ``max(V, tenant_last) + 1/weight`` and
+requests dequeue in virtual-finish order, so a tenant with weight 4 drains
+four requests for every one of a weight-1 tenant regardless of arrival
+bursts -- one tenant's scan storm cannot monopolise the queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class TokenBucket:
+    """A per-tenant rate limiter over simulated seconds.
+
+    ``rate`` is tokens (queries) replenished per simulated second and
+    ``burst`` caps how many may accumulate.  The bucket starts full so a
+    tenant's first ``burst`` requests always pass.
+    """
+
+    rate: float
+    burst: float
+    tokens: float = field(default=-1.0)
+    last_refill_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0 or self.burst <= 0:
+            raise ValueError("token bucket rate and burst must be positive")
+        if self.tokens < 0:
+            self.tokens = self.burst
+
+    def try_acquire(self, now_s: float) -> Tuple[bool, float]:
+        """Take one token at simulated time ``now_s``.
+
+        Returns ``(admitted, retry_after_s)``: on refusal ``retry_after_s``
+        is how long until one full token will have accumulated -- the
+        structured hint the front door passes back to the client.
+        """
+        elapsed = max(0.0, now_s - self.last_refill_s)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.last_refill_s = now_s
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True, 0.0
+        return False, (1.0 - self.tokens) / self.rate
+
+
+class FairQueue:
+    """A bounded, weighted-fair admission queue (virtual-time WFQ).
+
+    Entries are arbitrary items tagged with a tenant and that tenant's
+    weight.  ``pop_dispatchable`` walks the queue in virtual-finish order
+    and hands back the first entry the caller's predicate accepts, which
+    keeps the queue work-conserving under bulkheads: a request whose slot
+    partition is busy does not block a request whose partition is free.
+    Ties break on the enqueue sequence number, never on thread timing.
+    """
+
+    def __init__(self, max_depth: int) -> None:
+        if max_depth < 1:
+            raise ValueError("admission queue depth must be at least 1")
+        self.max_depth = max_depth
+        self._heap: List[Tuple[float, int, str, object]] = []
+        self._virtual_time = 0.0
+        self._tenant_finish: Dict[str, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def full(self) -> bool:
+        """Whether the bounded queue is at capacity (next enqueue sheds)."""
+        return len(self._heap) >= self.max_depth
+
+    def push(self, tenant: str, weight: float, seq: int, item: object) -> None:
+        """Enqueue ``item``; the caller has already checked :attr:`full`."""
+        if weight <= 0:
+            raise ValueError("tenant weight must be positive")
+        start = max(self._virtual_time, self._tenant_finish.get(tenant, 0.0))
+        finish = start + 1.0 / weight
+        self._tenant_finish[tenant] = finish
+        heapq.heappush(self._heap, (finish, seq, tenant, item))
+
+    def pop_dispatchable(self, can_dispatch) -> Optional[object]:
+        """The first entry in WFQ order that ``can_dispatch(item)`` accepts.
+
+        Skipped entries keep their virtual finish times (their turn is not
+        forfeited by someone else's free bulkhead).  Returns ``None`` when
+        nothing currently dispatches.
+        """
+        skipped: List[Tuple[float, int, str, object]] = []
+        found: Optional[object] = None
+        while self._heap:
+            finish, seq, tenant, item = heapq.heappop(self._heap)
+            if can_dispatch(item):
+                self._virtual_time = max(self._virtual_time, finish)
+                found = item
+                break
+            skipped.append((finish, seq, tenant, item))
+        for entry in skipped:
+            heapq.heappush(self._heap, entry)
+        return found
+
+    def drain(self) -> List[object]:
+        """Remove and return every queued item in WFQ order (shutdown path)."""
+        out = []
+        while self._heap:
+            __, __, __, item = heapq.heappop(self._heap)
+            out.append(item)
+        return out

@@ -1,0 +1,140 @@
+"""Circuit breaker over region-server fault and latency signals.
+
+The classic closed -> open -> half-open state machine, driven entirely by
+simulated time and per-query outcome signals so every transition is
+deterministic and replayable under a pinned seed:
+
+* **closed** -- outcomes feed a sliding window; when at least
+  ``min_samples`` of the last ``window`` queries are degraded (injected
+  faults forced retries/resumes, a region server died mid-query, or latency
+  blew past the threshold) at ratio >= ``failure_threshold``, the breaker
+  opens.
+* **open** -- every arrival is shed immediately with a structured
+  ``retry_after_s`` (the remaining cooldown) instead of queueing against a
+  degraded cluster -- queue-based load leveling must not become queue
+  collapse.
+* **half-open** -- after ``cooldown_s`` the next ``probe_count`` arrivals
+  are admitted as *probes* (everyone else still sheds).  All probes healthy
+  closes the breaker and resets the window; any degraded probe re-opens it
+  with the cooldown doubled up to ``max_cooldown_s``.
+
+Transitions are recorded in :attr:`CircuitBreaker.transitions` for the
+trace/EXPLAIN ANALYZE plumbing and asserted byte-identical by the chaos
+suite.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+#: breaker states
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass
+class BreakerConfig:
+    """Tuning knobs for one :class:`CircuitBreaker` (see docs/serving.md)."""
+
+    window: int = 8                  #: sliding window of recent outcomes
+    min_samples: int = 4             #: outcomes required before tripping
+    failure_threshold: float = 0.5   #: degraded ratio that opens the breaker
+    cooldown_s: float = 30.0         #: open -> half-open wait (simulated)
+    max_cooldown_s: float = 240.0    #: cap for the doubling re-open cooldown
+    probe_count: int = 2             #: arrivals admitted while half-open
+    latency_threshold_s: Optional[float] = None  #: degraded when exceeded
+
+
+class CircuitBreaker:
+    """Deterministic breaker guarding the front door against a sick cluster."""
+
+    def __init__(self, config: Optional[BreakerConfig] = None) -> None:
+        self.config = config or BreakerConfig()
+        self.state = CLOSED
+        self.open_until_s = 0.0
+        self._cooldown_s = self.config.cooldown_s
+        self._outcomes: Deque[bool] = deque(maxlen=self.config.window)
+        self._probes_launched = 0
+        self._probes_pending = 0
+        self._probe_failed = False
+        #: every state change, in order: {at_s, from, to, reason}
+        self.transitions: List[Dict[str, object]] = []
+
+    # -- arrivals ----------------------------------------------------------
+    def admit(self, now_s: float) -> Dict[str, object]:
+        """Decide one arrival at simulated time ``now_s``.
+
+        Returns ``{"admit": bool, "probe": bool, "retry_after_s": float,
+        "state": str}``.  Open -> shed with the remaining cooldown;
+        half-open -> the first ``probe_count`` arrivals become probes.
+        """
+        if self.state == OPEN and now_s >= self.open_until_s:
+            self._transition(now_s, HALF_OPEN, "cooldown elapsed")
+            self._probes_launched = 0
+            self._probes_pending = 0
+            self._probe_failed = False
+        if self.state == CLOSED:
+            return {"admit": True, "probe": False,
+                    "retry_after_s": 0.0, "state": self.state}
+        if self.state == OPEN:
+            return {"admit": False, "probe": False,
+                    "retry_after_s": max(0.0, self.open_until_s - now_s),
+                    "state": self.state}
+        # half-open: a bounded number of deterministic probes
+        if self._probes_launched < self.config.probe_count:
+            self._probes_launched += 1
+            self._probes_pending += 1
+            return {"admit": True, "probe": True,
+                    "retry_after_s": 0.0, "state": self.state}
+        return {"admit": False, "probe": False,
+                "retry_after_s": max(0.0, self._cooldown_s), "state": self.state}
+
+    # -- outcomes ----------------------------------------------------------
+    def record(self, now_s: float, degraded: bool, probe: bool = False) -> None:
+        """Feed one completed query's health signal back into the breaker."""
+        if probe and self.state == HALF_OPEN:
+            self._probes_pending -= 1
+            if degraded:
+                self._probe_failed = True
+            if self._probe_failed:
+                self._cooldown_s = min(self.config.max_cooldown_s,
+                                       self._cooldown_s * 2.0)
+                self.open_until_s = now_s + self._cooldown_s
+                self._transition(now_s, OPEN, "probe degraded")
+            elif self._probes_pending == 0 and \
+                    self._probes_launched >= self.config.probe_count:
+                self._outcomes.clear()
+                self._cooldown_s = self.config.cooldown_s
+                self._transition(now_s, CLOSED, "probes healthy")
+            return
+        self._outcomes.append(degraded)
+        if self.state != CLOSED:
+            return
+        if len(self._outcomes) < self.config.min_samples:
+            return
+        ratio = sum(self._outcomes) / len(self._outcomes)
+        if ratio >= self.config.failure_threshold:
+            self.open_until_s = now_s + self._cooldown_s
+            self._transition(
+                now_s, OPEN,
+                f"degraded ratio {ratio:.2f} over last {len(self._outcomes)}")
+
+    def is_degraded_latency(self, seconds: float) -> bool:
+        """Whether a query's simulated latency counts as a degradation signal."""
+        threshold = self.config.latency_threshold_s
+        return threshold is not None and seconds >= threshold
+
+    # -- plumbing ----------------------------------------------------------
+    def _transition(self, now_s: float, to_state: str, reason: str) -> None:
+        self.transitions.append({
+            "at_s": now_s, "from": self.state, "to": to_state,
+            "reason": reason,
+        })
+        self.state = to_state
+
+    def __repr__(self) -> str:
+        return (f"CircuitBreaker(state={self.state}, "
+                f"transitions={len(self.transitions)})")

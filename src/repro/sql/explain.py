@@ -247,6 +247,36 @@ def _adaptive_section(physical: PhysicalPlan, result) -> List[str]:
     return lines
 
 
+def _serving_section(result) -> List[str]:
+    """The admission-control section for queries that came through the
+    serving front door (:mod:`repro.serving`).
+
+    Empty (section omitted entirely) for directly-executed queries --
+    ``result.serving`` is only stamped by the :class:`QueryServer`, so
+    existing reports are byte-identical without it.  ``queue wait`` here is
+    the same number the server charged to ``serving.queue_wait_s`` and to
+    the client operation deadline (``CostLedger.queued_s``).
+    """
+    serving = getattr(result, "serving", None)
+    if not serving:
+        return []
+    lines = [
+        "",
+        "== Serving ==",
+        f"tenant: {serving.get('tenant', '?')}"
+        + (" (breaker probe)" if serving.get("probe") else ""),
+        f"queue wait: {float(serving.get('wait_s', 0.0)):.4f}s "
+        f"(arrived {float(serving.get('arrival_s', 0.0)):.4f}s, "
+        f"dispatched {float(serving.get('start_s', 0.0)):.4f}s)",
+        f"leased slots: {int(serving.get('slots', 0))}",
+        f"breaker state at dispatch: {serving.get('breaker_state', '?')}",
+    ]
+    total = float(serving.get("wait_s", 0.0)) + result.seconds
+    lines.append(f"end-to-end simulated seconds: {total:.4f} "
+                 f"(wait + execution)")
+    return lines
+
+
 def explain_analyze_report(physical: PhysicalPlan, result) -> str:
     """The full EXPLAIN ANALYZE text for one executed query."""
     sections = [
@@ -260,5 +290,6 @@ def explain_analyze_report(physical: PhysicalPlan, result) -> str:
         *_summary(result),
         *_vectorized_section(result),
         *_adaptive_section(physical, result),
+        *_serving_section(result),
     ]
     return "\n".join(sections)

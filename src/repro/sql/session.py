@@ -51,6 +51,10 @@ class QueryResult:
     #: adaptive re-optimisation decisions (sql.aqe.enabled), in decision
     #: order; empty for non-adaptive runs
     reopt_events: List[Dict[str, object]] = field(default_factory=list)
+    #: front-door admission record stamped by the serving layer (tenant,
+    #: queue wait, breaker state, leased slots); None for direct runs --
+    #: see docs/serving.md and the EXPLAIN ANALYZE serving section
+    serving: Optional[Dict[str, object]] = None
 
     @property
     def shuffle_bytes(self) -> float:
@@ -126,6 +130,22 @@ DEFAULT_CONF: Dict[str, object] = {
     # capped exponential backoff between task retries (simulated seconds)
     "engine.retry.backoff.s": 0.05,
     "engine.retry.backoff.max.s": 2.0,
+    # multi-tenant serving front door (docs/serving.md).  None of these keys
+    # affect a session used directly -- they are only read when a
+    # repro.serving.QueryServer is constructed over the session, which is
+    # itself the opt-in (the direct path stays byte-identical)
+    "serving.enabled": True,
+    "serving.queue.max.depth": 16,          # bounded admission queue
+    "serving.slots.per.query": 2,           # executor slots leased per query
+    "serving.deadline.s": None,             # shed when queue wait eats this
+    "serving.breaker.window": 8,            # sliding outcome window
+    "serving.breaker.min.samples": 4,
+    "serving.breaker.failure.threshold": 0.5,
+    "serving.breaker.cooldown.s": 30.0,     # open -> half-open (simulated)
+    "serving.breaker.max.cooldown.s": 240.0,
+    "serving.breaker.probe.count": 2,       # half-open probe arrivals
+    "serving.breaker.retry.signal": 2,      # hbase.retries that flag degraded
+    "serving.breaker.latency.threshold.s": None,
 }
 
 
@@ -181,10 +201,13 @@ class SparkSession:
     def analyze(self, plan: LogicalPlan) -> LogicalPlan:
         return self._analyzer.analyze(plan)
 
-    def new_scheduler(self, trace=NOOP_SPAN) -> TaskScheduler:
+    def new_scheduler(self, trace=NOOP_SPAN, slots=None,
+                      queued_s: float = 0.0) -> TaskScheduler:
         return TaskScheduler(
             self.cluster, self.cost,
             trace=trace,
+            slots=slots,
+            queued_s=queued_s,
             locality_enabled=bool(self.conf.get("engine.locality.enabled", True)),
             parallel=bool(self.conf.get("engine.parallel.enabled", True)),
             locality_wait_skips=int(self.conf.get("engine.locality.wait.skips", 2)),
@@ -284,7 +307,8 @@ class SparkSession:
             return Span("query", "query")
         return NOOP_SPAN
 
-    def execute_plan(self, plan: LogicalPlan, trace=None) -> QueryResult:
+    def execute_plan(self, plan: LogicalPlan, trace=None, slots=None,
+                     queued_s: float = 0.0) -> QueryResult:
         from repro.sql.logical import InsertIntoTable
 
         if isinstance(plan, InsertIntoTable):
@@ -296,16 +320,25 @@ class SparkSession:
         span = trace.child("plan", "plan", order=(0, 1))
         physical = Planner(self.conf, cache=self.cache_manager).plan_query(optimized)
         span.finish()
-        return self.execute_physical(physical, trace=trace)
+        return self.execute_physical(physical, trace=trace, slots=slots,
+                                     queued_s=queued_s)
 
-    def execute_physical(self, physical, trace=NOOP_SPAN) -> QueryResult:
+    def execute_physical(self, physical, trace=NOOP_SPAN, slots=None,
+                         queued_s: float = 0.0) -> QueryResult:
         """Run an already-planned physical operator tree.
 
         Shared by ``execute_plan`` and ``DataFrame.explain(analyze=True)``,
-        which needs the physical plan object itself to annotate.
+        which needs the physical plan object itself to annotate.  ``slots``
+        restricts execution to a leased subset of the cluster's executor
+        slots and ``queued_s`` is admission-queue wait charged against
+        client operation deadlines -- both set only by the serving front
+        door (:mod:`repro.serving`), and both defaulting to the
+        byte-identical direct path.
         """
         trace = trace if trace is not None else NOOP_SPAN
-        ctx = ExecContext(self.new_scheduler(trace), self.cost, self.conf,
+        ctx = ExecContext(self.new_scheduler(trace, slots=slots,
+                                             queued_s=queued_s),
+                          self.cost, self.conf,
                           trace=trace)
         rdd = physical.execute(ctx)
         job = ctx.run_job(rdd)

@@ -2,12 +2,18 @@
 
 import pytest
 
-from repro.common.errors import RegionOfflineError, TransientRpcError
+from repro.common.errors import (
+    OverloadedError,
+    RegionOfflineError,
+    TransientRpcError,
+)
 from repro.common.faults import (
+    FAULT_ADMISSION,
     FAULT_RPC,
     FaultInjector,
     FaultRule,
     SlowHostEffect,
+    raise_overloaded,
     raise_stale_meta,
 )
 from repro.common.metrics import CostLedger
@@ -106,6 +112,48 @@ def test_custom_action_and_ledger_counter():
     assert ledger.metrics.get("faults.injected") == 1
     assert injector.metrics.get("faults.injected") == 1
     assert injector.metrics.get(f"faults.injected.{FAULT_RPC}") == 1
+
+
+def test_admission_point_defaults_to_overloaded_error():
+    """FAULT_ADMISSION rules without an action shed, not RPC-fail."""
+    injector = FaultInjector(seed=5)
+    injector.inject(FAULT_ADMISSION, rate=1.0, times=1)
+    with pytest.raises(OverloadedError) as err:
+        injector.check(FAULT_ADMISSION, key="tenant-a")
+    assert err.value.reason == "injected"
+    assert err.value.tenant == "tenant-a"
+    assert err.value.retry_after_s == 1.0
+    assert injector.injected(FAULT_ADMISSION) == 1
+    assert injector.metrics.get(f"faults.injected.{FAULT_ADMISSION}") == 1
+
+
+def test_admission_overload_carries_site_retry_after():
+    injector = FaultInjector()
+    injector.inject(FAULT_ADMISSION, rate=1.0, times=1,
+                    action=raise_overloaded)
+    with pytest.raises(OverloadedError) as err:
+        injector.check(FAULT_ADMISSION, key="t", retry_after_s=7.5)
+    assert err.value.retry_after_s == 7.5
+
+
+def test_admission_schedule_is_seeded_and_keyed():
+    """Partial-rate admission faults replay identically for a seed and
+    count invocations per tenant key, like every other fault point."""
+    def schedule(seed):
+        injector = FaultInjector(seed=seed)
+        injector.inject(FAULT_ADMISSION, rate=0.4)
+        fired = []
+        for i in range(30):
+            try:
+                injector.check(FAULT_ADMISSION, key="tenant-a")
+                fired.append(False)
+            except OverloadedError:
+                fired.append(True)
+        return fired
+
+    assert schedule(101) == schedule(101)
+    assert schedule(101) != schedule(202)
+    assert 0 < sum(schedule(101)) < 30
 
 
 def test_slow_host_effect_is_returned_not_raised():

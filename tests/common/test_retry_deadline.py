@@ -1,0 +1,106 @@
+"""Deadline semantics when time is spent queued before the operation runs.
+
+``hbase.client.operation.timeout`` caps *total* simulated seconds -- the
+admission-queue wait charged by the serving front door
+(``CostLedger.queued_s``) plus every attempt and backoff -- so a query that
+burned most of its budget waiting in the bounded queue times out earlier
+than one dispatched immediately.
+"""
+
+import pytest
+
+from repro.common.errors import OperationTimeoutError
+from repro.common.faults import FAULT_RPC, FaultInjector
+from repro.common.metrics import CostLedger
+from repro.common.retry import RetryPolicy
+from repro.hbase import ConnectionFactory, Get, Put
+from repro.hbase.client import Configuration
+
+
+def _seeded_table(cluster, conf=None, rows=4):
+    cluster.create_table("t", ["f"])
+    conf = conf if conf is not None else cluster.configuration()
+    table = ConnectionFactory.create_connection(conf).get_table("t")
+    for i in range(rows):
+        table.put(Put(b"r%03d" % i).add_column("f", "q", b"v%d" % i))
+    return table
+
+
+# -- RetryPolicy boundary --------------------------------------------------
+def test_within_deadline_is_exclusive_at_exactly_deadline():
+    policy = RetryPolicy(deadline_s=2.0)
+    assert policy.within_deadline(1.999999)
+    assert not policy.within_deadline(2.0)  # the boundary: spent == deadline
+    assert not policy.within_deadline(2.000001)
+
+
+def test_within_deadline_unbounded_when_none():
+    assert RetryPolicy(deadline_s=None).within_deadline(float("inf"))
+
+
+def test_ledger_queued_s_defaults_to_zero():
+    # the invariance hinge: a ledger never touched by the front door must
+    # carry no queue charge at all
+    assert CostLedger().queued_s == 0.0
+
+
+# -- queue wait flowing through the client ---------------------------------
+def _faulted_table(cluster, deadline_s):
+    conf = cluster.configuration()
+    conf[Configuration.OPERATION_TIMEOUT] = str(deadline_s)
+    conf[Configuration.RETRIES_NUMBER] = "6"
+    table = _seeded_table(cluster, conf=conf)
+    injector = FaultInjector(seed=1)
+    injector.inject(FAULT_RPC, rate=1.0, times=2)
+    cluster.install_fault_injector(injector)
+    return table
+
+
+def test_retries_fit_the_deadline_without_queue_wait(hbase_cluster):
+    table = _faulted_table(hbase_cluster, deadline_s=5.0)
+    ledger = CostLedger()
+    result = table.get(Get(b"r001"), ledger=ledger)
+    assert result.get_value("f", "q") == b"v1"
+    assert ledger.metrics.get("hbase.retries") == 2
+
+
+def test_queue_wait_eats_the_operation_budget(hbase_cluster):
+    """The same retry schedule times out once queue wait is charged."""
+    table = _faulted_table(hbase_cluster, deadline_s=5.0)
+    ledger = CostLedger()
+    ledger.queued_s = 4.999  # nearly the whole budget spent queued
+    with pytest.raises(OperationTimeoutError):
+        table.get(Get(b"r001"), ledger=ledger)
+    # the aborting check fired before burning the full retry budget
+    assert ledger.metrics.get("hbase.retries") == 0
+
+
+def test_queue_wait_at_exactly_the_deadline_times_out(hbase_cluster):
+    """spent == deadline_s is already over budget (within_deadline is <)."""
+    table = _faulted_table(hbase_cluster, deadline_s=5.0)
+    ledger = CostLedger()
+    ledger.queued_s = 5.0
+    with pytest.raises(OperationTimeoutError):
+        table.get(Get(b"r001"), ledger=ledger)
+
+
+def test_partial_queue_wait_still_leaves_room_to_retry(hbase_cluster):
+    """A modest queue wait shrinks but does not erase the retry budget."""
+    table = _faulted_table(hbase_cluster, deadline_s=5.0)
+    ledger = CostLedger()
+    ledger.queued_s = 1.0
+    result = table.get(Get(b"r001"), ledger=ledger)
+    assert result.get_value("f", "q") == b"v1"
+    assert ledger.metrics.get("hbase.retries") == 2
+
+
+def test_queue_wait_does_not_leak_into_operation_seconds(hbase_cluster):
+    """queued_s participates in the deadline check only: the ledger's
+    charged seconds (and hence query cost accounting) are unchanged."""
+    table = _seeded_table(hbase_cluster)
+    plain, queued = CostLedger(), CostLedger()
+    queued.queued_s = 3.0
+    table.get(Get(b"r001"), ledger=plain)
+    table.get(Get(b"r001"), ledger=queued)
+    assert queued.seconds == pytest.approx(plain.seconds)
+    assert queued.metrics.snapshot() == plain.metrics.snapshot()

@@ -1,0 +1,72 @@
+"""Serving-off invariance: without the front door the simulation is the seed.
+
+The serving subsystem threads ``slots`` and ``queued_s`` parameters through
+the session, scheduler and hbase client, so the load-bearing guarantee is
+that the *plumbing* costs nothing: a query run directly (no ``QueryServer``
+at all) and a query run through a disabled server must both produce cost
+ledgers byte-identical to each other -- every metric, every simulated
+second -- with no ``serving.*`` key leaking into either.
+"""
+
+from repro.serving import QueryServer
+from repro.workloads import load_tpcds
+
+QUERY = ("SELECT ss_item_sk, ss_quantity FROM store_sales "
+         "WHERE ss_quantity > 1")
+
+
+def _run_direct():
+    env = load_tpcds(2, ["store_sales"])
+    session = env.new_session()
+    result = session.sql(QUERY).run()
+    session.shutdown()
+    return result
+
+
+def _run_through_disabled_server():
+    env = load_tpcds(2, ["store_sales"])
+    session = env.new_session()
+    server = QueryServer(session, enabled=False)
+    server.register_tenant("a", weight=3.0, rate=0.1, reserved_slots=2)
+    ticket = server.submit(QUERY, tenant="a")
+    server.drain()
+    session.shutdown()
+    return ticket.result(), server
+
+
+def test_disabled_front_door_is_byte_identical_to_direct():
+    direct = _run_direct()
+    served, server = _run_through_disabled_server()
+
+    assert [tuple(r.values) for r in served.rows] == \
+        [tuple(r.values) for r in direct.rows]
+    assert served.seconds == direct.seconds
+    assert dict(served.metrics.snapshot()) == dict(direct.metrics.snapshot())
+    # the disabled server recorded nothing and stamped nothing
+    assert dict(server.metrics.snapshot()) == {}
+    assert served.serving is None
+    for key in served.metrics.snapshot():
+        assert not key.startswith("serving."), key
+
+
+def test_default_slot_and_queue_parameters_change_nothing():
+    """Passing the serving defaults explicitly equals not passing them --
+    the scheduler/client plumbing has no behavioural residue."""
+    def run(explicit_defaults):
+        env = load_tpcds(2, ["store_sales"])
+        session = env.new_session()
+        if explicit_defaults:
+            result = session.execute_plan(
+                session.sql(QUERY).plan, slots=None, queued_s=0.0)
+        else:
+            result = session.sql(QUERY).run()
+        session.shutdown()
+        return result
+
+    baseline = run(explicit_defaults=False)
+    explicit = run(explicit_defaults=True)
+    assert [tuple(r.values) for r in explicit.rows] == \
+        [tuple(r.values) for r in baseline.rows]
+    assert explicit.seconds == baseline.seconds
+    assert dict(explicit.metrics.snapshot()) == \
+        dict(baseline.metrics.snapshot())

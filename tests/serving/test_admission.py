@@ -1,0 +1,122 @@
+"""TokenBucket and FairQueue: determinism, fairness and bound semantics."""
+
+import pytest
+
+from repro.serving import FairQueue, TokenBucket
+
+
+# -- token bucket ----------------------------------------------------------
+def test_bucket_starts_full_and_allows_burst():
+    bucket = TokenBucket(rate=1.0, burst=3.0)
+    outcomes = [bucket.try_acquire(0.0)[0] for _ in range(4)]
+    assert outcomes == [True, True, True, False]
+
+
+def test_bucket_refills_at_rate():
+    bucket = TokenBucket(rate=2.0, burst=2.0)
+    assert bucket.try_acquire(0.0) == (True, 0.0)
+    assert bucket.try_acquire(0.0) == (True, 0.0)
+    admitted, retry_after = bucket.try_acquire(0.0)
+    assert not admitted
+    assert retry_after == pytest.approx(0.5)  # one token at 2/s
+    # at exactly retry_after the token has accumulated
+    assert bucket.try_acquire(retry_after)[0] is True
+
+
+def test_bucket_retry_after_hint_accounts_for_partial_tokens():
+    bucket = TokenBucket(rate=1.0, burst=1.0)
+    assert bucket.try_acquire(0.0)[0] is True
+    admitted, retry_after = bucket.try_acquire(0.25)
+    assert not admitted
+    # 0.25 tokens already accumulated -> 0.75s until a full one
+    assert retry_after == pytest.approx(0.75)
+
+
+def test_bucket_never_exceeds_burst():
+    bucket = TokenBucket(rate=10.0, burst=2.0)
+    bucket.try_acquire(100.0)  # long idle gap must not bank extra tokens
+    assert bucket.tokens == pytest.approx(1.0)
+
+
+def test_bucket_rejects_non_positive_parameters():
+    with pytest.raises(ValueError):
+        TokenBucket(rate=0.0, burst=1.0)
+    with pytest.raises(ValueError):
+        TokenBucket(rate=1.0, burst=0.0)
+
+
+def test_bucket_schedule_is_deterministic():
+    def schedule():
+        bucket = TokenBucket(rate=1.0, burst=2.0)
+        return [bucket.try_acquire(i * 0.4)[0] for i in range(12)]
+
+    assert schedule() == schedule()
+
+
+# -- fair queue ------------------------------------------------------------
+def _drain_order(queue):
+    order = []
+    while True:
+        item = queue.pop_dispatchable(lambda _: True)
+        if item is None:
+            return order
+        order.append(item)
+
+
+def test_weighted_fairness_interleaves_by_weight():
+    queue = FairQueue(max_depth=16)
+    seq = 0
+    for i in range(4):
+        queue.push("heavy", 2.0, seq, f"h{i}")
+        seq += 1
+    for i in range(4):
+        queue.push("light", 1.0, seq, f"l{i}")
+        seq += 1
+    order = _drain_order(queue)
+    # weight 2 drains two requests per weight-1 request, regardless of the
+    # heavy tenant having enqueued its whole burst first
+    assert order.index("l0") < order.index("h2")
+    assert order[:2] == ["h0", "l0"] or order[0] == "h0"
+    assert order.count("h3") == 1 and len(order) == 8
+
+
+def test_bound_is_enforced_by_caller_via_full():
+    queue = FairQueue(max_depth=2)
+    queue.push("a", 1.0, 0, "x")
+    assert not queue.full
+    queue.push("a", 1.0, 1, "y")
+    assert queue.full
+
+
+def test_pop_dispatchable_skips_blocked_tenants():
+    queue = FairQueue(max_depth=8)
+    queue.push("blocked", 4.0, 0, ("blocked", "q0"))
+    queue.push("free", 1.0, 1, ("free", "q1"))
+    item = queue.pop_dispatchable(lambda it: it[0] == "free")
+    assert item == ("free", "q1")
+    # the skipped entry kept its place and drains next
+    assert queue.pop_dispatchable(lambda _: True) == ("blocked", "q0")
+    assert queue.pop_dispatchable(lambda _: True) is None
+
+
+def test_ties_break_on_sequence_not_insertion_luck():
+    queue = FairQueue(max_depth=8)
+    queue.push("a", 1.0, 5, "later")
+    queue.push("b", 1.0, 2, "earlier")
+    assert _drain_order(queue) == ["earlier", "later"]
+
+
+def test_drain_returns_wfq_order():
+    queue = FairQueue(max_depth=8)
+    for i in range(3):
+        queue.push("t", 1.0, i, i)
+    assert queue.drain() == [0, 1, 2]
+    assert len(queue) == 0
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        FairQueue(max_depth=0)
+    queue = FairQueue(max_depth=2)
+    with pytest.raises(ValueError):
+        queue.push("t", 0.0, 0, "x")

@@ -1,0 +1,130 @@
+"""CircuitBreaker state machine: closed -> open -> half-open, probes,
+doubling cooldown, and deterministic transition records."""
+
+import pytest
+
+from repro.serving import CLOSED, HALF_OPEN, OPEN, BreakerConfig, CircuitBreaker
+
+
+def make(**kwargs):
+    defaults = dict(window=4, min_samples=2, failure_threshold=0.5,
+                    cooldown_s=10.0, max_cooldown_s=40.0, probe_count=2)
+    defaults.update(kwargs)
+    return CircuitBreaker(BreakerConfig(**defaults))
+
+
+def trip(breaker, at_s=0.0):
+    breaker.record(at_s, degraded=True)
+    breaker.record(at_s, degraded=True)
+    assert breaker.state == OPEN
+    return breaker
+
+
+def test_starts_closed_and_admits():
+    breaker = make()
+    decision = breaker.admit(0.0)
+    assert decision == {"admit": True, "probe": False,
+                        "retry_after_s": 0.0, "state": CLOSED}
+
+
+def test_opens_at_failure_threshold_with_min_samples():
+    breaker = make()
+    breaker.record(0.0, degraded=True)
+    assert breaker.state == CLOSED  # one sample is below min_samples
+    breaker.record(0.0, degraded=False)
+    assert breaker.state == OPEN  # ratio exactly at the 0.5 threshold (>=)
+    breaker2 = make(min_samples=3)
+    breaker2.record(0.0, degraded=True)
+    breaker2.record(0.0, degraded=False)
+    assert breaker2.state == CLOSED  # two samples below min_samples=3
+    breaker2.record(0.0, degraded=True)
+    assert breaker2.state == OPEN  # 2/3 degraded over >= min_samples
+
+
+def test_open_sheds_with_remaining_cooldown():
+    breaker = trip(make(), at_s=5.0)
+    decision = breaker.admit(9.0)
+    assert decision["admit"] is False
+    assert decision["retry_after_s"] == pytest.approx(6.0)  # 5 + 10 - 9
+
+
+def test_half_open_admits_exactly_probe_count():
+    breaker = trip(make(probe_count=2))
+    decisions = [breaker.admit(10.0) for _ in range(4)]
+    assert breaker.state == HALF_OPEN
+    assert [d["admit"] for d in decisions] == [True, True, False, False]
+    assert [d["probe"] for d in decisions] == [True, True, False, False]
+
+
+def test_healthy_probes_close_and_reset():
+    breaker = trip(make(probe_count=2))
+    breaker.admit(10.0)
+    breaker.admit(10.0)
+    breaker.record(11.0, degraded=False, probe=True)
+    assert breaker.state == HALF_OPEN  # one probe still pending
+    breaker.record(12.0, degraded=False, probe=True)
+    assert breaker.state == CLOSED
+    # window cleared: one fresh degraded sample must not re-open
+    breaker.record(13.0, degraded=True)
+    assert breaker.state == CLOSED
+
+
+def test_degraded_probe_reopens_with_doubled_cooldown():
+    breaker = trip(make(cooldown_s=10.0, max_cooldown_s=40.0))
+    breaker.admit(10.0)
+    breaker.record(11.0, degraded=True, probe=True)
+    assert breaker.state == OPEN
+    assert breaker.open_until_s == pytest.approx(31.0)  # 11 + doubled 20
+    # next failed probe doubles again, capped at max_cooldown_s
+    breaker.admit(31.0)
+    breaker.record(32.0, degraded=True, probe=True)
+    assert breaker.open_until_s == pytest.approx(72.0)  # 32 + 40 (cap)
+    breaker.admit(72.0)
+    breaker.record(73.0, degraded=True, probe=True)
+    assert breaker.open_until_s == pytest.approx(113.0)  # still capped
+
+
+def test_cooldown_resets_after_recovery():
+    breaker = trip(make(cooldown_s=10.0))
+    breaker.admit(10.0)
+    breaker.record(11.0, degraded=True, probe=True)  # cooldown now 20
+    breaker.admit(31.0)
+    breaker.admit(31.0)
+    breaker.record(32.0, degraded=False, probe=True)
+    breaker.record(32.0, degraded=False, probe=True)
+    assert breaker.state == CLOSED
+    trip(breaker, at_s=50.0)
+    assert breaker.open_until_s == pytest.approx(60.0)  # back to base 10s
+
+
+def test_latency_threshold_signal():
+    breaker = make(latency_threshold_s=2.0)
+    assert breaker.is_degraded_latency(1.99) is False
+    assert breaker.is_degraded_latency(2.0) is True
+    assert make().is_degraded_latency(1e9) is False  # None -> never
+
+
+def test_transitions_are_recorded_in_order():
+    breaker = trip(make())
+    breaker.admit(10.0)
+    breaker.admit(10.0)
+    breaker.record(11.0, degraded=False, probe=True)
+    breaker.record(11.0, degraded=False, probe=True)
+    states = [(t["from"], t["to"]) for t in breaker.transitions]
+    assert states == [(CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED)]
+    assert [t["at_s"] for t in breaker.transitions] == [0.0, 10.0, 11.0]
+    assert all(t["reason"] for t in breaker.transitions)
+
+
+def test_same_outcome_sequence_same_transitions():
+    def run():
+        breaker = make()
+        outcomes = [True, True, False, True, False, False]
+        for i, degraded in enumerate(outcomes):
+            decision = breaker.admit(float(i))
+            if decision["admit"]:
+                breaker.record(float(i) + 0.5, degraded,
+                               probe=decision["probe"])
+        return breaker.transitions
+
+    assert run() == run()

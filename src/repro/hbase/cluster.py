@@ -188,6 +188,12 @@ class HBaseCluster:
     def has_table(self, name: str) -> bool:
         return name in self.active_master.tables
 
+    def set_table_attribute(self, name: str, key: str, value: str) -> None:
+        self.active_master.set_table_attribute(name, key, value)
+
+    def get_table_attribute(self, name: str, key: str) -> Optional[str]:
+        return self.active_master.get_table_attribute(name, key)
+
     def region_locations(self, table_name: str) -> List[RegionLocation]:
         return self.active_master.region_locations(table_name)
 

@@ -22,6 +22,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 TABLES_ZNODE = "/hbase/tables"
 ASSIGN_ZNODE = "/hbase/assignments"
 ELECTION_ZNODE = "/hbase/master-election"
+ATTRS_ZNODE = "/hbase/table-attrs"
 
 
 @dataclass(frozen=True)
@@ -61,6 +62,8 @@ class HMaster:
         self.session_id = cluster.zookeeper.create_session()
         self._candidate_path = cluster.zookeeper.elect(ELECTION_ZNODE, name, self.session_id)
         self.tables: Dict[str, TableDescriptor] = {}
+        #: free-form metadata riding with the schema (e.g. ANALYZE stats)
+        self.table_attributes: Dict[str, Dict[str, str]] = {}
         self.assignments: Dict[str, str] = {}  # region name -> server id
         if self.is_active():
             self._load_state()
@@ -91,11 +94,16 @@ class HMaster:
             self.tables = {n: TableDescriptor.from_json(d) for n, d in raw.items()}
         if zk.exists(ASSIGN_ZNODE):
             self.assignments = dict(zk.get_json(ASSIGN_ZNODE))
+        if zk.exists(ATTRS_ZNODE):
+            self.table_attributes = {
+                n: dict(v) for n, v in zk.get_json(ATTRS_ZNODE).items()
+            }
 
     def _save_state(self) -> None:
         zk = self.cluster.zookeeper
         zk.set_json(TABLES_ZNODE, {n: d.to_json() for n, d in self.tables.items()})
         zk.set_json(ASSIGN_ZNODE, self.assignments)
+        zk.set_json(ATTRS_ZNODE, self.table_attributes)
 
     # -- DDL ------------------------------------------------------------------
     def create_table(
@@ -137,7 +145,25 @@ class HMaster:
                 server.close_region(region_name)
             self.cluster.unregister_region(region_name)
         del self.tables[name]
+        self.table_attributes.pop(name, None)
         self._save_state()
+
+    def set_table_attribute(self, name: str, key: str, value: str) -> None:
+        """Attach one metadata attribute to a table, persisted like schema.
+
+        Survives master failover through the same ZooKeeper znode replay
+        as the table descriptors (the stats catalog rides on this).
+        """
+        self._require_active()
+        if name not in self.tables:
+            raise NoSuchTableError(f"table {name} does not exist")
+        self.table_attributes.setdefault(name, {})[key] = value
+        self._save_state()
+
+    def get_table_attribute(self, name: str, key: str) -> Optional[str]:
+        if name not in self.tables:
+            raise NoSuchTableError(f"table {name} does not exist")
+        return self.table_attributes.get(name, {}).get(key)
 
     def describe_table(self, name: str) -> TableDescriptor:
         descriptor = self.tables.get(name)

@@ -172,6 +172,7 @@ class AdaptiveJoinExec(PhysicalPlan):
         return f"AdaptiveJoin({self.how}, {self.left_keys!r} = {self.right_keys!r})"
 
     def execute(self, ctx: ExecContext) -> RDD:
+        self._record_cbo_estimate(ctx)
         left_stage, right_stage = self.children
         bound_left = [E.bind_expression(k, left_stage.output) for k in self.left_keys]
         bound_right = [E.bind_expression(k, right_stage.output) for k in self.right_keys]

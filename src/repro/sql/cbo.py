@@ -1,0 +1,538 @@
+"""Cost-based optimization: cardinality estimation and join reordering.
+
+Built on the ANALYZE statistics in :mod:`repro.sql.stats` (docs/optimizer.md):
+
+- :class:`CardinalityEstimator` propagates row counts, per-column NDVs and
+  null fractions bottom-up through a logical plan, using the textbook
+  System-R formulas (``1/ndv`` equality selectivity, histogram fractions
+  for ranges, ``|L||R| / max(ndv_l, ndv_r)`` for equi-joins).
+- :func:`reorder_joins` flattens maximal inner-join clusters and re-orders
+  them by estimated cost -- exact left-deep dynamic programming up to
+  ``sql.cbo.joinReorder.dpThreshold`` inputs, greedy smallest-intermediate
+  above it.  Clusters whose inputs lack (or have stale) statistics keep
+  their syntactic order, so un-ANALYZE'd queries behave exactly as before.
+- :func:`semijoin_keep_fraction` is the planner's profitability test for
+  semi-join reduction (:class:`~repro.sql.physical.SemiJoinReducedJoinExec`).
+
+Everything here is gated by ``sql.cbo.enabled``: the optimizer and planner
+only construct an estimator when the flag is on, so the default path never
+touches this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.sql import expressions as E
+from repro.sql import logical as L
+from repro.sql.stats import (
+    Histogram, StatsStore, compute_table_stats, hydrate_relation_stats,
+    stats_key,
+)
+
+#: selectivity guessed for predicates the estimator cannot model
+DEFAULT_SELECTIVITY = 1.0 / 3.0
+#: rows assumed for leaves with no statistics (estimates stay unconfident)
+UNKNOWN_ROWS = float(1 << 30)
+
+_FLIP = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+@dataclass
+class ColumnEstimate:
+    """What the estimator tracks per attribute as it walks the plan."""
+
+    ndv: float
+    null_frac: float = 0.0
+    histogram: Optional[Histogram] = None
+    min_value: Optional[object] = None
+    max_value: Optional[object] = None
+
+    def scaled(self, selectivity: float, rows: float) -> "ColumnEstimate":
+        return ColumnEstimate(
+            max(1.0, min(self.ndv * max(selectivity, 0.0), max(rows, 1.0))),
+            self.null_frac, self.histogram, self.min_value, self.max_value,
+        )
+
+
+@dataclass
+class Estimate:
+    """Cardinality estimate for one plan node."""
+
+    rows: float
+    avg_row_bytes: float
+    cols: Dict[int, ColumnEstimate] = field(default_factory=dict)
+    #: True only when every contributing leaf had fresh ANALYZE statistics
+    confident: bool = False
+
+    @property
+    def bytes(self) -> float:
+        return self.rows * self.avg_row_bytes
+
+
+class CardinalityEstimator:
+    """Bottom-up estimates from the session's :class:`StatsStore`."""
+
+    def __init__(self, store: StatsStore, conf: Dict[str, object],
+                 metrics=None) -> None:
+        self.store = store
+        self.conf = conf
+        self.metrics = metrics
+        self.staleness_ratio = float(conf.get("sql.cbo.staleness.ratio", 2.0))
+
+    def _incr(self, name: str, amount: float = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.incr(name, amount)
+
+    def estimate(self, plan: L.LogicalPlan) -> Estimate:
+        est = self._est(plan)
+        self._incr("sql.cbo.estimates")
+        return est
+
+    # -- node dispatch -------------------------------------------------------
+    def _est(self, node: L.LogicalPlan) -> Estimate:
+        if isinstance(node, L.LogicalRelation):
+            return self._est_relation(node)
+        if isinstance(node, L.LocalRelation):
+            return self._est_local(node)
+        if isinstance(node, L.SubqueryAlias):
+            return self._est(node.children[0])
+        if isinstance(node, L.Filter):
+            return self._est_filter(node)
+        if isinstance(node, L.Project):
+            return self._est_project(node)
+        if isinstance(node, L.Join):
+            return self._est_join(node)
+        if isinstance(node, L.Aggregate):
+            return self._est_aggregate(node)
+        if isinstance(node, L.Distinct):
+            child = self._est(node.children[0])
+            return Estimate(max(1.0, child.rows * 0.5), child.avg_row_bytes,
+                            dict(child.cols), child.confident)
+        if isinstance(node, L.Limit):
+            child = self._est(node.children[0])
+            return Estimate(min(child.rows, float(node.n)), child.avg_row_bytes,
+                            dict(child.cols), child.confident)
+        if isinstance(node, L.Sort):
+            return self._est(node.children[0])
+        if isinstance(node, L.SetOperation):
+            left = self._est(node.children[0])
+            right = self._est(node.children[1])
+            rows = left.rows + right.rows if node.op == "union" \
+                else min(left.rows, right.rows)
+            return Estimate(rows, left.avg_row_bytes, dict(left.cols),
+                            left.confident and right.confident)
+        if len(node.children) == 1:
+            return self._est(node.children[0])
+        return Estimate(UNKNOWN_ROWS, 64.0, {}, False)
+
+    # -- leaves --------------------------------------------------------------
+    def _table_estimate(self, node: L.LogicalPlan, ts) -> Estimate:
+        rows = float(max(ts.row_count, 0))
+        cols: Dict[int, ColumnEstimate] = {}
+        for attr in node.output:
+            cs = ts.columns.get(attr.name)
+            if cs is not None:
+                cols[attr.attr_id] = ColumnEstimate(
+                    float(max(1, cs.ndv)), cs.null_fraction(ts.row_count),
+                    cs.histogram, cs.min_value, cs.max_value,
+                )
+        return Estimate(rows, ts.avg_row_bytes, cols, confident=True)
+
+    def _est_relation(self, node: L.LogicalRelation) -> Estimate:
+        key = stats_key(node)
+        ts = self.store.get(key) if key is not None else None
+        if ts is None and key is not None:
+            ts = hydrate_relation_stats(self.store, key, node)
+        if ts is not None and self._stale(node, ts):
+            ts = None
+        if ts is not None:
+            return self._table_estimate(node, ts)
+        size = node.relation.size_in_bytes()
+        rows = max(1.0, size / 64.0) if size is not None else UNKNOWN_ROWS
+        return Estimate(rows, 64.0, {}, confident=False)
+
+    def _stale(self, node: L.LogicalRelation, ts) -> bool:
+        """Stats whose recorded source size drifted too far are treated as
+        absent (the query then keeps its syntactic plan)."""
+        if ts.source_bytes is None or ts.source_bytes <= 0:
+            return False
+        current = node.relation.size_in_bytes()
+        if current is None:
+            return False
+        ratio = max(1.0, self.staleness_ratio)
+        if current > ts.source_bytes * ratio or current * ratio < ts.source_bytes:
+            self._incr("sql.cbo.stats_stale")
+            return True
+        return False
+
+    def _est_local(self, node: L.LocalRelation) -> Estimate:
+        # driver-local rows are already in memory: exact stats are free and
+        # deterministic, so LocalRelation never needs an ANALYZE
+        key = stats_key(node)
+        ts = self.store.get(key) if key is not None else None
+        if ts is None:
+            ts = compute_table_stats(node.rows, node.local_schema)
+            if key is not None:
+                self.store.put(key, ts)
+        return self._table_estimate(node, ts)
+
+    # -- unary operators -----------------------------------------------------
+    def _est_filter(self, node: L.Filter) -> Estimate:
+        child = self._est(node.children[0])
+        cols = dict(child.cols)
+        selectivity = 1.0
+        for conjunct in E.split_conjuncts(node.condition):
+            selectivity *= self._selectivity(conjunct, cols)
+        rows = child.rows * selectivity
+        scaled = {aid: ce.scaled(selectivity, rows) for aid, ce in cols.items()}
+        return Estimate(rows, child.avg_row_bytes, scaled, child.confident)
+
+    def _est_project(self, node: L.Project) -> Estimate:
+        child = self._est(node.children[0])
+        cols: Dict[int, ColumnEstimate] = {}
+        for item in node.project_list:
+            if isinstance(item, E.Attribute):
+                ce = child.cols.get(item.attr_id)
+                if ce is not None:
+                    cols[item.attr_id] = ce
+            elif isinstance(item, E.Alias) and isinstance(item.child, E.Attribute):
+                ce = child.cols.get(item.child.attr_id)
+                if ce is not None:
+                    cols[item.attr_id] = ce
+        width_ratio = max(1, len(node.output)) / max(1, len(node.children[0].output))
+        avg = max(1.0, child.avg_row_bytes * min(1.0, width_ratio))
+        return Estimate(child.rows, avg, cols, child.confident)
+
+    def _est_aggregate(self, node: L.Aggregate) -> Estimate:
+        child = self._est(node.children[0])
+        if not node.groupings:
+            return Estimate(1.0, 16.0 * max(1, len(node.output)), {}, child.confident)
+        groups = 1.0
+        cols: Dict[int, ColumnEstimate] = {}
+        for g in node.groupings:
+            if isinstance(g, E.Attribute) and g.attr_id in child.cols:
+                ce = child.cols[g.attr_id]
+                groups *= ce.ndv
+                cols[g.attr_id] = ce
+            else:
+                groups *= max(1.0, child.rows ** 0.5)
+        rows = max(1.0, min(child.rows, groups))
+        return Estimate(rows, 16.0 * max(1, len(node.output)), cols,
+                        child.confident)
+
+    # -- joins ---------------------------------------------------------------
+    def _est_join(self, node: L.Join) -> Estimate:
+        from repro.sql.planner import _extract_equi_keys
+
+        left = self._est(node.left)
+        right = self._est(node.right)
+        confident = left.confident and right.confident
+        if node.how == "cross" or node.condition is None:
+            return Estimate(left.rows * right.rows,
+                            left.avg_row_bytes + right.avg_row_bytes,
+                            {**left.cols, **right.cols}, confident)
+        left_ids = {a.attr_id for a in node.left.output}
+        right_ids = {a.attr_id for a in node.right.output}
+        left_keys, right_keys, residual = _extract_equi_keys(
+            node.condition, left_ids, right_ids
+        )
+        selectivity, keep = 1.0, 1.0
+        cols = {**left.cols, **right.cols}
+        for a, b in zip(left_keys, right_keys):
+            ndv_l = self._key_ndv(a, left.cols)
+            ndv_r = self._key_ndv(b, right.cols)
+            if ndv_l is not None and ndv_r is not None:
+                selectivity *= 1.0 / max(ndv_l, ndv_r, 1.0)
+                keep *= min(1.0, ndv_r / max(ndv_l, 1.0))
+                overlap = min(ndv_l, ndv_r)
+                for key in (a, b):
+                    if isinstance(key, E.Attribute) and key.attr_id in cols:
+                        ce = cols[key.attr_id]
+                        cols[key.attr_id] = ColumnEstimate(
+                            max(1.0, overlap), 0.0, ce.histogram,
+                            ce.min_value, ce.max_value,
+                        )
+            else:
+                selectivity *= 1.0 / max(1.0, min(left.rows, right.rows) ** 0.5)
+                keep *= 0.7
+        if residual is not None:
+            selectivity *= DEFAULT_SELECTIVITY ** len(E.split_conjuncts(residual))
+            keep *= DEFAULT_SELECTIVITY
+        inner_rows = left.rows * right.rows * selectivity
+        if node.how == "inner":
+            rows, avg = inner_rows, left.avg_row_bytes + right.avg_row_bytes
+        elif node.how == "left":
+            rows = max(inner_rows, left.rows)
+            avg = left.avg_row_bytes + right.avg_row_bytes
+        elif node.how == "semi":
+            rows, avg, cols = left.rows * keep, left.avg_row_bytes, dict(left.cols)
+        else:  # anti
+            rows = max(0.0, left.rows * (1.0 - keep))
+            avg, cols = left.avg_row_bytes, dict(left.cols)
+        return Estimate(rows, avg, cols, confident)
+
+    @staticmethod
+    def _key_ndv(key: E.Expression, cols: Dict[int, ColumnEstimate]) -> Optional[float]:
+        if isinstance(key, E.Attribute):
+            ce = cols.get(key.attr_id)
+            return ce.ndv if ce is not None else None
+        return None
+
+    # -- predicate selectivity -----------------------------------------------
+    def _selectivity(self, expr: E.Expression,
+                     cols: Dict[int, ColumnEstimate]) -> float:
+        if isinstance(expr, E.And):
+            return (self._selectivity(expr.children[0], cols)
+                    * self._selectivity(expr.children[1], cols))
+        if isinstance(expr, E.Or):
+            a = self._selectivity(expr.children[0], cols)
+            b = self._selectivity(expr.children[1], cols)
+            return min(1.0, a + b - a * b)
+        if isinstance(expr, E.Not):
+            return max(0.0, 1.0 - self._selectivity(expr.children[0], cols))
+        if isinstance(expr, E.IsNull) and isinstance(expr.children[0], E.Attribute):
+            ce = cols.get(expr.children[0].attr_id)
+            return ce.null_frac if ce is not None else DEFAULT_SELECTIVITY
+        if isinstance(expr, E.IsNotNull) and isinstance(expr.children[0], E.Attribute):
+            ce = cols.get(expr.children[0].attr_id)
+            return 1.0 - ce.null_frac if ce is not None else 1.0
+        if isinstance(expr, E.In) and isinstance(expr.value, E.Attribute):
+            ce = cols.get(expr.value.attr_id)
+            if ce is not None and all(isinstance(o, E.Literal) for o in expr.options):
+                return min(1.0, len(expr.options) / max(ce.ndv, 1.0))
+            return DEFAULT_SELECTIVITY
+        if isinstance(expr, E.Comparison):
+            oriented = self._orient(expr)
+            if oriented is not None:
+                attr, value, op = oriented
+                ce = cols.get(attr.attr_id)
+                if ce is not None:
+                    return self._comparison_selectivity(ce, value, op)
+        return DEFAULT_SELECTIVITY
+
+    @staticmethod
+    def _orient(expr: E.Comparison) -> Optional[Tuple[E.Attribute, object, str]]:
+        a, b = expr.children
+        if isinstance(a, E.Attribute) and isinstance(b, E.Literal):
+            return a, b.value, expr.op
+        if isinstance(b, E.Attribute) and isinstance(a, E.Literal):
+            return b, a.value, _FLIP[expr.op]
+        return None
+
+    @staticmethod
+    def _comparison_selectivity(ce: ColumnEstimate, value: object, op: str) -> float:
+        non_null = max(0.0, 1.0 - ce.null_frac)
+        if value is None:
+            return 0.0
+        if op == "=":
+            return non_null / max(ce.ndv, 1.0)
+        if op == "!=":
+            return non_null * (1.0 - 1.0 / max(ce.ndv, 1.0))
+        try:
+            if ce.histogram is not None:
+                leq = ce.histogram.fraction_leq(value, inclusive=op in ("<=", ">"))
+                frac = leq if op in ("<", "<=") else 1.0 - leq
+                return non_null * min(1.0, max(0.0, frac))
+            if isinstance(value, (int, float)) \
+                    and isinstance(ce.min_value, (int, float)) \
+                    and isinstance(ce.max_value, (int, float)) \
+                    and ce.max_value > ce.min_value:
+                frac = (value - ce.min_value) / (ce.max_value - ce.min_value)
+                frac = min(1.0, max(0.0, frac))
+                return non_null * (frac if op in ("<", "<=") else 1.0 - frac)
+        except TypeError:
+            pass
+        return DEFAULT_SELECTIVITY
+
+
+# -- join reordering ---------------------------------------------------------
+
+def reorder_joins(plan: L.LogicalPlan, store: StatsStore,
+                  conf: Dict[str, object], metrics=None) -> L.LogicalPlan:
+    """Re-order maximal inner-join clusters by estimated cost.
+
+    Each reordered cluster is rebuilt left-deep and wrapped in a Project
+    restoring the original column order, so downstream operators (and the
+    query's answer) are unaffected.  Clusters with any unconfident input
+    estimate are left in syntactic order (``sql.cbo.reorders_rejected``).
+    """
+    estimator = CardinalityEstimator(store, conf, metrics)
+    dp_threshold = int(conf.get("sql.cbo.joinReorder.dpThreshold", 6))
+
+    def transform(node: L.LogicalPlan) -> L.LogicalPlan:
+        if isinstance(node, L.Join) and node.how == "inner":
+            inputs, conjuncts = _flatten_inner(node)
+            if len(inputs) >= 3:
+                new_inputs = [transform(i) for i in inputs]
+                replaced = _try_reorder(node, new_inputs, conjuncts,
+                                        estimator, dp_threshold, metrics)
+                if replaced is not None:
+                    return replaced
+                if all(n is o for n, o in zip(new_inputs, inputs)):
+                    return node
+                mapping = {id(o): n for o, n in zip(inputs, new_inputs)}
+                return _rebuild(node, mapping)
+        children = [transform(c) for c in node.children]
+        if all(c is o for c, o in zip(children, node.children)):
+            return node
+        return node.with_new_children(children)
+
+    return transform(plan)
+
+
+def _flatten_inner(node: L.LogicalPlan) -> Tuple[List[L.LogicalPlan], List[E.Expression]]:
+    """Collect the inputs and conjuncts of a maximal inner-join tree."""
+    if isinstance(node, L.Join) and node.how == "inner":
+        left_in, left_conj = _flatten_inner(node.left)
+        right_in, right_conj = _flatten_inner(node.right)
+        own = E.split_conjuncts(node.condition) if node.condition is not None else []
+        return left_in + right_in, left_conj + right_conj + own
+    return [node], []
+
+
+def _rebuild(node: L.LogicalPlan, mapping: Dict[int, L.LogicalPlan]) -> L.LogicalPlan:
+    """The original join-tree shape over transformed inputs."""
+    if isinstance(node, L.Join) and node.how == "inner":
+        return L.Join(_rebuild(node.left, mapping), _rebuild(node.right, mapping),
+                      "inner", node.condition)
+    return mapping[id(node)]
+
+
+def _try_reorder(node: L.Join, inputs: List[L.LogicalPlan],
+                 conjuncts: List[E.Expression],
+                 estimator: CardinalityEstimator, dp_threshold: int,
+                 metrics) -> Optional[L.LogicalPlan]:
+    ests = [estimator.estimate(i) for i in inputs]
+    if not all(e.confident for e in ests):
+        if metrics is not None:
+            metrics.incr("sql.cbo.reorders_rejected", 1)
+        return None
+    n = len(inputs)
+    rows = [max(e.rows, 1.0) for e in ests]
+
+    attr_to_input: Dict[int, int] = {}
+    for i, inp in enumerate(inputs):
+        for a in inp.output:
+            attr_to_input[a.attr_id] = i
+
+    conj_inputs: List[frozenset] = []
+    conj_sel: List[float] = []
+    for conjunct in conjuncts:
+        refs = conjunct.references()
+        idxs = {attr_to_input[r] for r in refs if r in attr_to_input}
+        if not idxs or any(r not in attr_to_input for r in refs):
+            idxs = set(range(n))  # defensive: only applicable at the very top
+        conj_inputs.append(frozenset(idxs))
+        conj_sel.append(_conjunct_selectivity(conjunct, ests, attr_to_input))
+
+    def extend(state: Tuple[float, float, Tuple[int, ...], frozenset], j: int):
+        cost, state_rows, order, used = state
+        members = set(order) | {j}
+        applicable = frozenset(
+            c for c in range(len(conjuncts))
+            if c not in used and conj_inputs[c] <= members
+        )
+        sel = 1.0
+        for c in applicable:
+            sel *= conj_sel[c]
+        new_rows = state_rows * rows[j] * sel
+        new_cost = cost + state_rows + rows[j] + new_rows
+        return new_cost, new_rows, order + (j,), used | applicable
+
+    if n <= dp_threshold:
+        order = _dp_order(n, rows, extend)
+    else:
+        order = _greedy_order(n, rows, extend)
+
+    if list(order) == list(range(n)):
+        return None  # the syntactic order was already the cheapest
+
+    # build the left-deep tree along `order`, attaching each conjunct at the
+    # first join where all its inputs are available
+    current = inputs[order[0]]
+    state = (0.0, rows[order[0]], (order[0],), frozenset())
+    for j in order[1:]:
+        prev_used = state[3]
+        state = extend(state, j)
+        newly = state[3] - prev_used
+        cond = E.combine_conjuncts([conjuncts[c] for c in sorted(newly)])
+        current = L.Join(current, inputs[j], "inner", cond)
+    leftover = [conjuncts[c] for c in range(len(conjuncts)) if c not in state[3]]
+    if leftover:
+        current = L.Filter(E.combine_conjuncts(leftover), current)
+    if metrics is not None:
+        metrics.incr("sql.cbo.reorders_applied", 1)
+    return L.Project(list(node.output), current)
+
+
+def _conjunct_selectivity(conjunct: E.Expression, ests: List[Estimate],
+                          attr_to_input: Dict[int, int]) -> float:
+    """Selectivity of one join conjunct for the reorder search."""
+    if isinstance(conjunct, E.Comparison) and conjunct.op == "=":
+        a, b = conjunct.children
+        if isinstance(a, E.Attribute) and isinstance(b, E.Attribute):
+            ndvs = []
+            for attr in (a, b):
+                idx = attr_to_input.get(attr.attr_id)
+                ce = ests[idx].cols.get(attr.attr_id) if idx is not None else None
+                if ce is None:
+                    return DEFAULT_SELECTIVITY
+                ndvs.append(ce.ndv)
+            return 1.0 / max(max(ndvs), 1.0)
+    return DEFAULT_SELECTIVITY
+
+
+def _dp_order(n: int, rows: List[float], extend) -> Tuple[int, ...]:
+    """Exact left-deep join order by DP over input subsets."""
+    best: Dict[int, Tuple[float, float, Tuple[int, ...], frozenset]] = {}
+    for i in range(n):
+        best[1 << i] = (0.0, rows[i], (i,), frozenset())
+    for mask in range(1, 1 << n):
+        if mask not in best or bin(mask).count("1") == n:
+            continue
+        for j in range(n):
+            bit = 1 << j
+            if mask & bit:
+                continue
+            candidate = extend(best[mask], j)
+            new_mask = mask | bit
+            incumbent = best.get(new_mask)
+            # deterministic tie-break on the order tuple itself
+            if incumbent is None or (candidate[0], candidate[2]) < \
+                    (incumbent[0], incumbent[2]):
+                best[new_mask] = candidate
+    return best[(1 << n) - 1][2]
+
+
+def _greedy_order(n: int, rows: List[float], extend) -> Tuple[int, ...]:
+    """Smallest-intermediate-first greedy order for wide join sets."""
+    start = min(range(n), key=lambda i: (rows[i], i))
+    state = (0.0, rows[start], (start,), frozenset())
+    remaining = set(range(n)) - {start}
+    while remaining:
+        choice = min(remaining, key=lambda j: (extend(state, j)[1], j))
+        state = extend(state, choice)
+        remaining.discard(choice)
+    return state[2]
+
+
+# -- semi-join reduction profitability --------------------------------------
+
+def semijoin_keep_fraction(est_left: Estimate, est_right: Estimate,
+                           left_keys: Sequence[E.Expression],
+                           right_keys: Sequence[E.Expression]) -> Optional[float]:
+    """Expected fraction of probe rows surviving a build-key pre-filter.
+
+    ``None`` when any key column lacks NDV statistics -- the planner then
+    skips the reduction rather than guessing.
+    """
+    keep = 1.0
+    for a, b in zip(left_keys, right_keys):
+        ndv_l = CardinalityEstimator._key_ndv(a, est_left.cols)
+        ndv_r = CardinalityEstimator._key_ndv(b, est_right.cols)
+        if ndv_l is None or ndv_r is None:
+            return None
+        keep *= min(1.0, ndv_r / max(ndv_l, 1.0))
+    return keep

@@ -28,9 +28,13 @@ ColumnLike = Union[str, Column]
 class DataFrame:
     """An analyzed logical plan bound to a session."""
 
-    def __init__(self, session: "SparkSession", plan: L.LogicalPlan) -> None:
+    def __init__(self, session: "SparkSession", plan: L.LogicalPlan,
+                 pending_metrics=None) -> None:
         self.session = session
         self.plan = session.analyze(plan)
+        # counters charged while *building* this frame (ANALYZE TABLE's
+        # collection scan) that must surface on the result it returns
+        self._pending_metrics = pending_metrics
 
     # -- schema ----------------------------------------------------------------
     @property
@@ -204,7 +208,10 @@ class DataFrame:
     # -- actions -----------------------------------------------------------------
     def run(self) -> "QueryResult":
         """Execute and return rows *plus* simulated time and metrics."""
-        return self.session.execute_plan(self.plan)
+        result = self.session.execute_plan(self.plan)
+        if self._pending_metrics is not None:
+            result.metrics.merge(self._pending_metrics)
+        return result
 
     def collect(self) -> List[Row]:
         return self.run().rows
@@ -243,12 +250,18 @@ class DataFrame:
         see docs/observability.md.  The executed ``QueryResult`` is kept
         on ``self.last_analyzed`` for callers that want the trace object.
         """
+        from repro.common.metrics import MetricsRegistry
         from repro.sql.optimizer import optimize
         from repro.sql.planner import Planner
 
-        optimized = optimize(self.plan)
+        stats = self.session.cbo_stats()
+        plan_metrics = MetricsRegistry() if stats is not None else None
+        optimized = optimize(self.plan, conf=self.session.conf,
+                             stats=stats, metrics=plan_metrics)
         physical = Planner(self.session.conf,
-                           cache=self.session.cache_manager).plan_query(optimized)
+                           cache=self.session.cache_manager,
+                           stats=stats,
+                           metrics=plan_metrics).plan_query(optimized)
         if not analyze:
             return (
                 "== Optimized Logical Plan ==\n" + optimized.pretty()
@@ -258,7 +271,8 @@ class DataFrame:
         from repro.sql.explain import explain_analyze_report
 
         trace = Span("query", "query")
-        result = self.session.execute_physical(physical, trace=trace)
+        result = self.session.execute_physical(physical, trace=trace,
+                                               extra_metrics=plan_metrics)
         self.last_analyzed = result
         return (
             "== Optimized Logical Plan ==\n" + optimized.pretty()

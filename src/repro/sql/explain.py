@@ -81,11 +81,33 @@ def operator_annotations(physical: PhysicalPlan, result) -> Dict[int, List[str]]
                     f"filters: pushed={stats['filters_pushed']} "
                     f"residual={stats['filters_residual']}"
                 )
-            if "rows_out" in stats:
+            if "filters_runtime" in stats:
                 notes.append(
-                    f"join: rows_out={int(stats['rows_out'])} "
-                    f"({_fmt_bytes(stats.get('bytes_out', 0))})"
+                    f"runtime filters: {int(stats['filters_runtime'])} "
+                    f"(semi-join build keys)"
                 )
+            if "rows_out" in stats:
+                actual = int(stats["rows_out"])
+                line = f"join: rows_out={actual} " \
+                       f"({_fmt_bytes(stats.get('bytes_out', 0))})"
+                if "cbo_rows" in stats:
+                    est = float(stats["cbo_rows"])
+                    err = actual / est if est > 0 else float("inf")
+                    line += f", est={est:.0f} (x{err:.2f} actual/est)"
+                notes.append(line)
+            elif "cbo_rows" in stats:
+                notes.append(f"cbo: est rows={float(stats['cbo_rows']):.0f}")
+            if "semijoin_keys" in stats:
+                pruned = int(stats.get("semijoin_rows_in", 0)) \
+                    - int(stats.get("semijoin_rows_kept", 0))
+                notes.append(
+                    f"semi-join reduction: {int(stats['semijoin_keys'])} build "
+                    f"keys, probe {int(stats.get('semijoin_rows_in', 0))} -> "
+                    f"{int(stats.get('semijoin_rows_kept', 0))} rows "
+                    f"({pruned} pruned)"
+                )
+            elif "semijoin" in stats:
+                notes.append(f"semi-join reduction: {stats['semijoin']}")
             if "final_strategy" in stats:
                 notes.append(
                     f"aqe: {stats.get('initial_strategy', '?')} -> "
@@ -247,6 +269,58 @@ def _adaptive_section(physical: PhysicalPlan, result) -> List[str]:
     return lines
 
 
+def _cbo_section(physical: PhysicalPlan, result) -> List[str]:
+    """The cost-based-optimizer section: what the stats-driven planner did.
+
+    Empty (section omitted entirely) unless ``sql.cbo.enabled`` produced at
+    least one estimate, so default-path reports are byte-identical.  The
+    per-operator ``est=`` join annotations elaborate the same run; the
+    estimation-error lines here make mis-estimates visible at a glance.
+    """
+    m = result.metrics
+    counters = {
+        name: m.get(name)
+        for name in (
+            "sql.cbo.estimates", "sql.cbo.stats_stale",
+            "sql.cbo.reorders_applied", "sql.cbo.reorders_rejected",
+            "sql.cbo.semijoins_applied", "sql.cbo.semijoins_rejected",
+            "sql.cbo.semijoin.keys", "sql.cbo.semijoin.rows_pruned",
+            "sql.cbo.aqe_priors_used",
+        )
+    }
+    if not any(counters.values()):
+        return []
+    lines = [
+        "",
+        "== Cost-Based Optimization ==",
+        f"estimates: {int(counters['sql.cbo.estimates'])} "
+        f"(stale stats skipped: {int(counters['sql.cbo.stats_stale'])})",
+        f"join reorders: applied={int(counters['sql.cbo.reorders_applied'])} "
+        f"rejected={int(counters['sql.cbo.reorders_rejected'])}",
+        f"semi-join reductions: "
+        f"applied={int(counters['sql.cbo.semijoins_applied'])} "
+        f"rejected={int(counters['sql.cbo.semijoins_rejected'])}; "
+        f"{int(counters['sql.cbo.semijoin.keys'])} build keys broadcast, "
+        f"{int(counters['sql.cbo.semijoin.rows_pruned'])} probe rows pruned",
+    ]
+    if counters["sql.cbo.aqe_priors_used"]:
+        lines.append(
+            f"aqe priors: {int(counters['sql.cbo.aqe_priors_used'])} join "
+            f"strategies settled from statistics (no stage barrier)"
+        )
+    for op in physical.walk():
+        stats = result.operator_stats.get(op.op_id) or {}
+        if "cbo_rows" in stats and "rows_out" in stats:
+            est = float(stats["cbo_rows"])
+            actual = int(stats["rows_out"])
+            err = actual / est if est > 0 else float("inf")
+            lines.append(
+                f"  op {op.op_id}: est {est:.0f} rows, actual {actual} "
+                f"(x{err:.2f})"
+            )
+    return lines
+
+
 def _serving_section(result) -> List[str]:
     """The admission-control section for queries that came through the
     serving front door (:mod:`repro.serving`).
@@ -290,6 +364,7 @@ def explain_analyze_report(physical: PhysicalPlan, result) -> str:
         *_summary(result),
         *_vectorized_section(result),
         *_adaptive_section(physical, result),
+        *_cbo_section(physical, result),
         *_serving_section(result),
     ]
     return "\n".join(sections)

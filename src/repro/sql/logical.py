@@ -377,6 +377,20 @@ class DropView(LogicalPlan):
         return self
 
 
+class AnalyzeTable(LogicalPlan):
+    """``ANALYZE TABLE <name> COMPUTE STATISTICS``: collect catalog stats."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    @property
+    def output(self) -> List[E.Attribute]:
+        return []
+
+    def with_new_children(self, children: Sequence[LogicalPlan]) -> "AnalyzeTable":
+        return self
+
+
 class ExplainStatement(LogicalPlan):
     """``EXPLAIN <query>``: renders the plans instead of running the query."""
 

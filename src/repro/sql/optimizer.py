@@ -20,13 +20,26 @@ from repro.sql import expressions as E
 from repro.sql import logical as L
 
 
-def optimize(plan: L.LogicalPlan) -> L.LogicalPlan:
-    """Run the full rule pipeline to (practical) fixpoint."""
+def optimize(plan: L.LogicalPlan, conf: Optional[Dict[str, object]] = None,
+             stats=None, metrics=None) -> L.LogicalPlan:
+    """Run the full rule pipeline to (practical) fixpoint.
+
+    With ``sql.cbo.enabled`` and a stats store, the cost-based join-reorder
+    rule (:func:`repro.sql.cbo.reorder_joins`) runs after predicate pushdown
+    -- so its input cardinalities see pushed filters -- and before column
+    pruning, which then minimises the reordered tree's projections.
+    """
     plan = eliminate_subquery_aliases(plan)
     for __ in range(3):
         plan = combine_filters(plan)
         plan = push_down_predicates(plan)
         plan = constant_folding(plan)
+    if stats is not None and conf is not None \
+            and bool(conf.get("sql.cbo.enabled", False)):
+        from repro.sql.cbo import reorder_joins
+
+        plan = reorder_joins(plan, stats, conf, metrics)
+        plan = push_down_predicates(plan)
     plan = prune_columns(plan)
     plan = combine_filters(plan)
     return plan

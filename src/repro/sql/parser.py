@@ -36,7 +36,7 @@ KEYWORDS = {
     "and", "or", "not", "in", "like", "between", "is", "null", "case", "when",
     "then", "else", "end", "cast", "union", "intersect", "all", "asc", "desc",
     "true", "false", "insert", "into", "overwrite", "values", "table", "explain", "exists",
-    "show", "tables", "drop", "view",
+    "show", "tables", "drop", "view", "analyze", "compute", "statistics",
 }
 
 
@@ -130,6 +130,12 @@ class Parser:
         if self._accept_keyword("drop"):
             self._expect_keyword("view")
             return L.DropView(self._expect_ident())
+        if self._accept_keyword("analyze"):
+            self._expect_keyword("table")
+            name = self._expect_ident()
+            self._expect_keyword("compute")
+            self._expect_keyword("statistics")
+            return L.AnalyzeTable(name)
         if self._accept_keyword("explain"):
             inner = self.parse_query()
             return L.ExplainStatement(inner)

@@ -184,6 +184,14 @@ class PhysicalPlan:
     def describe(self) -> str:
         return type(self).__name__
 
+    def _record_cbo_estimate(self, ctx: ExecContext) -> None:
+        """Surface the planner's row estimate (``cbo_rows``, stamped only
+        under ``sql.cbo.enabled``) so EXPLAIN ANALYZE can print estimated
+        vs. actual cardinality per join."""
+        estimate = getattr(self, "cbo_rows", None)
+        if estimate is not None:
+            ctx.record_operator(self, cbo_rows=estimate)
+
 
 def _cpu_charged(rows: Iterable[tuple], ctx_task, per_row: float) -> Iterable[tuple]:
     count = 0
@@ -216,6 +224,10 @@ class DataSourceScanExec(PhysicalPlan):
         self.handled_filters = (list(handled_filters)
                                 if handled_filters is not None
                                 else list(pushed_filters))
+        #: best-effort source filters injected after planning (the semi-join
+        #: reduction's build-key IN list); advisory only -- exactness is
+        #: enforced engine-side by whoever injected them
+        self.runtime_filters: List[SourceFilter] = []
 
     def execute_source(self, ctx: ExecContext) -> RDD:
         """Build the relation scan and record its stats -- residual not applied.
@@ -230,7 +242,9 @@ class DataSourceScanExec(PhysicalPlan):
             f"scan-plan:{self.relation_name or type(self.relation).__name__}",
             "scan-plan", order=(1, self.op_id), op=self.op_id,
         )
-        rdd = self.relation.build_scan(required, self.pushed_filters)
+        offered = (self.pushed_filters + self.runtime_filters
+                   if self.runtime_filters else self.pushed_filters)
+        rdd = self.relation.build_scan(required, offered)
         #: stamp the scan operator onto the RDD so the scheduler can
         #: attribute downstream stages (and their locality) back to this
         #: plan node -- see TaskScheduler._stage_scope
@@ -242,6 +256,8 @@ class DataSourceScanExec(PhysicalPlan):
             "filters_pushed": len(self.handled_filters),
             "filters_residual": residual_count,
         }
+        if self.runtime_filters:
+            stats["filters_runtime"] = len(self.runtime_filters)
         # counters never charge simulated seconds, so cost totals are
         # unchanged whether or not anyone is looking
         ctx.metrics.incr("shc.filters_pushed", len(self.handled_filters))
@@ -763,6 +779,7 @@ class ShuffledHashJoinExec(PhysicalPlan):
         self.residual = residual
 
     def execute(self, ctx: ExecContext) -> RDD:
+        self._record_cbo_estimate(ctx)
         left, right = self.children
         bound_left = [E.bind_expression(k, left.output) for k in self.left_keys]
         bound_right = [E.bind_expression(k, right.output) for k in self.right_keys]
@@ -840,6 +857,7 @@ class BroadcastHashJoinExec(PhysicalPlan):
         return table
 
     def execute(self, ctx: ExecContext) -> RDD:
+        self._record_cbo_estimate(ctx)
         left, right = self.children
         bound_left = [E.bind_expression(k, left.output) for k in self.left_keys]
         left_width, right_width = len(left.output), len(right.output)
@@ -864,6 +882,159 @@ class BroadcastHashJoinExec(PhysicalPlan):
 
     def describe(self) -> str:
         return f"BroadcastHashJoin({self.how}, {self.left_keys!r} = {self.right_keys!r})"
+
+
+class SemiJoinReducedJoinExec(ShuffledHashJoinExec):
+    """Shuffled equi-join with a semi-join reduction on the probe side.
+
+    Chosen by the cost-based planner (docs/optimizer.md) when statistics say
+    the build side is small and its join keys prune most probe rows.  The
+    build side runs once as a driver sub-job; its distinct key tuples are
+    broadcast (charged like a broadcast build) and applied in three places:
+
+    1. as best-effort ``In`` source filters on the probe's scan -- for an
+       HBase row-key column this prunes whole regions before any I/O;
+    2. as an exact engine-side membership pre-filter, so rows the source
+       could not eliminate never enter the shuffle;
+    3. the already-collected build rows re-enter the join as a driver-local
+       collection, so the build side is neither scanned nor shuffled twice.
+
+    If the build yields more than ``max_keys`` distinct tuples the reduction
+    aborts at runtime (``sql.cbo.semijoins_rejected``) and the operator
+    degrades to the plain shuffled join it subclasses.
+    """
+
+    def __init__(self, left: PhysicalPlan, right: PhysicalPlan,
+                 left_keys: Sequence[E.Expression], right_keys: Sequence[E.Expression],
+                 how: str, residual: Optional[E.Expression],
+                 max_keys: int = 16384) -> None:
+        super().__init__(left, right, left_keys, right_keys, how, residual)
+        self.max_keys = max_keys
+
+    def execute(self, ctx: ExecContext) -> RDD:
+        self._record_cbo_estimate(ctx)
+        left, right = self.children
+        bound_left = [E.bind_expression(k, left.output) for k in self.left_keys]
+        bound_right = [E.bind_expression(k, right.output) for k in self.right_keys]
+        per_row = ctx.cost.row_cpu_s
+
+        # collect the (small) build side once at the driver
+        build_rows = list(ctx.run_job(right.execute(ctx)).rows())
+        keys = set()
+        for row in build_rows:
+            key = tuple(k.eval(row) for k in bound_right)
+            if None not in key:
+                keys.add(key)
+
+        if len(keys) > self.max_keys:
+            # runtime abort: stats undercounted the build's distinct keys
+            ctx.metrics.incr("sql.cbo.semijoins_rejected", 1)
+            ctx.record_operator(
+                self, semijoin=f"aborted ({len(keys)} keys > max {self.max_keys})"
+            )
+            probe = left.execute(ctx)
+        else:
+            ctx.metrics.incr("sql.cbo.semijoin.keys", len(keys))
+            ctx.record_operator(self, semijoin_keys=len(keys))
+            key_bytes = sum(estimate_size(k) for k in keys)
+            executors = len(ctx.scheduler.cluster.executors)
+            ctx.charge_driver(
+                key_bytes * executors / ctx.cost.network_bytes_per_sec,
+                "engine.broadcast_bytes", key_bytes * executors,
+            )
+            pushed = self._push_runtime_filters(left, keys)
+            if pushed:
+                ctx.record_operator(self, semijoin_scan_filters=pushed)
+            probe = left.execute(ctx).map_partitions(
+                self._make_prefilter(ctx, bound_left, keys, per_row)
+            )
+
+        # from here on: the plain shuffled-join body over the reduced probe,
+        # with the already-collected build rows re-parallelised
+        left_width, right_width = len(left.output), len(right.output)
+        combined_attrs = list(left.output) + list(right.output)
+        residual_bound = (
+            E.bind_expression(self.residual, combined_attrs)
+            if self.residual is not None else None
+        )
+        how = self.how
+
+        def tag_left(rows, task_ctx):
+            tagged = ((tuple(k.eval(r) for k in bound_left), 0, r) for r in rows)
+            return _cpu_charged(tagged, task_ctx, per_row)
+
+        def tag_right(rows, task_ctx):
+            tagged = ((tuple(k.eval(r) for k in bound_right), 1, r) for r in rows)
+            return _cpu_charged(tagged, task_ctx, per_row)
+
+        join_partition = _make_join_reducer(
+            how, left_width, right_width, residual_bound, per_row,
+            lambda rows_out, bytes_out: ctx.accumulate_operator(
+                self, rows_out=rows_out, bytes_out=bytes_out),
+        )
+        build_rdd = ParallelCollectionRDD(
+            build_rows, min(ctx.shuffle_partitions(), max(1, len(build_rows)))
+        )
+        tagged = probe.map_partitions(tag_left).union(
+            build_rdd.map_partitions(tag_right)
+        )
+        shuffled = tagged.partition_by(
+            ctx.shuffle_partitions(), key_fn=lambda e: e[0],
+            post_shuffle=join_partition,
+        )
+        shuffled.scope = self.op_id
+        return shuffled
+
+    def _make_prefilter(self, ctx: ExecContext,
+                        bound_left: Sequence[E.Expression], keys: set,
+                        per_row: float):
+        """Exact membership filter the probe pays per row seen."""
+
+        def prefilter(rows, task_ctx):
+            kept = []
+            seen = 0
+            for row in rows:
+                seen += 1
+                if tuple(k.eval(row) for k in bound_left) in keys:
+                    kept.append(row)
+            task_ctx.ledger.count("sql.cbo.semijoin.rows_pruned", seen - len(kept))
+            task_ctx.ledger.charge(per_row * seen, "engine.rows_processed", seen)
+            ctx.accumulate_operator(self, semijoin_rows_in=seen,
+                                    semijoin_rows_kept=len(kept))
+            return iter(kept)
+
+        return prefilter
+
+    def _push_runtime_filters(self, left: PhysicalPlan, keys: set) -> int:
+        """Attach per-column ``In`` source filters to the probe's single scan.
+
+        Only bare-attribute keys on columns the scan outputs qualify; with
+        zero or several scans under the probe nothing is pushed (the exact
+        engine-side pre-filter still applies either way).
+        """
+        from repro.sql import sources as S
+
+        scans = [op for op in left.walk() if isinstance(op, DataSourceScanExec)]
+        if len(scans) != 1:
+            return 0
+        scan = scans[0]
+        scan_ids = {a.attr_id for a in scan.output}
+        pushed = 0
+        for i, key in enumerate(self.left_keys):
+            if not isinstance(key, E.Attribute) or key.attr_id not in scan_ids:
+                continue
+            values = {k[i] for k in keys}
+            try:
+                ordered = sorted(values)
+            except TypeError:
+                ordered = sorted(values, key=repr)
+            scan.runtime_filters.append(S.In(key.name, tuple(ordered)))
+            pushed += 1
+        return pushed
+
+    def describe(self) -> str:
+        return (f"SemiJoinReducedJoin({self.how}, "
+                f"{self.left_keys!r} = {self.right_keys!r})")
 
 
 class BroadcastNestedLoopJoinExec(PhysicalPlan):

@@ -80,12 +80,30 @@ class Planner:
     the uncached pipeline.
     """
 
-    def __init__(self, conf: Dict[str, object], cache=None) -> None:
+    def __init__(self, conf: Dict[str, object], cache=None, stats=None,
+                 metrics=None) -> None:
         self.conf = conf
         self.cache = cache
         self.broadcast_threshold = int(
             conf.get("sql.autoBroadcastJoinThreshold", 128 * 1024)
         )
+        #: cost-based planning (docs/optimizer.md): with sql.cbo.enabled and
+        #: a stats store, join sizing uses ANALYZE-based estimates and the
+        #: semi-join reduction strategy becomes available
+        self.metrics = metrics
+        self.estimator = None
+        self.semijoin_enabled = False
+        if stats is not None and bool(conf.get("sql.cbo.enabled", False)):
+            from repro.sql.cbo import CardinalityEstimator
+
+            self.estimator = CardinalityEstimator(stats, conf, metrics)
+            self.semijoin_enabled = bool(conf.get("sql.cbo.semijoin", True))
+            self.semijoin_max_build = int(
+                conf.get("sql.cbo.semijoin.maxBuildRows", 10000))
+            self.semijoin_min_reduction = float(
+                conf.get("sql.cbo.semijoin.minReduction", 2.0))
+            self.semijoin_max_keys = int(
+                conf.get("sql.cbo.semijoin.maxKeys", 16384))
         #: adaptive query execution (docs/adaptive.md): shuffled joins plan
         #: as AdaptiveJoinExec stage barriers instead of committing to a
         #: strategy from size estimates
@@ -307,36 +325,100 @@ class Planner:
         left_size = estimate_plan_size(node.left)
         right_size = estimate_plan_size(node.right)
 
+        # cost-based sizing: confident ANALYZE-backed estimates override the
+        # syntactic heuristic for the broadcast decision below
+        use_left, use_right = left_size, right_size
+        est_left = est_right = est_join = None
+        if self.estimator is not None:
+            est_left = self.estimator.estimate(node.left)
+            est_right = self.estimator.estimate(node.right)
+            est_join = self.estimator.estimate(node)
+            if est_left.confident:
+                use_left = est_left.bytes
+            if est_right.confident:
+                use_right = est_right.bytes
+
         if left_keys:
-            if right_size <= self.broadcast_threshold:
-                return P.BroadcastHashJoinExec(
+            bc_right = use_right <= self.broadcast_threshold
+            bc_left = use_left <= self.broadcast_threshold and node.how == "inner"
+            if self.adaptive and self.estimator is not None:
+                # stats acting as AQE priors: the estimate settled a strategy
+                # the heuristic would have deferred to a stage barrier (or
+                # chosen differently)
+                h_right = right_size <= self.broadcast_threshold
+                h_left = left_size <= self.broadcast_threshold and node.how == "inner"
+                if bc_right != h_right or (not bc_right and bc_left != h_left):
+                    self._incr("sql.cbo.aqe_priors_used")
+            if bc_right:
+                return self._stamp(P.BroadcastHashJoinExec(
                     left_plan, right_plan, left_keys, right_keys, node.how, residual
-                )
-            if left_size <= self.broadcast_threshold and node.how == "inner":
-                swapped = P.BroadcastHashJoinExec(
+                ), est_join)
+            if bc_left:
+                swapped = self._stamp(P.BroadcastHashJoinExec(
                     right_plan, left_plan, right_keys, left_keys, "inner", None
-                )
+                ), est_join)
                 reordered = P.ProjectExec(
                     list(node.left.output) + list(node.right.output), swapped
                 )
                 if residual is not None:
                     return P.FilterExec(residual, reordered)
                 return reordered
+            semijoin = self._try_semijoin_reduction(
+                node, left_plan, right_plan, left_keys, right_keys, residual,
+                est_left, est_right, est_join,
+            )
+            if semijoin is not None:
+                return semijoin
             if self.adaptive:
                 from repro.sql.adaptive import AdaptiveJoinExec
 
-                return AdaptiveJoinExec(
+                return self._stamp(AdaptiveJoinExec(
                     left_plan, right_plan, left_keys, right_keys, node.how,
                     residual,
-                )
-            return P.ShuffledHashJoinExec(
+                ), est_join)
+            return self._stamp(P.ShuffledHashJoinExec(
                 left_plan, right_plan, left_keys, right_keys, node.how, residual
-            )
+            ), est_join)
 
         # no equi keys: nested loop with the right side broadcast
         return P.BroadcastNestedLoopJoinExec(
             left_plan, right_plan, node.how, node.condition
         )
+
+    def _try_semijoin_reduction(self, node, left_plan, right_plan, left_keys,
+                                right_keys, residual, est_left, est_right,
+                                est_join) -> Optional[P.PhysicalPlan]:
+        """Semi-join reduction (docs/optimizer.md): pre-filter the probe side
+        by the build side's distinct keys before shuffling, when statistics
+        predict the probe shrinks by ``sql.cbo.semijoin.minReduction``."""
+        if not self.semijoin_enabled or node.how not in ("inner", "semi"):
+            return None
+        if est_left is None or not (est_left.confident and est_right.confident):
+            return None
+        if est_right.rows > self.semijoin_max_build:
+            return None
+        from repro.sql.cbo import semijoin_keep_fraction
+
+        keep = semijoin_keep_fraction(est_left, est_right, left_keys, right_keys)
+        if keep is None or keep > 1.0 / max(self.semijoin_min_reduction, 1.0):
+            self._incr("sql.cbo.semijoins_rejected")
+            return None
+        self._incr("sql.cbo.semijoins_applied")
+        return self._stamp(P.SemiJoinReducedJoinExec(
+            left_plan, right_plan, left_keys, right_keys, node.how, residual,
+            max_keys=self.semijoin_max_keys,
+        ), est_join)
+
+    def _incr(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.incr(name, 1)
+
+    @staticmethod
+    def _stamp(op: P.PhysicalPlan, est) -> P.PhysicalPlan:
+        """Attach the join-level row estimate for EXPLAIN's est-vs-actual."""
+        if est is not None and est.confident:
+            op.cbo_rows = est.rows
+        return op
 
 
 def _as_relation(node: L.LogicalPlan) -> Optional[L.LogicalRelation]:

@@ -31,6 +31,7 @@ from repro.sql.physical import ExecContext
 from repro.sql.planner import Planner
 from repro.sql.row import Row
 from repro.sql.sources import lookup_provider
+from repro.sql.stats import StatsStore
 from repro.sql.types import StructType, type_from_name
 
 
@@ -93,6 +94,29 @@ DEFAULT_CONF: Dict[str, object] = {
     "sql.aqe.skewedPartitionThresholdBytes": 64 * 1024,
     # partitions for driver-local (VALUES / createDataFrame) scans
     "sql.local.scan.partitions": 2,
+    # cost-based optimization (docs/optimizer.md): use ANALYZE statistics to
+    # estimate cardinalities, re-order multi-way inner joins, and inform the
+    # planner's broadcast decisions.  Off by default -- without it planning
+    # is purely syntactic and byte-identical to the seed
+    "sql.cbo.enabled": False,
+    # semi-join reduction (needs sql.cbo.enabled): pre-filter a large probe
+    # scan by the distinct join keys of a small build side before shuffling
+    "sql.cbo.semijoin": True,
+    # exact left-deep DP join ordering up to this many inputs; greedy above
+    "sql.cbo.joinReorder.dpThreshold": 6,
+    # equi-height histogram buckets collected per column by ANALYZE
+    "sql.cbo.histogram.buckets": 8,
+    # stats whose recorded size drifted by more than this factor from the
+    # relation's current size are treated as absent (fall back to syntactic)
+    "sql.cbo.staleness.ratio": 2.0,
+    # semi-join reduction applies only when the build side is estimated at
+    # or under this many rows ...
+    "sql.cbo.semijoin.maxBuildRows": 10000,
+    # ... and the probe is expected to shrink by at least this factor ...
+    "sql.cbo.semijoin.minReduction": 2.0,
+    # ... and (checked at runtime) the build yields at most this many
+    # distinct keys; above it the reduction aborts and joins normally
+    "sql.cbo.semijoin.maxKeys": 16384,
     # vectorized batch execution (docs/vectorized.md): rewrite planned trees
     # into batch-at-a-time operators over RecordBatch column vectors.  Off by
     # default -- the row path must stay byte-identical
@@ -176,6 +200,9 @@ class SparkSession:
         )
         self.catalog = Catalog()
         self._analyzer = Analyzer(self.catalog)
+        #: ANALYZE statistics catalog (docs/optimizer.md); read only when
+        #: sql.cbo.enabled is on
+        self.stats = StatsStore()
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
         #: optional FaultInjector for engine-side fault points; None = off
@@ -250,8 +277,12 @@ class SparkSession:
         from repro.sql.logical import InsertIntoTable, LocalRelation
 
         plan = parse(text)
-        from repro.sql.logical import DropView, ExplainStatement, ShowTables
+        from repro.sql.logical import (
+            AnalyzeTable, DropView, ExplainStatement, ShowTables,
+        )
 
+        if isinstance(plan, AnalyzeTable):
+            return self.analyze_table(plan.name)
         if isinstance(plan, ShowTables):
             schema = StructType().add("tableName", type_from_name("string"))
             names = [(name,) for name in self.catalog.names()]
@@ -272,6 +303,53 @@ class SparkSession:
             rows = [tuple(r.values) for r in result.rows]
             return DataFrame(self, LocalRelation(result.schema, rows))
         return DataFrame(self, plan)
+
+    def analyze_table(self, name: str):
+        """``ANALYZE TABLE name COMPUTE STATISTICS``: scan once, keep stats.
+
+        The collection scan pays the normal simulated cost (it is a real
+        query over the table).  Stats land in the session's
+        :class:`~repro.sql.stats.StatsStore` under the leaf's durable
+        identity, and -- for HBase-backed tables -- are persisted alongside
+        the table's schema metadata so later sessions start warm.  Works
+        for temp views too, keyed by plan fingerprint.
+        """
+        from repro.sql.dataframe import DataFrame
+        from repro.sql.logical import LocalRelation as LocalRel, UnresolvedRelation
+        from repro.sql.stats import (
+            analysis_keys, compute_table_stats, persist_relation_stats,
+        )
+
+        analyzed = self.analyze(UnresolvedRelation(name))
+        result = self.execute_plan(analyzed)
+        buckets = int(self.conf.get("sql.cbo.histogram.buckets", 8))
+        stats = compute_table_stats(
+            [tuple(r.values) for r in result.rows], result.schema, buckets
+        )
+        # the collection scan's ledger rides onto the summary row the
+        # statement returns, so ANALYZE's cost and counters are observable
+        collected = MetricsRegistry()
+        collected.merge(result.metrics)
+        collected.incr("sql.cbo.stats_collected", len(stats.columns))
+        leaves = analyzed.collect_nodes(lambda n: isinstance(n, LogicalRelation))
+        if len(leaves) == 1:
+            # baseline for the staleness check: the source's own size, the
+            # same number a later session will compare against
+            stats.source_bytes = leaves[0].relation.size_in_bytes()
+        for key in analysis_keys(analyzed):
+            self.stats.put(key, stats)
+        persisted = False
+        for leaf in leaves:
+            persisted = persist_relation_stats(leaf, stats) or persisted
+        schema = (
+            StructType()
+            .add("table", type_from_name("string"))
+            .add("row_count", type_from_name("bigint"))
+            .add("columns_analyzed", type_from_name("bigint"))
+            .add("persisted", type_from_name("boolean"))
+        )
+        rows = [(name, stats.row_count, len(stats.columns), persisted)]
+        return DataFrame(self, LocalRel(schema, rows), pending_metrics=collected)
 
     def submit_sql(self, text: str) -> "Future[QueryResult]":
         """Run a SQL query on the session's thread pool (concurrent execution)."""
@@ -314,17 +392,31 @@ class SparkSession:
         if isinstance(plan, InsertIntoTable):
             return self._execute_insert(plan)
         trace = self.query_trace(trace)
+        stats = self.cbo_stats()
+        # planning-time CBO counters (reorders, estimates) ride into the
+        # query's registry; None keeps the default path allocation-identical
+        plan_metrics = MetricsRegistry() if stats is not None else None
         span = trace.child("optimize", "plan", order=(0, 0))
-        optimized = optimize(plan)
+        optimized = optimize(plan, conf=self.conf, stats=stats,
+                             metrics=plan_metrics)
         span.finish()
         span = trace.child("plan", "plan", order=(0, 1))
-        physical = Planner(self.conf, cache=self.cache_manager).plan_query(optimized)
+        physical = Planner(self.conf, cache=self.cache_manager, stats=stats,
+                           metrics=plan_metrics).plan_query(optimized)
         span.finish()
         return self.execute_physical(physical, trace=trace, slots=slots,
-                                     queued_s=queued_s)
+                                     queued_s=queued_s,
+                                     extra_metrics=plan_metrics)
+
+    def cbo_stats(self) -> Optional[StatsStore]:
+        """The stats store when ``sql.cbo.enabled`` is on, else None."""
+        if bool(self.conf.get("sql.cbo.enabled", False)):
+            return self.stats
+        return None
 
     def execute_physical(self, physical, trace=NOOP_SPAN, slots=None,
-                         queued_s: float = 0.0) -> QueryResult:
+                         queued_s: float = 0.0,
+                         extra_metrics: Optional[MetricsRegistry] = None) -> QueryResult:
         """Run an already-planned physical operator tree.
 
         Shared by ``execute_plan`` and ``DataFrame.explain(analyze=True)``,
@@ -340,6 +432,8 @@ class SparkSession:
                                              queued_s=queued_s),
                           self.cost, self.conf,
                           trace=trace)
+        if extra_metrics is not None:
+            ctx.metrics.merge(extra_metrics)
         rdd = physical.execute(ctx)
         job = ctx.run_job(rdd)
         schema = StructType()
@@ -360,8 +454,12 @@ class SparkSession:
     def _execute_insert(self, plan) -> QueryResult:
         """Run ``INSERT INTO view SELECT/VALUES`` through the relation."""
         ctx = ExecContext(self.new_scheduler(), self.cost, self.conf)
-        optimized = optimize(plan.children[0])
-        physical = Planner(self.conf).plan_query(optimized)
+        stats = self.cbo_stats()
+        optimized = optimize(plan.children[0], conf=self.conf, stats=stats,
+                             metrics=ctx.metrics if stats is not None else None)
+        physical = Planner(self.conf, stats=stats,
+                           metrics=ctx.metrics if stats is not None else None
+                           ).plan_query(optimized)
         rdd = physical.execute(ctx)
         schema = StructType()
         for attr in physical.output:
@@ -392,8 +490,12 @@ class SparkSession:
             if exists and mode == "ignore":
                 return WriteResult(0, 0.0, MetricsRegistry())
         ctx = ExecContext(self.new_scheduler(), self.cost, self.conf)
-        optimized = optimize(plan)
-        physical = Planner(self.conf).plan_query(optimized)
+        stats = self.cbo_stats()
+        optimized = optimize(plan, conf=self.conf, stats=stats,
+                             metrics=ctx.metrics if stats is not None else None)
+        physical = Planner(self.conf, stats=stats,
+                           metrics=ctx.metrics if stats is not None else None
+                           ).plan_query(optimized)
         rdd = physical.execute(ctx)
         schema = StructType()
         for attr in physical.output:

@@ -21,8 +21,9 @@ REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src"
 METRICS_DOC = REPO / "docs" / "metrics.md"
 
-#: methods whose first argument names a metric
-_NAME_ARG0 = {"incr", "record_peak", "count"}
+#: methods whose first argument names a metric (``_incr`` covers the
+#: guarded emit helpers on CardinalityEstimator and Planner)
+_NAME_ARG0 = {"incr", "record_peak", "count", "_incr"}
 #: CostLedger.charge / ExecContext.charge_driver (seconds, counter=...):
 #: the name is argument 1 (or the ``counter`` keyword)
 _NAME_ARG1 = {"charge", "charge_driver"}

@@ -1,0 +1,163 @@
+"""Region read replicas: hot-region throughput and warm-failover latency.
+
+Two scenarios (docs/replication.md), both emitting tracked metrics into
+``BENCH_replication.json`` for the CI regression gate:
+
+* **Hot region.**  ``store_sales`` loaded into a *single* region -- the
+  one-server bottleneck replica routing exists to break.  The same scan
+  runs primary-only and replica-routed (the region's key range split at
+  store-file block boundaries across every replica host); the scan
+  stage's simulated-makespan ratio is the hot-region read-throughput win
+  and must stay >= 2x.
+* **Failover.**  The chaos suite's mid-scan region-server crash, with and
+  without replicas.  With a secondary promoted, the scan resumes warm --
+  zero backoff seconds -- and total latency must beat the cold
+  WAL-replay + retry path.
+
+``BENCH_SMOKE=1`` runs the reduced scale the committed smoke baseline was
+recorded at.
+"""
+
+from repro.bench.reporting import format_table
+from repro.common.faults import (
+    FAULT_SCAN_STREAM,
+    FaultInjector,
+    crash_region_server,
+)
+from repro.core.catalog import HBaseSparkConf
+from repro.workloads.loader import load_tpcds
+
+from conftest import FIXED_SIZE_GB, write_bench_json, write_report
+
+SIZE_GB = FIXED_SIZE_GB
+QUERY = ("SELECT ss_item_sk, ss_quantity FROM store_sales "
+         "WHERE ss_quantity > 1")
+#: same pinned seed as tests/integration/test_replica_chaos.py
+CHAOS_SEED = 101
+#: small scanner pages so the injected crash lands between result pages
+READER_OPTIONS = {HBaseSparkConf.CACHED_ROWS: "40"}
+
+REPLICA_CONF = {"hbase.read.replica": True,
+                "hbase.read.replica.staleness": 60}
+#: staleness 0 pins failover runs to primary routing (single fault stream)
+FAILOVER_CONF = {"hbase.read.replica": True,
+                 "hbase.read.replica.staleness": 0}
+
+_RESULTS = {}
+
+
+def rows(result):
+    return [tuple(r.values) for r in result.rows]
+
+
+def _run_hot_region():
+    """One-region table, scanned primary-only vs spread across replicas.
+
+    Each configuration runs the query twice and reports the second run:
+    steady state, with the executor connection caches warm, so the
+    comparison measures scan throughput rather than first-contact
+    connection setup (the block cache is off by default, so nothing else
+    warms up between runs).
+    """
+    cold_env = load_tpcds(SIZE_GB, ["store_sales"], regions_per_table=1)
+    cold_session = cold_env.new_session()
+    cold_session.sql(QUERY).run()  # warm the connection cache
+    cold = cold_session.sql(QUERY).run()
+    cold_session.shutdown()
+
+    hot_env = load_tpcds(SIZE_GB, ["store_sales"], regions_per_table=1)
+    hot_env.cluster.enable_region_replication(replicas=4)
+    session = hot_env.new_session(conf=REPLICA_CONF)
+    session.sql(QUERY).run()  # warm the connection cache
+    spread = session.sql(QUERY).run()
+    session.shutdown()
+    return cold, spread
+
+
+def _run_failover(warm):
+    """The pinned crash schedule, with (warm) or without (cold) replicas."""
+    env = load_tpcds(SIZE_GB, ["store_sales"])
+    if warm:
+        env.cluster.enable_region_replication(replicas=1)
+    session = env.new_session(conf=FAILOVER_CONF if warm else None,
+                              extra_options=READER_OPTIONS)
+    session.sql(QUERY).run()  # warm the connection cache, fault-free
+    injector = FaultInjector(seed=CHAOS_SEED)
+    injector.inject(FAULT_SCAN_STREAM, rate=1.0, after=1, times=1,
+                    action=crash_region_server)
+    env.cluster.install_fault_injector(injector)
+    session.install_fault_injector(injector)
+    result = session.sql(QUERY).run()
+    session.shutdown()
+    assert injector.injected(FAULT_SCAN_STREAM) == 1
+    return result
+
+
+def test_replication(benchmark):
+    def run_all():
+        _RESULTS["hot"] = _run_hot_region()
+        _RESULTS["failover"] = (_run_failover(warm=False),
+                                _run_failover(warm=True))
+
+    benchmark.pedantic(run_all, iterations=1, rounds=1)
+
+
+def test_replication_report(benchmark):
+    def report():
+        cold, spread = _RESULTS["hot"]
+        assert sorted(rows(spread)) == sorted(rows(cold))
+        assert spread.metrics.get("hbase.replica.reads") >= 1
+        # read throughput = the distributed scan stage's simulated
+        # makespan; end-to-end seconds additionally carry the constant
+        # driver overhead, which is not what replicas parallelise
+        cold_scan = sum(s.duration_s for s in cold.stages)
+        spread_scan = sum(s.duration_s for s in spread.stages)
+        hot_speedup = cold_scan / spread_scan
+        assert hot_speedup >= 2.0, (
+            f"replica routing must break the hot-region bottleneck, "
+            f"got {hot_speedup:.2f}x")
+        assert spread.seconds < cold.seconds  # end-to-end still wins
+
+        slow, warm = _RESULTS["failover"]
+        assert rows(warm) == rows(slow)  # exactly-once either way
+        assert warm.metrics.get("hbase.replica.failovers") >= 1
+        assert warm.metrics.get("hbase.backoff_s") == 0.0
+        assert slow.metrics.get("hbase.backoff_s") > 0.0
+        failover_speedup = slow.seconds / warm.seconds
+        assert warm.seconds < slow.seconds, (
+            "warm failover must beat cold WAL-replay recovery")
+
+        write_report(
+            "replication",
+            format_table(
+                ["scenario", "baseline", "replicas", "speedup", "notes"],
+                [
+                    ["hot region scan", f"{cold_scan:.2f}s",
+                     f"{spread_scan:.2f}s", f"{hot_speedup:.2f}x",
+                     f"{spread.metrics.get('hbase.replica.reads'):.0f} "
+                     "replica scans"],
+                    ["hot region e2e", f"{cold.seconds:.2f}s",
+                     f"{spread.seconds:.2f}s",
+                     f"{cold.seconds / spread.seconds:.2f}x",
+                     "includes constant driver overhead"],
+                    ["crash failover", f"{slow.seconds:.2f}s",
+                     f"{warm.seconds:.2f}s", f"{failover_speedup:.2f}x",
+                     f"{warm.metrics.get('hbase.replica.failovers'):.0f} warm "
+                     f"failover, {slow.metrics.get('hbase.backoff_s'):.2f}s "
+                     "backoff avoided"],
+                ],
+                f"Region read replicas: store_sales at {SIZE_GB} GB nominal",
+            ),
+        )
+        write_bench_json("replication", {
+            "hot_region_scan_speedup": {
+                "value": hot_speedup, "direction": "higher"},
+            "hot_region_replica_seconds": {
+                "value": spread.seconds, "direction": "lower"},
+            "failover_speedup": {
+                "value": failover_speedup, "direction": "higher"},
+            "failover_warm_seconds": {
+                "value": warm.seconds, "direction": "lower"},
+        })
+
+    benchmark.pedantic(report, iterations=1, rounds=1)

@@ -49,6 +49,10 @@ class CostModel:
     local_ipc_bytes_per_sec: float = 160_000.0
     #: fixed round-trip latency per RPC (s)
     rpc_latency_s: float = 0.004
+    #: primary -> region-replica WAL shipping bandwidth (bytes/s); the async
+    #: replication stream runs server-to-server on the cluster fabric, so it
+    #: moves faster than the client path but still pays the wire
+    replication_bytes_per_sec: float = 96_000.0
     #: creating an HBase connection (ZooKeeper lookups, meta cache warmup) (s)
     connection_setup_s: float = 1.8
     #: fetching a delegation token from a secure cluster (s)

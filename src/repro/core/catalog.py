@@ -40,6 +40,10 @@ class HBaseSparkConf:
     FUSION = "shc.operator.fusion.enabled"
     CONNECTION_CACHE = "shc.connection.cache.enabled"
     PRUNE_ALL_DIMENSIONS = "shc.partition.pruning.allDimensions"
+    # region read replicas (docs/replication.md; off by default -- routing
+    # only engages when the cluster also has replication enabled)
+    READ_REPLICA = "hbase.read.replica"
+    REPLICA_STALENESS = "hbase.read.replica.staleness"
 
 
 @dataclass(frozen=True)

@@ -10,7 +10,7 @@ tasks equals the number of involved servers, not the number of ranges.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.ranges import ScanRange
 from repro.hbase.master import RegionLocation
@@ -80,3 +80,91 @@ def build_partitions(
                 )
                 index += 1
     return partitions
+
+
+def build_replica_partitions(
+    locations: Sequence[RegionLocation],
+    ranges: Sequence[ScanRange],
+    candidates: Dict[str, List[RegionLocation]],
+    split_keys: Callable[[RegionLocation, bytes, Optional[bytes]], List[bytes]],
+    estimate_bytes: Callable[[RegionLocation, ScanRange], int],
+) -> Tuple[List[HBaseScanPartition], Dict[str, int]]:
+    """Replica-aware variant of :func:`build_partitions` (always fused).
+
+    ``candidates`` maps each region name to the locations eligible to serve
+    it, primary first (see ``ReplicationManager.read_candidates``).  A region
+    with more than one candidate has its clamped ranges *split* at store-file
+    block boundaries (``split_keys``) into one piece per candidate, then the
+    pieces are spread greedily -- largest first onto the least-loaded
+    candidate server -- so a hot region's scan parallelises across its
+    replica hosts instead of serialising on the primary.  Regions with a
+    single candidate behave exactly like the fused baseline.
+
+    Returns ``(partitions, routing)`` where ``routing`` counts
+    ``replica_scans`` (pieces routed to a secondary) and ``split_regions``
+    (regions actually split).
+    """
+    routing = {"replica_scans": 0, "split_regions": 0}
+    #: bytes of scan work assigned per server, across all regions
+    load: Dict[str, int] = {}
+    assigned: List[RegionWork] = []
+
+    for location in locations:
+        clamped = []
+        for scan_range in ranges:
+            if scan_range.overlaps_region(location.start_row, location.end_row):
+                clipped = scan_range.clamp_to_region(location.start_row,
+                                                     location.end_row)
+                if clipped is not None:
+                    clamped.append(clipped)
+        if not clamped:
+            continue
+        cands = candidates.get(location.region_name) or [location]
+        for cand in cands:
+            load.setdefault(cand.server_id, 0)
+        if len(cands) == 1:
+            assigned.append(RegionWork(location, tuple(clamped)))
+            load[location.server_id] += sum(
+                estimate_bytes(location, r) for r in clamped)
+            continue
+
+        # split the region's ranges into up to len(cands) block-aligned
+        # pieces: repeatedly halve the largest splittable piece
+        pieces = [(r, estimate_bytes(location, r)) for r in clamped]
+        exhausted: set = set()
+        while len(pieces) < len(cands):
+            splittable = [p for p in pieces
+                          if not p[0].point and id(p[0]) not in exhausted]
+            if not splittable:
+                break
+            rng, nbytes = min(splittable, key=lambda p: (-p[1], p[0].start))
+            inside = [k for k in split_keys(location, rng.start, rng.stop)
+                      if k > rng.start and (rng.stop is None or k < rng.stop)]
+            if not inside:
+                exhausted.add(id(rng))
+                continue
+            mid = inside[len(inside) // 2]
+            pieces.remove((rng, nbytes))
+            for part in (ScanRange(rng.start, mid), ScanRange(mid, rng.stop)):
+                pieces.append((part, estimate_bytes(location, part)))
+        if len(pieces) > len(clamped):
+            routing["split_regions"] += 1
+
+        # greedy LPT: biggest piece onto the least-loaded candidate server
+        for rng, nbytes in sorted(pieces, key=lambda p: (-p[1], p[0].start)):
+            target = min(cands, key=lambda c: (load[c.server_id],
+                                               c.replica_id, c.server_id))
+            load[target.server_id] += nbytes
+            if target.replica_id:
+                routing["replica_scans"] += 1
+            assigned.append(RegionWork(target, (rng,)))
+
+    by_server: Dict[str, List[RegionWork]] = {}
+    for work in assigned:
+        by_server.setdefault(work.location.server_id, []).append(work)
+    partitions = [
+        HBaseScanPartition(index, server_id, works[0].location.host,
+                           tuple(works))
+        for index, (server_id, works) in enumerate(sorted(by_server.items()))
+    ]
+    return partitions, routing

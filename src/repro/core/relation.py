@@ -17,7 +17,7 @@ from repro.core.catalog import HBaseSparkConf, HBaseTableCatalog
 from repro.core.coders import get_coder
 from repro.core.conncache import DEFAULT_CONNECTION_CACHE
 from repro.core.credentials import DEFAULT_CREDENTIALS_MANAGER
-from repro.core.partitions import build_partitions
+from repro.core.partitions import build_partitions, build_replica_partitions
 from repro.core.pushdown import PushdownCompiler
 from repro.core.ranges import FULL_SCAN, RangeBuilder
 from repro.core.scan_rdd import HBaseTableScanRDD
@@ -138,6 +138,27 @@ class HBaseRelation(BaseRelation):
     def security_enabled(self) -> bool:
         return self._flag(HBaseSparkConf.CREDENTIALS_ENABLED, default=False)
 
+    @property
+    def replica_read_enabled(self) -> bool:
+        """``hbase.read.replica``: timeline-consistent replica routing.
+
+        Off by default; even when on, routing engages only if the cluster
+        has a ReplicationManager attached, so the flag alone never changes
+        a ledger.
+        """
+        return self._flag(HBaseSparkConf.READ_REPLICA, default=False)
+
+    def replica_staleness_s(self) -> float:
+        """Max replication lag (simulated s) a replica read may serve behind.
+
+        Zero (or negative) forces every read back to the primary -- the
+        strict-consistency end of the timeline knob.
+        """
+        value = self.options.get(HBaseSparkConf.REPLICA_STALENESS)
+        if value is None:
+            value = self.session.conf.get(HBaseSparkConf.REPLICA_STALENESS)
+        return float(value) if value is not None else 5.0
+
     # -- BaseRelation contract ----------------------------------------------------
     @property
     def schema(self) -> StructType:
@@ -179,13 +200,73 @@ class HBaseRelation(BaseRelation):
             if hbase_filter is not None:
                 filter_columns = _filter_columns(hbase_filter)
         locations = self.cluster.region_locations(self.catalog.qualified_name)
-        partitions = build_partitions(locations, ranges, self.fusion_enabled)
+        routing = None
+        replication = self.cluster.replication
+        if self.replica_read_enabled and replication is not None:
+            partitions, routing = self._build_replica_partitions(
+                replication, locations, ranges)
+        else:
+            partitions = build_partitions(locations, ranges,
+                                          self.fusion_enabled)
         rdd = HBaseTableScanRDD(self, required_columns, hbase_filter,
                                 partitions, filter_columns)
         #: table-wide region count before pruning, so EXPLAIN ANALYZE can
         #: report scanned vs. pruned regions for this scan
         rdd.regions_total = len(locations)
+        #: replica routing decisions (None when routing did not engage), so
+        #: EXPLAIN ANALYZE and the metrics can report them per query
+        rdd.replica_routing = routing
         return rdd
+
+    def _build_replica_partitions(self, replication, locations, ranges):
+        """Route scan work across replica hosts (docs/replication.md)."""
+        staleness = self.replica_staleness_s()
+        candidates = {}
+        stale_excluded = 0
+        primary_fallbacks = 0
+        for location in locations:
+            cands, excluded = replication.read_candidates(location, staleness)
+            candidates[location.region_name] = cands
+            stale_excluded += excluded
+            if excluded and len(cands) == 1:
+                # replicas exist but none qualified: this region's reads
+                # fell back to the primary
+                primary_fallbacks += 1
+        partitions, routing = build_replica_partitions(
+            locations, ranges, candidates,
+            split_keys=self._split_keys, estimate_bytes=self._range_bytes)
+        routing["stale_excluded"] = stale_excluded
+        routing["primary_fallbacks"] = primary_fallbacks
+        return partitions, routing
+
+    def _split_keys(self, location, lo: bytes, hi):
+        """Store-file block start keys strictly inside ``(lo, hi)``."""
+        region = self.cluster.get_region(location.region_name)
+        if region is None:
+            return []
+        keys = {
+            key
+            for store in region.stores.values()
+            for store_file in store.files
+            for key in store_file.block_start_keys()
+            if key > lo and (hi is None or key < hi)
+        }
+        return sorted(keys)
+
+    def _range_bytes(self, location, scan_range) -> int:
+        """I/O bytes one clipped range touches (for piece balancing)."""
+        region = self.cluster.get_region(location.region_name)
+        if region is None:
+            return 0
+        return region.io_bytes_for_range(scan_range.start, scan_range.stop)
+
+    def replica_failover_location(self, old_location, row: bytes):
+        """Warm location a crashed-primary scan should resume at (or None)."""
+        replication = self.cluster.replication
+        if replication is None or not self.replica_read_enabled:
+            return None
+        return replication.failover_location(
+            self.catalog.qualified_name, old_location, row)
 
     def insert(self, rdd: "RDD", schema: StructType, ctx: "ExecContext",
                overwrite: bool = False) -> int:

@@ -98,9 +98,15 @@ class HBaseTableScanRDD(RDD):
         connection = relation.acquire_connection(ctx)
         decode_cost = relation.decode_cell_cost()
         decoded_cells = 0
+        # replica provenance rides on the span only when routing engaged, so
+        # replica-off traces keep their exact historical shape
+        replica_work = sum(
+            1 for w in scan_partition.work if w.location.replica_id)
+        extra = {"replica_regions": replica_work} if replica_work else {}
         span = ctx.span.child(
             f"scan-p{partition.index}", "scan", order=partition.index,
             host=scan_partition.host, regions=len(scan_partition.work),
+            **extra,
         )
         sim_start = ctx.ledger.seconds if span.enabled else 0.0
         try:
@@ -196,6 +202,22 @@ class HBaseTableScanRDD(RDD):
                         f"scan of {table_name} gave up after {failures} "
                         f"failures: {exc}"
                     ) from exc
+                # warm failover (docs/replication.md): when the master has
+                # already promoted a replica, resume there immediately --
+                # the resume key is preserved, so no row repeats, and the
+                # retry backoff is never paid
+                failover = relation.replica_failover_location(location, resume)
+                if failover is not None:
+                    ctx.ledger.count("hbase.replica.failovers")
+                    ctx.ledger.count("shc.scan_resumes")
+                    if span is not None and span.enabled:
+                        span.event("replica-failover",
+                                   region=location.region_name,
+                                   server=failover.server_id,
+                                   failures=failures)
+                    connection.invalidate_location_cache(table_name)
+                    location = failover
+                    continue
                 backoff = policy.backoff_s(failures, key=location.region_name)
                 ctx.ledger.charge(backoff, "hbase.backoff_s", backoff)
                 ctx.ledger.count("hbase.retries")

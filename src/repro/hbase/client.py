@@ -583,6 +583,15 @@ class Table:
         """
         self._check_auth()
         ledger = ledger if ledger is not None else CostLedger()
+        if location.replica_id:
+            # tag the read with its replica provenance: the counter feeds
+            # the replication bench, the span event feeds trace inspection
+            ledger.count("hbase.replica.reads")
+            span = getattr(ledger, "trace_span", None)
+            if span is not None and span.enabled:
+                span.event("replica-read", region=location.region_name,
+                           server=location.server_id,
+                           replica_id=location.replica_id)
         faults = self.cluster.faults
         if faults is not None:
             self._fault(FAULT_STALE_META, location.region_name, ledger)

@@ -71,6 +71,12 @@ class HBaseCluster:
         self.zookeeper = ZooKeeper()
         self.hdfs = DistributedFileSystem(self.hosts, hdfs_replication)
         self._regions: Dict[str, Region] = {}
+        #: optional :class:`~repro.hbase.replication.ReplicationManager`;
+        #: while None, every replication hook is a single ``is None`` check
+        self.replication = None
+        #: servers the serving layer reported degraded (docs/replication.md);
+        #: replica routing avoids them until they are reported healthy again
+        self._unhealthy_servers: set = set()
 
         self.region_max_bytes = region_max_bytes
         self._pending_splits: set = set()
@@ -134,6 +140,43 @@ class HBaseCluster:
             if server.block_cache is not None
         }
 
+    def enable_region_replication(self, replicas: int = 1) -> "object":
+        """Opt in to region read replicas (docs/replication.md).
+
+        Creates a :class:`~repro.hbase.replication.ReplicationManager`,
+        places ``replicas`` secondaries per region immediately, and keeps
+        them fed from :meth:`run_maintenance`.  Until this is called (the
+        default state) no replica exists and every cost path is
+        byte-identical to the seed.
+        """
+        from repro.hbase.replication import ReplicationManager
+
+        self.replication = ReplicationManager(self, replicas)
+        self.replication.ensure_placement()
+        return self.replication
+
+    def disable_region_replication(self) -> None:
+        """Drop every replica and detach the replication manager."""
+        if self.replication is None:
+            return
+        for server in self.region_servers.values():
+            server.replica_regions.clear()
+        self.replication = None
+
+    def report_server_health(self, server_id: str, healthy: bool) -> None:
+        """Serving-layer health signal feeding replica read routing."""
+        if healthy:
+            self._unhealthy_servers.discard(server_id)
+        else:
+            self._unhealthy_servers.add(server_id)
+
+    def is_server_healthy(self, server_id: str) -> bool:
+        """Alive and not flagged degraded by the serving layer."""
+        server = self.region_servers.get(server_id)
+        if server is None or not server.alive:
+            return False
+        return server_id not in self._unhealthy_servers
+
     def install_fault_injector(self, injector) -> None:
         """Attach a :class:`~repro.common.faults.FaultInjector` (None removes it).
 
@@ -168,6 +211,8 @@ class HBaseCluster:
 
     def unregister_region(self, region_name: str) -> None:
         self._regions.pop(region_name, None)
+        if self.replication is not None:
+            self.replication.drop_region(region_name)
 
     def get_region(self, region_name: str) -> Optional[Region]:
         return self._regions.get(region_name)
@@ -225,6 +270,9 @@ class HBaseCluster:
                         if region is not None and region.size_bytes() >= self.region_max_bytes:
                             self._pending_splits.add(daughter)
         moves = self.active_master.balance()
+        if self.replication is not None:
+            self.replication.ensure_placement()
+            self.replication.pump()
         return {"splits": splits, "moves": moves}
 
     def kill_region_server(self, server_id: str) -> List[str]:

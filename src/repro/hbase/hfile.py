@@ -76,6 +76,15 @@ class StoreFile:
         """Bloom-filter check used by Get to skip files."""
         return self._bloom.might_contain(row)
 
+    def block_start_keys(self) -> List[bytes]:
+        """First row key of every block -- the sparse block index.
+
+        Replica-aware routing splits a hot region's scan range at these
+        keys, so each piece aligns with whole blocks and the per-piece
+        charges sum exactly to the unsplit scan's charge.
+        """
+        return list(self._block_index)
+
     def seek_index(self, start_row: bytes) -> int:
         """Index of the first cell whose row is >= ``start_row`` (block seek)."""
         return bisect.bisect_left(self._rows, start_row)

@@ -43,7 +43,12 @@ class TableDescriptor:
 
 @dataclass(frozen=True)
 class RegionLocation:
-    """Where one region lives: its key range and its hosting server."""
+    """Where one region lives: its key range and its hosting server.
+
+    ``replica_id`` 0 is the primary; read replicas (docs/replication.md)
+    surface as additional locations with the secondary's server/host and a
+    positive id, so a scan routed there carries its provenance along.
+    """
 
     region_name: str
     table_name: str
@@ -51,6 +56,7 @@ class RegionLocation:
     end_row: bytes
     server_id: str
     host: str
+    replica_id: int = 0
 
 
 class HMaster:
@@ -214,19 +220,34 @@ class HMaster:
 
     # -- failure handling ---------------------------------------------------
     def handle_server_failure(self, server_id: str) -> List[str]:
-        """Reassign a dead server's regions, replaying its WAL (log splitting)."""
+        """Reassign a dead server's regions, replaying its WAL (log splitting).
+
+        With region replication enabled, each region is first offered to its
+        replication manager for *promotion*: a caught-up warm secondary takes
+        over without WAL replay into a cold region.  Only regions with no
+        live replica fall back to the cold reassignment path.
+        """
         self._require_active()
         dead = self.cluster.region_servers.get(server_id)
         if dead is None:
             raise HBaseError(f"unknown server {server_id}")
+        replication = self.cluster.replication
         moved = []
         for region_name, owner in list(self.assignments.items()):
             if owner != server_id:
                 continue
-            region = self.cluster.get_region(region_name)
             dead.regions.pop(region_name, None)
+            if replication is not None:
+                new_owner = replication.promote(region_name, dead.wal)
+                if new_owner is not None:
+                    self.assignments[region_name] = new_owner
+                    moved.append(region_name)
+                    continue
+            region = self.cluster.get_region(region_name)
             self._assign(region, replay_wal=dead.wal)
             moved.append(region_name)
+        if replication is not None:
+            replication.drop_server_replicas(server_id)
         self._save_state()
         return moved
 

@@ -38,6 +38,10 @@ class RegionServer:
         self.cost = cost_model
         self.wal = WriteAheadLog()
         self.regions: Dict[str, Region] = {}
+        #: read-only secondary copies served by this server; populated only
+        #: by a cluster's ReplicationManager (docs/replication.md).  Writes
+        #: never land here -- only the read path falls through to these.
+        self.replica_regions: Dict[str, Region] = {}
         self.alive = True
         #: (region_name) -> None callback fired when a region outgrows the
         #: cluster's split threshold (the master splits it on maintenance)
@@ -91,6 +95,10 @@ class RegionServer:
         for region in self.regions.values():
             for store in region.stores.values():
                 store.memstore.clear()
+        # replica copies lose their shipped (in-memory) tails the same way
+        for region in self.replica_regions.values():
+            for store in region.stores.values():
+                store.memstore.clear()
 
     def _check_alive(self) -> None:
         if not self.alive:
@@ -101,6 +109,21 @@ class RegionServer:
     def _region(self, region_name: str) -> Region:
         self._check_alive()
         region = self.regions.get(region_name)
+        if region is None:
+            raise RegionOfflineError(f"{region_name} not served by {self.server_id}")
+        return region
+
+    def _read_region(self, region_name: str) -> Region:
+        """Like :meth:`_region` but read paths may serve a replica copy.
+
+        Write paths must keep using :meth:`_region`: a mutation routed at a
+        secondary has to fail region-offline so the client relocates to the
+        primary, exactly like real HBase's read-only replicas.
+        """
+        self._check_alive()
+        region = self.regions.get(region_name)
+        if region is None:
+            region = self.replica_regions.get(region_name)
         if region is None:
             raise RegionOfflineError(f"{region_name} not served by {self.server_id}")
         return region
@@ -205,7 +228,7 @@ class RegionServer:
         decode costs for matches only -- that asymmetry is the entire point of
         predicate pushdown.
         """
-        region = self._region(region_name)
+        region = self._read_region(region_name)
         ledger = ledger if ledger is not None else CostLedger()
         if isinstance(row_filter, PageFilter):
             row_filter.reset()
@@ -346,7 +369,7 @@ class RegionServer:
         ledger: Optional[CostLedger] = None,
     ) -> Optional[RowResult]:
         """Point lookup.  Bloom filters skip store files that can't match."""
-        region = self._region(region_name)
+        region = self._read_region(region_name)
         ledger = ledger if ledger is not None else CostLedger()
         chosen = region._chosen_families(families, columns)
         probed = 0

@@ -51,6 +51,29 @@ class WriteAheadLog:
             if entry.region_name == region_name and entry.sequence_id > flushed:
                 yield from entry.cells
 
+    def last_sequence_id(self) -> int:
+        """Highest sequence id ever handed out (0 when nothing was logged)."""
+        return self._next_seq
+
+    def flushed_sequence_id(self, region_name: str) -> int:
+        """Highest sequence id known durable in store files for a region."""
+        return self._flushed_seq.get(region_name, 0)
+
+    def entries_since(self, region_name: str, sequence_id: int) -> List[WALEntry]:
+        """Entries for one region strictly after ``sequence_id``, oldest first.
+
+        This is the replication tail (docs/replication.md): a region replica
+        tracks the last sequence id it applied and ships everything newer.
+        Unlike :meth:`replay` it is *not* filtered by the flushed watermark --
+        a replica's memstore copy dedups re-shipped flushed cells via the
+        version-pruning logic, and ``truncate`` only runs when every consumer
+        is caught up.
+        """
+        return [
+            e for e in self._entries
+            if e.region_name == region_name and e.sequence_id > sequence_id
+        ]
+
     def truncate(self) -> None:
         """Drop entries already flushed by every region that logged them."""
         self._entries = [

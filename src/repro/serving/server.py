@@ -476,8 +476,14 @@ class QueryServer:
                 or self.breaker.is_degraded_latency(result.seconds)
             )
         if self.hbase_cluster is not None:
-            dead = sum(1 for s in self.hbase_cluster.region_servers.values()
-                       if not s.alive)
+            dead = 0
+            for s in self.hbase_cluster.region_servers.values():
+                if not s.alive:
+                    dead += 1
+                    # feed replica-aware read routing: dead servers stay out
+                    # of the candidate set until reported healthy again
+                    self.hbase_cluster.report_server_health(
+                        s.server_id, healthy=False)
             if dead > self._dead_servers_seen:
                 self._dead_servers_seen = dead
                 degraded = True

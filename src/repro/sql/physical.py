@@ -271,6 +271,21 @@ class DataSourceScanExec(PhysicalPlan):
                          partitions=len(scan_parts))
             ctx.metrics.incr("shc.regions_scanned", scanned)
             ctx.metrics.incr("shc.regions_pruned", max(0, total - scanned))
+        routing = getattr(rdd, "replica_routing", None)
+        if routing is not None:
+            # replica-aware routing engaged (docs/replication.md): surface
+            # the decisions in EXPLAIN ANALYZE and the per-query metrics
+            stats.update(
+                replica_scans=routing.get("replica_scans", 0),
+                replica_split_regions=routing.get("split_regions", 0),
+                replica_stale_excluded=routing.get("stale_excluded", 0),
+            )
+            fallbacks = routing.get("primary_fallbacks", 0)
+            if fallbacks:
+                stats["replica_primary_fallbacks"] = fallbacks
+                ctx.metrics.incr("hbase.replica.primary_fallbacks", fallbacks)
+        if getattr(self, "replica_reads", False):
+            stats["replica_reads"] = True
         ctx.record_operator(self, **stats)
         if span.enabled:
             span.set(**stats)

@@ -112,6 +112,13 @@ class Planner:
         #: vectorized batch execution (docs/vectorized.md): plan_query rewrites
         #: the finished tree into batch-at-a-time operators where kernels exist
         self.vectorized = bool(conf.get("sql.vectorized.enabled", False))
+        #: replica-aware scan routing (docs/replication.md): the session-level
+        #: hbase.read.replica flag, stamped onto scans so EXPLAIN ANALYZE can
+        #: surface routing intent (the relation re-reads the flag at scan
+        #: build time, where per-read options can still override it)
+        self.replica_reads = str(
+            conf.get("hbase.read.replica", "")).lower() in ("true", "1",
+                                                            "yes", "on")
 
     def plan_query(self, node: L.LogicalPlan) -> P.PhysicalPlan:
         """Compile a whole query: :meth:`plan` plus the vectorization pass.
@@ -246,6 +253,8 @@ class Planner:
             rel_node.relation, scan_attrs, offered, residual, rel_node.name,
             handled_filters=[f for f in offered if f not in unhandled],
         )
+        if self.replica_reads:
+            scan.replica_reads = True
         if project_list is None:
             return scan
         if _is_identity_projection(project_list, scan.output):

@@ -181,18 +181,35 @@ def main(argv=None) -> int:
             )
     for baseline_path in baseline_files:
         current_path = args.results / baseline_path.name
-        baseline = _load(baseline_path)
-        print(f"{baseline.get('bench', baseline_path.stem)} "
-              f"(scale={baseline.get('scale')}):")
+        try:
+            baseline = _load(baseline_path)
+        except (OSError, json.JSONDecodeError) as exc:
+            failures.append(
+                f"baseline {baseline_path.name}: unreadable JSON -- {exc}")
+            continue
+        problems = validate_payload(
+            baseline, f"baseline {baseline_path.name}")
+        bench_name = baseline.get("bench", baseline_path.stem) \
+            if isinstance(baseline, dict) else baseline_path.stem
+        scale = baseline.get("scale") if isinstance(baseline, dict) else None
+        print(f"{bench_name} (scale={scale}):")
         if not current_path.exists():
+            # a malformed baseline is reported even when the bench never
+            # ran -- both problems need fixing, name them both
+            failures.extend(problems)
             failures.append(
                 f"{baseline_path.name}: no current artifact at "
                 f"{current_path} -- did the bench run?"
             )
             continue
-        current = _load(current_path)
-        problems = validate_payload(
-            baseline, f"baseline {baseline_path.name}")
+        try:
+            current = _load(current_path)
+        except (OSError, json.JSONDecodeError) as exc:
+            failures.extend(problems)
+            failures.append(
+                f"artifact {current_path.name}: the bench emitted invalid "
+                f"JSON -- {exc}")
+            continue
         problems += validate_payload(
             current, f"artifact {current_path.name}")
         if problems:

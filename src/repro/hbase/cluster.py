@@ -74,6 +74,9 @@ class HBaseCluster:
         #: optional :class:`~repro.hbase.replication.ReplicationManager`;
         #: while None, every replication hook is a single ``is None`` check
         self.replication = None
+        #: optional :class:`~repro.hbase.cdc.CDCStream`; while None (the
+        #: default), every CDC hook is a single ``is None`` check
+        self.cdc = None
         #: servers the serving layer reported degraded (docs/replication.md);
         #: replica routing avoids them until they are reported healthy again
         self._unhealthy_servers: set = set()
@@ -154,6 +157,25 @@ class HBaseCluster:
         self.replication = ReplicationManager(self, replicas)
         self.replication.ensure_placement()
         return self.replication
+
+    def enable_cdc(self) -> "object":
+        """Opt in to change-data capture (docs/views.md).
+
+        Creates a :class:`~repro.hbase.cdc.CDCStream` (idempotent: repeated
+        calls return the same stream, keeping existing subscriptions) and
+        keeps it pumped from :meth:`run_maintenance`.  Until this is called
+        no WAL tail is ever polled and every cost path is byte-identical to
+        the seed.
+        """
+        from repro.hbase.cdc import CDCStream
+
+        if self.cdc is None:
+            self.cdc = CDCStream(self)
+        return self.cdc
+
+    def disable_cdc(self) -> None:
+        """Drop every subscription and detach the CDC stream."""
+        self.cdc = None
 
     def disable_region_replication(self) -> None:
         """Drop every replica and detach the replication manager."""
@@ -273,6 +295,8 @@ class HBaseCluster:
         if self.replication is not None:
             self.replication.ensure_placement()
             self.replication.pump()
+        if self.cdc is not None:
+            self.cdc.pump()
         return {"splits": splits, "moves": moves}
 
     def kill_region_server(self, server_id: str) -> List[str]:

@@ -255,17 +255,30 @@ class DataFrame:
         from repro.sql.planner import Planner
 
         stats = self.session.cbo_stats()
-        plan_metrics = MetricsRegistry() if stats is not None else None
+        views_ctx = self.session.view_rewrite_context()
+        plan_metrics = MetricsRegistry() \
+            if stats is not None or views_ctx is not None else None
+        if views_ctx is not None:
+            views_ctx.metrics = plan_metrics
         optimized = optimize(self.plan, conf=self.session.conf,
-                             stats=stats, metrics=plan_metrics)
+                             stats=stats, metrics=plan_metrics,
+                             views=views_ctx)
         physical = Planner(self.session.conf,
                            cache=self.session.cache_manager,
                            stats=stats,
                            metrics=plan_metrics).plan_query(optimized)
         if not analyze:
+            from repro.sql.explain import views_section_lines
+
+            extra = ""
+            if views_ctx is not None:
+                lines = views_section_lines(views_ctx.events)
+                if lines:
+                    extra = "\n" + "\n".join(lines)
             return (
                 "== Optimized Logical Plan ==\n" + optimized.pretty()
                 + "\n== Physical Plan ==\n" + physical.pretty()
+                + extra
             )
         from repro.common.tracing import Span
         from repro.sql.explain import explain_analyze_report
@@ -273,6 +286,8 @@ class DataFrame:
         trace = Span("query", "query")
         result = self.session.execute_physical(physical, trace=trace,
                                                extra_metrics=plan_metrics)
+        if views_ctx is not None:
+            result.view_events = views_ctx.events
         self.last_analyzed = result
         return (
             "== Optimized Logical Plan ==\n" + optimized.pretty()

@@ -351,6 +351,43 @@ def _serving_section(result) -> List[str]:
     return lines
 
 
+def views_section_lines(events) -> List[str]:
+    """The "Materialized Views" section for a list of rewrite events.
+
+    Empty (section omitted entirely) when no view was considered, so
+    view-free reports are byte-identical to the seed.  One line per
+    decision: a rewrite names the view and the sizes it was priced at; a
+    rejection says why the view could not answer the query (stale feed or
+    a view no smaller than the base plan).
+    """
+    if not events:
+        return []
+    lines = ["", "== Materialized Views =="]
+    for event in events:
+        action = event.get("action")
+        name = event.get("view", "?")
+        view_b = _fmt_bytes(event.get("view_bytes", 0.0))
+        base_b = _fmt_bytes(event.get("base_bytes", 0.0))
+        lag = float(event.get("lag_s", 0.0))
+        if action == "rewrites":
+            lines.append(f"rewrote onto {name}: view {view_b} vs base "
+                         f"{base_b}, lag {lag:.4f}s")
+        elif action == "rejected_stale":
+            lines.append(f"rejected {name}: stale (lag {lag:.4f}s over "
+                         f"sql.view.staleness)")
+        elif action == "rejected_cost":
+            lines.append(f"rejected {name}: view {view_b} not smaller than "
+                         f"base {base_b}")
+        else:
+            lines.append(f"{action} {name}")
+    return lines
+
+
+def _views_section(result) -> List[str]:
+    """Materialized-view decisions for this execution (sql.view.enabled)."""
+    return views_section_lines(getattr(result, "view_events", []))
+
+
 def explain_analyze_report(physical: PhysicalPlan, result) -> str:
     """The full EXPLAIN ANALYZE text for one executed query."""
     sections = [
@@ -365,6 +402,7 @@ def explain_analyze_report(physical: PhysicalPlan, result) -> str:
         *_vectorized_section(result),
         *_adaptive_section(physical, result),
         *_cbo_section(physical, result),
+        *_views_section(result),
         *_serving_section(result),
     ]
     return "\n".join(sections)

@@ -391,6 +391,74 @@ class AnalyzeTable(LogicalPlan):
         return self
 
 
+class CreateMaterializedView(LogicalPlan):
+    """``CREATE MATERIALIZED VIEW <name> AS <select>`` (docs/views.md).
+
+    The child is the *unresolved* defining query; the session analyzes it,
+    derives the view's storage layout and materializes it eagerly.
+    """
+
+    def __init__(self, name: str, child: LogicalPlan) -> None:
+        self.name = name
+        self.children = (child,)
+
+    @property
+    def output(self) -> List[E.Attribute]:
+        return []
+
+    def with_new_children(
+        self, children: Sequence[LogicalPlan]
+    ) -> "CreateMaterializedView":
+        return CreateMaterializedView(self.name, children[0])
+
+
+class DropMaterializedView(LogicalPlan):
+    """``DROP MATERIALIZED VIEW <name>``: drop storage and subscription."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    @property
+    def output(self) -> List[E.Attribute]:
+        return []
+
+    def with_new_children(
+        self, children: Sequence[LogicalPlan]
+    ) -> "DropMaterializedView":
+        return self
+
+
+class RefreshMaterializedView(LogicalPlan):
+    """``REFRESH MATERIALIZED VIEW <name>``: full recomputation."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    @property
+    def output(self) -> List[E.Attribute]:
+        return []
+
+    def with_new_children(
+        self, children: Sequence[LogicalPlan]
+    ) -> "RefreshMaterializedView":
+        return self
+
+
+class ShowMaterializedViews(LogicalPlan):
+    """``SHOW MATERIALIZED VIEWS``: list this session's registered views."""
+
+    @property
+    def output(self) -> List[E.Attribute]:
+        from repro.sql.types import StringType
+
+        return [E.Attribute("viewName", StringType)]
+
+    def with_new_children(
+        self, children: Sequence[LogicalPlan]
+    ) -> "ShowMaterializedViews":
+        return self
+
+
 class ExplainStatement(LogicalPlan):
     """``EXPLAIN <query>``: renders the plans instead of running the query."""
 

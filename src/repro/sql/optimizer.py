@@ -21,19 +21,31 @@ from repro.sql import logical as L
 
 
 def optimize(plan: L.LogicalPlan, conf: Optional[Dict[str, object]] = None,
-             stats=None, metrics=None) -> L.LogicalPlan:
+             stats=None, metrics=None, views=None) -> L.LogicalPlan:
     """Run the full rule pipeline to (practical) fixpoint.
 
     With ``sql.cbo.enabled`` and a stats store, the cost-based join-reorder
     rule (:func:`repro.sql.cbo.reorder_joins`) runs after predicate pushdown
     -- so its input cardinalities see pushed filters -- and before column
     pruning, which then minimises the reordered tree's projections.
+
+    With ``views`` (a :class:`repro.sql.views.ViewRewriteContext`, built only
+    when ``sql.view.enabled`` is on and a view exists), the materialized-view
+    rewrite runs after predicate pushdown -- so group-column filters already
+    sit directly over the base relation, which is exactly the shape the
+    matcher prices -- and before join reordering, so a rewritten aggregate
+    no longer participates in the CBO's join search.
     """
     plan = eliminate_subquery_aliases(plan)
     for __ in range(3):
         plan = combine_filters(plan)
         plan = push_down_predicates(plan)
         plan = constant_folding(plan)
+    if views is not None:
+        from repro.sql.views import rewrite_with_views
+
+        plan = rewrite_with_views(plan, views)
+        plan = push_down_predicates(plan)
     if stats is not None and conf is not None \
             and bool(conf.get("sql.cbo.enabled", False)):
         from repro.sql.cbo import reorder_joins

@@ -37,6 +37,7 @@ KEYWORDS = {
     "then", "else", "end", "cast", "union", "intersect", "all", "asc", "desc",
     "true", "false", "insert", "into", "overwrite", "values", "table", "explain", "exists",
     "show", "tables", "drop", "view", "analyze", "compute", "statistics",
+    "create", "materialized", "refresh",
 }
 
 
@@ -122,12 +123,36 @@ class Parser:
         self._advance()
         return token.text
 
+    def _expect_views_word(self) -> None:
+        # "views" is not a reserved word; SHOW MATERIALIZED VIEWS spells it
+        # as a plain identifier
+        token = self._peek()
+        if token.kind != "ident" or token.text.lower() != "views":
+            raise ParseError(f"expected 'VIEWS', found {token.text!r}")
+        self._advance()
+
     # -- entry point -------------------------------------------------------------
     def parse_query(self) -> L.LogicalPlan:
         if self._accept_keyword("show"):
+            if self._accept_keyword("materialized"):
+                self._expect_views_word()
+                return L.ShowMaterializedViews()
             self._expect_keyword("tables")
             return L.ShowTables()
+        if self._accept_keyword("create"):
+            self._expect_keyword("materialized")
+            self._expect_keyword("view")
+            name = self._expect_ident()
+            self._expect_keyword("as")
+            return L.CreateMaterializedView(name, self._parse_query_expression())
+        if self._accept_keyword("refresh"):
+            self._expect_keyword("materialized")
+            self._expect_keyword("view")
+            return L.RefreshMaterializedView(self._expect_ident())
         if self._accept_keyword("drop"):
+            if self._accept_keyword("materialized"):
+                self._expect_keyword("view")
+                return L.DropMaterializedView(self._expect_ident())
             self._expect_keyword("view")
             return L.DropView(self._expect_ident())
         if self._accept_keyword("analyze"):

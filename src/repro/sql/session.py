@@ -56,6 +56,10 @@ class QueryResult:
     #: queue wait, breaker state, leased slots); None for direct runs --
     #: see docs/serving.md and the EXPLAIN ANALYZE serving section
     serving: Optional[Dict[str, object]] = None
+    #: materialized-view rewrite decisions (sql.view.enabled), in match
+    #: order; empty when no view was considered -- see docs/views.md and
+    #: the EXPLAIN ANALYZE "Materialized Views" section
+    view_events: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def shuffle_bytes(self) -> float:
@@ -170,6 +174,15 @@ DEFAULT_CONF: Dict[str, object] = {
     "serving.breaker.probe.count": 2,       # half-open probe arrivals
     "serving.breaker.retry.signal": 2,      # hbase.retries that flag degraded
     "serving.breaker.latency.threshold.s": None,
+    # materialized views (docs/views.md): CREATE MATERIALIZED VIEW persists
+    # aggregations/joins as HBase tables maintained incrementally from a
+    # WAL-tailing CDC feed, and the optimizer rewrites matching queries onto
+    # fresh-enough views.  Off by default -- with the flag off (or on but no
+    # view created) planning and every ledger are byte-identical to the seed
+    "sql.view.enabled": False,
+    # maximum CDC lag (simulated seconds of unshipped WAL tail) a view may
+    # carry and still answer queries; 0.0 = only fully caught-up views
+    "sql.view.staleness": 0.0,
 }
 
 
@@ -189,10 +202,16 @@ class SparkSession:
         self.cost = cost_model if cost_model is not None else DEFAULT_COST_MODEL
         self.clock = clock if clock is not None else SimClock()
         self.conf: Dict[str, object] = dict(DEFAULT_CONF)
-        # CI's vectorized tier-1 leg flips the default without editing every
+        # CI's flag-matrix tier-1 legs flip defaults without editing every
         # test; an explicit session conf still wins (applied after)
         if os.environ.get("REPRO_SQL_VECTORIZED"):
             self.conf["sql.vectorized.enabled"] = True
+        if os.environ.get("REPRO_SQL_CBO"):
+            self.conf["sql.cbo.enabled"] = True
+        if os.environ.get("REPRO_SQL_AQE"):
+            self.conf["sql.aqe.enabled"] = True
+        if os.environ.get("REPRO_SQL_VIEWS"):
+            self.conf["sql.view.enabled"] = True
         if conf:
             self.conf.update(conf)
         self.cluster = ComputeCluster(
@@ -214,6 +233,9 @@ class SparkSession:
             self.cache_manager = CacheManager(
                 int(self.conf.get("sql.cache.max.bytes", 64 * 1024 * 1024))
             )
+        #: lazy ViewManager (docs/views.md); stays None until the first
+        #: view statement, so view-free sessions never touch the module
+        self._view_manager = None
 
     def install_fault_injector(self, injector) -> None:
         """Attach a :class:`~repro.common.faults.FaultInjector` (None removes it).
@@ -278,11 +300,16 @@ class SparkSession:
 
         plan = parse(text)
         from repro.sql.logical import (
-            AnalyzeTable, DropView, ExplainStatement, ShowTables,
+            AnalyzeTable, CreateMaterializedView, DropMaterializedView,
+            DropView, ExplainStatement, RefreshMaterializedView,
+            ShowMaterializedViews, ShowTables,
         )
 
         if isinstance(plan, AnalyzeTable):
             return self.analyze_table(plan.name)
+        if isinstance(plan, (CreateMaterializedView, DropMaterializedView,
+                             RefreshMaterializedView, ShowMaterializedViews)):
+            return self._view_statement(plan, text)
         if isinstance(plan, ShowTables):
             schema = StructType().add("tableName", type_from_name("string"))
             names = [(name,) for name in self.catalog.names()]
@@ -303,6 +330,55 @@ class SparkSession:
             rows = [tuple(r.values) for r in result.rows]
             return DataFrame(self, LocalRelation(result.schema, rows))
         return DataFrame(self, plan)
+
+    # -- materialized views (docs/views.md) --------------------------------------
+    @property
+    def views(self):
+        """The session's view manager, created on first use."""
+        if self._view_manager is None:
+            from repro.sql.views import ViewManager
+
+            self._view_manager = ViewManager(self)
+        return self._view_manager
+
+    def view_rewrite_context(self):
+        """Per-query rewrite state, or None when views cannot apply.
+
+        None is the common case -- flag off, or no view ever created in
+        this session -- and keeps the planning path allocation-identical
+        to the seed.
+        """
+        if self._view_manager is None:
+            return None
+        if not bool(self.conf.get("sql.view.enabled", False)):
+            return None
+        from repro.sql.views import build_rewrite_context
+
+        return build_rewrite_context(self)
+
+    def _view_statement(self, plan, text: str):
+        """Run one of the eager MATERIALIZED VIEW statements."""
+        from repro.sql.dataframe import DataFrame
+        from repro.sql.logical import (
+            CreateMaterializedView, DropMaterializedView, LocalRelation,
+            RefreshMaterializedView,
+        )
+
+        if not bool(self.conf.get("sql.view.enabled", False)):
+            raise AnalysisError(
+                "materialized views are disabled; set sql.view.enabled"
+            )
+        if isinstance(plan, CreateMaterializedView):
+            schema, rows, metrics = self.views.create(
+                plan.name, plan.children[0], text)
+        elif isinstance(plan, RefreshMaterializedView):
+            schema, rows, metrics = self.views.refresh(plan.name)
+        elif isinstance(plan, DropMaterializedView):
+            schema, rows, metrics = self.views.drop(plan.name)
+        else:
+            schema, rows, metrics = self.views.show()
+        return DataFrame(self, LocalRelation(schema, rows),
+                         pending_metrics=metrics)
 
     def analyze_table(self, name: str):
         """``ANALYZE TABLE name COMPUTE STATISTICS``: scan once, keep stats.
@@ -393,20 +469,28 @@ class SparkSession:
             return self._execute_insert(plan)
         trace = self.query_trace(trace)
         stats = self.cbo_stats()
-        # planning-time CBO counters (reorders, estimates) ride into the
-        # query's registry; None keeps the default path allocation-identical
-        plan_metrics = MetricsRegistry() if stats is not None else None
+        views_ctx = self.view_rewrite_context()
+        # planning-time CBO/view counters (reorders, estimates, rewrites)
+        # ride into the query's registry; None keeps the default path
+        # allocation-identical
+        plan_metrics = MetricsRegistry() \
+            if stats is not None or views_ctx is not None else None
+        if views_ctx is not None:
+            views_ctx.metrics = plan_metrics
         span = trace.child("optimize", "plan", order=(0, 0))
         optimized = optimize(plan, conf=self.conf, stats=stats,
-                             metrics=plan_metrics)
+                             metrics=plan_metrics, views=views_ctx)
         span.finish()
         span = trace.child("plan", "plan", order=(0, 1))
         physical = Planner(self.conf, cache=self.cache_manager, stats=stats,
                            metrics=plan_metrics).plan_query(optimized)
         span.finish()
-        return self.execute_physical(physical, trace=trace, slots=slots,
-                                     queued_s=queued_s,
-                                     extra_metrics=plan_metrics)
+        result = self.execute_physical(physical, trace=trace, slots=slots,
+                                       queued_s=queued_s,
+                                       extra_metrics=plan_metrics)
+        if views_ctx is not None:
+            result.view_events = views_ctx.events
+        return result
 
     def cbo_stats(self) -> Optional[StatsStore]:
         """The stats store when ``sql.cbo.enabled`` is on, else None."""

@@ -1,0 +1,1314 @@
+"""Materialized views: storage, CDC-driven maintenance, query rewriting.
+
+``CREATE MATERIALIZED VIEW <name> AS <select>`` persists an aggregation (or
+a two-table equi-join) as a real HBase table whose composite row key is
+derived from the group-by (or join) keys -- so a dashboard query that the
+optimizer answers from the view becomes a pruned point-range read instead
+of a full base-table scan (ROADMAP item 1, after Hive's materialized-view
+rewriting).  Three cooperating pieces live here:
+
+- **Definition & storage** (:func:`derive_view_definition`).  The defining
+  query is analyzed and restricted to shapes we can maintain exactly:
+  ``GROUP BY`` over one HBase table with Count/Sum/Avg/Min/Max aggregates,
+  or an inner equi-join of a fact table against a dimension table keyed by
+  its whole row key.  The view's storage catalog leads with the group-by
+  columns (fact row key for joins) so group predicates prune regions, and
+  Avg additionally persists hidden ``(sum, count)`` helper columns so it
+  can be maintained incrementally without losing exactness.
+- **Incremental maintenance** (:class:`ViewMaintainer`).  A WAL-tailing
+  :class:`~repro.hbase.cdc.CDCStream` subscription delivers base-table
+  Puts and Deletes; fresh inserts apply as additive deltas, overwrites and
+  tombstones recount just the affected groups through a row-key prefix
+  scan (the Min/Max tombstone-recount path), and join views upsert by key.
+  Shapes the incremental path cannot repair exactly invalidate the view
+  until ``REFRESH MATERIALIZED VIEW`` recomputes it.  All maintenance I/O
+  is billed to a cluster-owned cost ledger under ``sql.view.*`` counters.
+- **Automatic rewriting** (:func:`rewrite_with_views`).  During
+  optimization, a matching Aggregate (or Project-over-Join) subtree is
+  replaced by a scan of the view -- but only when the view is *fresh
+  enough*: not invalidated, and its CDC lag (simulated seconds of
+  unshipped WAL tail) is within ``sql.view.staleness``.  The replacement
+  is priced against the base plan -- with PR-8's statistics when
+  ``sql.cbo.enabled`` provides them, else by relation size -- and every
+  decision surfaces in EXPLAIN's "Materialized Views" section.
+
+Everything is gated on ``sql.view.enabled``; with the flag off (or on but
+no view created) no code here runs and every ledger stays byte-identical
+to the seed (tests/integration/test_view_invariance.py).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.common.errors import AnalysisError
+from repro.common.metrics import CostLedger, MetricsRegistry
+from repro.sql import expressions as E
+from repro.sql import logical as L
+from repro.sql.types import type_from_name
+
+#: table attribute under which a view's definition JSON is persisted
+VIEW_ATTRIBUTE = "shc.view.definition"
+
+#: storage table name prefix (keeps view tables out of base-table namespace)
+VIEW_TABLE_PREFIX = "mv_"
+
+#: hidden helper columns (never exposed to the rewriter)
+ROWS_HELPER = "_rows"
+
+_AGG_NAMES = {E.Count: "count", E.Sum: "sum", E.Avg: "avg",
+              E.Min: "min", E.Max: "max"}
+_AGG_BUILDERS = {"count": E.Count, "sum": E.Sum, "avg": E.Avg,
+                 "min": E.Min, "max": E.Max}
+
+#: encoded width reserved for variable-width (string) key dimensions
+KEY_DIMENSION_LENGTH = 64
+
+
+class ViewDefinition:
+    """Everything needed to rebuild, maintain and match one view."""
+
+    def __init__(self, name: str, kind: str, sql: str, quorum: str,
+                 base_table: str, base_catalog: str,
+                 group_by: Sequence[str], aggregates: Sequence[dict],
+                 storage_catalog: str, public_catalog: str,
+                 prefix_recountable: bool = False,
+                 right_table: Optional[str] = None,
+                 right_catalog: Optional[str] = None,
+                 left_key: Optional[str] = None,
+                 right_key: Optional[str] = None,
+                 columns: Sequence[dict] = (),
+                 invalidated: bool = False) -> None:
+        self.name = name
+        self.kind = kind  # "aggregate" | "join"
+        self.sql = sql
+        self.quorum = quorum
+        self.base_table = base_table
+        self.base_catalog = base_catalog
+        #: group-by columns in storage row-key order (aggregate views)
+        self.group_by = list(group_by)
+        #: [{"fn", "arg", "out", "type"}] (aggregate views)
+        self.aggregates = [dict(a) for a in aggregates]
+        self.storage_catalog = storage_catalog
+        self.public_catalog = public_catalog
+        #: group-by columns form a prefix of the base row key, so affected
+        #: groups can be recounted with one range scan
+        self.prefix_recountable = prefix_recountable
+        self.right_table = right_table
+        self.right_catalog = right_catalog
+        self.left_key = left_key
+        self.right_key = right_key
+        #: [{"side", "col", "out", "type"}] (join views)
+        self.columns = [dict(c) for c in columns]
+        self.invalidated = invalidated
+
+    @property
+    def storage_table(self) -> str:
+        return VIEW_TABLE_PREFIX + self.name
+
+    @property
+    def subscription_name(self) -> str:
+        return f"view:{self.name}"
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "name": self.name, "kind": self.kind, "sql": self.sql,
+            "quorum": self.quorum, "base_table": self.base_table,
+            "base_catalog": self.base_catalog, "group_by": self.group_by,
+            "aggregates": self.aggregates,
+            "storage_catalog": self.storage_catalog,
+            "public_catalog": self.public_catalog,
+            "prefix_recountable": self.prefix_recountable,
+            "right_table": self.right_table,
+            "right_catalog": self.right_catalog,
+            "left_key": self.left_key, "right_key": self.right_key,
+            "columns": self.columns, "invalidated": self.invalidated,
+        }, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ViewDefinition":
+        spec = json.loads(text)
+        return cls(**spec)
+
+
+# -- definition derivation -------------------------------------------------------
+
+def _strip_scopes(node: L.LogicalPlan) -> L.LogicalPlan:
+    while isinstance(node, L.SubqueryAlias):
+        node = node.children[0]
+    return node
+
+
+def _hbase_leaf(node: L.LogicalPlan):
+    """The node as an HBase-backed LogicalRelation, or None."""
+    node = _strip_scopes(node)
+    if isinstance(node, L.LogicalRelation):
+        relation = node.relation
+        if hasattr(relation, "catalog") and hasattr(relation, "cluster"):
+            return node
+    return None
+
+
+def _key_column_spec(name: str, dtype, length: Optional[int],
+                     terminal: bool) -> dict:
+    spec = {"cf": "rowkey", "col": name, "type": dtype.name}
+    if length is not None:
+        spec["length"] = length
+    elif dtype.fixed_width is None and not terminal:
+        spec["length"] = KEY_DIMENSION_LENGTH
+    return spec
+
+
+def _view_catalog_json(table_name: str, coder: str, key_columns: List[dict],
+                       data_columns: List[dict]) -> str:
+    return json.dumps({
+        "table": {"namespace": "default", "name": table_name,
+                  "tableCoder": coder, "Version": "2.0"},
+        "rowkey": ":".join(spec["col"] for spec in key_columns),
+        "columns": {spec["col"]: dict(spec) for spec in key_columns + data_columns},
+    })
+
+
+def derive_view_definition(name: str, analyzed: L.LogicalPlan,
+                           sql_text: str) -> ViewDefinition:
+    """Validate a defining query and derive the view's stored layout."""
+    node = _strip_scopes(analyzed)
+    if isinstance(node, L.Aggregate):
+        return _derive_aggregate(name, node, sql_text)
+    if isinstance(node, L.Project) and node.children \
+            and isinstance(_strip_scopes(node.children[0]), L.Join):
+        return _derive_join(name, node, _strip_scopes(node.children[0]),
+                            sql_text)
+    raise AnalysisError(
+        "a materialized view must be a GROUP BY aggregate over one HBase "
+        "table or a two-table inner equi-join select"
+    )
+
+
+def _derive_aggregate(name: str, agg: L.Aggregate,
+                      sql_text: str) -> ViewDefinition:
+    leaf = _hbase_leaf(agg.children[0])
+    if leaf is None:
+        raise AnalysisError(
+            "an aggregate materialized view must group one HBase table "
+            "directly (no filters, joins or subqueries in the definition)"
+        )
+    relation = leaf.relation
+    catalog = relation.catalog
+    attr_names = {a.attr_id: a.name for a in leaf.output}
+
+    if not agg.groupings:
+        raise AnalysisError(
+            "a materialized view needs at least one GROUP BY column"
+        )
+    group_by: List[str] = []
+    for g in agg.groupings:
+        if not isinstance(g, E.Attribute) or g.attr_id not in attr_names:
+            raise AnalysisError(
+                f"materialized-view GROUP BY supports plain columns only, "
+                f"not {g!r}"
+            )
+        group_by.append(g.name)
+    if len(set(group_by)) != len(group_by):
+        raise AnalysisError("duplicate GROUP BY column in view definition")
+
+    grouping_ids = {g.attr_id for g in agg.groupings}
+    aggregates: List[dict] = []
+    for item in agg.aggregate_list:
+        if isinstance(item, E.Attribute):
+            if item.attr_id not in grouping_ids:
+                raise AnalysisError(f"{item!r} is not a grouping column")
+            continue
+        expr = item.child
+        if isinstance(expr, E.Attribute):
+            if expr.attr_id not in grouping_ids:
+                raise AnalysisError(f"{expr!r} is not a grouping column")
+            continue
+        fn = _AGG_NAMES.get(type(expr))
+        if fn is None or not isinstance(expr, E.AggregateExpression):
+            raise AnalysisError(
+                f"materialized views support count/sum/avg/min/max, "
+                f"not {item!r}"
+            )
+        if expr.distinct:
+            raise AnalysisError(
+                "DISTINCT aggregates cannot be maintained incrementally"
+            )
+        arg: Optional[str] = None
+        if expr.children:
+            child = expr.children[0]
+            if not isinstance(child, E.Attribute) \
+                    or child.attr_id not in attr_names:
+                raise AnalysisError(
+                    f"aggregate arguments must be plain columns, not {child!r}"
+                )
+            arg = child.name
+        aggregates.append({"fn": fn, "arg": arg, "out": item.name,
+                           "type": expr.data_type().name})
+    if not aggregates:
+        raise AnalysisError("a materialized view needs at least one aggregate")
+
+    outs = [a["out"] for a in aggregates]
+    helper_names = [ROWS_HELPER] + [
+        h for a in aggregates if a["fn"] == "avg"
+        for h in (f"_sum_{a['out']}", f"_cnt_{a['out']}")
+    ]
+    taken: Set[str] = set()
+    for out in outs + group_by + helper_names:
+        if out in taken:
+            raise AnalysisError(
+                f"view output name {out!r} is used more than once"
+            )
+        taken.add(out)
+
+    # storage row key: group columns, in base row-key order when they form
+    # a prefix of it (then tombstones recount with one prefix range scan)
+    key_prefix = list(catalog.row_key[:len(group_by)])
+    prefix_recountable = set(group_by) == set(key_prefix)
+    if prefix_recountable:
+        group_by = key_prefix
+
+    attr_by_name = {a.name: a for a in leaf.output}
+    key_columns = []
+    for i, g in enumerate(group_by):
+        dtype = attr_by_name[g].dtype
+        base_col = catalog.columns.get(g)
+        length = base_col.length if base_col is not None else None
+        key_columns.append(
+            _key_column_spec(g, dtype, length, i == len(group_by) - 1))
+
+    data_columns = [{"cf": "m", "col": a["out"], "type": a["type"]}
+                    for a in aggregates]
+    helper_columns = [{"cf": "m", "col": ROWS_HELPER, "type": "bigint"}]
+    for a in aggregates:
+        if a["fn"] != "avg":
+            continue
+        sum_type = E.Sum(attr_by_name[a["arg"]]).data_type().name
+        helper_columns.append(
+            {"cf": "m", "col": f"_sum_{a['out']}", "type": sum_type})
+        helper_columns.append(
+            {"cf": "m", "col": f"_cnt_{a['out']}", "type": "bigint"})
+
+    table_name = VIEW_TABLE_PREFIX + name
+    coder = catalog.table_coder
+    storage = _view_catalog_json(table_name, coder, key_columns,
+                                 data_columns + helper_columns)
+    public = _view_catalog_json(table_name, coder, key_columns, data_columns)
+    return ViewDefinition(
+        name=name, kind="aggregate", sql=sql_text,
+        quorum=relation.cluster.quorum,
+        base_table=catalog.qualified_name,
+        base_catalog=relation.options.get("catalog"),
+        group_by=group_by, aggregates=aggregates,
+        storage_catalog=storage, public_catalog=public,
+        prefix_recountable=prefix_recountable,
+    )
+
+
+def _derive_join(name: str, project: L.Project, join: L.Join,
+                 sql_text: str) -> ViewDefinition:
+    if join.how != "inner":
+        raise AnalysisError("join materialized views must be INNER joins")
+    left = _hbase_leaf(join.children[0])
+    right = _hbase_leaf(join.children[1])
+    if left is None or right is None:
+        raise AnalysisError(
+            "join materialized views must join two HBase tables directly"
+        )
+    if left.relation.cluster is not right.relation.cluster:
+        raise AnalysisError("both join sides must live on the same cluster")
+    cond = join.condition
+    if not isinstance(cond, E.Comparison) or cond.op != "=":
+        raise AnalysisError(
+            "join materialized views need a single equi-join condition"
+        )
+    left_ids = {a.attr_id: a.name for a in left.output}
+    right_ids = {a.attr_id: a.name for a in right.output}
+    a, b = cond.children
+    if not (isinstance(a, E.Attribute) and isinstance(b, E.Attribute)):
+        raise AnalysisError("the join condition must compare plain columns")
+    if a.attr_id in left_ids and b.attr_id in right_ids:
+        left_key, right_key = a.name, b.name
+    elif b.attr_id in left_ids and a.attr_id in right_ids:
+        left_key, right_key = b.name, a.name
+    else:
+        raise AnalysisError("the join condition must span both tables")
+
+    right_catalog = right.relation.catalog
+    if list(right_catalog.row_key) != [right_key]:
+        raise AnalysisError(
+            f"the dimension side's join key must be its whole row key "
+            f"({right_catalog.row_key!r}), so maintenance can re-join by "
+            f"point lookup"
+        )
+
+    columns: List[dict] = []
+    taken: Set[str] = set()
+    for item in project.project_list:
+        attr = item.child if isinstance(item, E.Alias) else item
+        if not isinstance(attr, E.Attribute):
+            raise AnalysisError(
+                f"join view select lists support plain columns, not {item!r}"
+            )
+        if attr.attr_id in left_ids:
+            side = "left"
+        elif attr.attr_id in right_ids:
+            side = "right"
+        else:
+            raise AnalysisError(f"cannot place {item!r} on either join side")
+        out = item.name
+        if out in taken:
+            raise AnalysisError(
+                f"view output name {out!r} is used more than once")
+        taken.add(out)
+        columns.append({"side": side, "col": attr.name, "out": out,
+                        "type": attr.dtype.name})
+    if not columns:
+        raise AnalysisError("a join view must select at least one column")
+
+    left_catalog = left.relation.catalog
+    key_columns = []
+    for i, dim in enumerate(left_catalog.row_key):
+        col = left_catalog.column(dim)
+        key_columns.append(_key_column_spec(
+            f"_k{i}", col.dtype, col.length,
+            i == len(left_catalog.row_key) - 1))
+    data_columns = [{"cf": "m", "col": c["out"], "type": c["type"]}
+                    for c in columns]
+    table_name = VIEW_TABLE_PREFIX + name
+    coder = left_catalog.table_coder
+    storage = _view_catalog_json(table_name, coder, key_columns, data_columns)
+    return ViewDefinition(
+        name=name, kind="join", sql=sql_text,
+        quorum=left.relation.cluster.quorum,
+        base_table=left_catalog.qualified_name,
+        base_catalog=left.relation.options.get("catalog"),
+        group_by=[], aggregates=[],
+        storage_catalog=storage, public_catalog=storage,
+        prefix_recountable=(left_key == left_catalog.row_key[0]),
+        right_table=right_catalog.qualified_name,
+        right_catalog=right.relation.options.get("catalog"),
+        left_key=left_key, right_key=right_key, columns=columns,
+    )
+
+
+# -- materialization -------------------------------------------------------------
+
+def _view_relation(vdef: ViewDefinition, session, public: bool = True):
+    from repro.core.catalog import HBaseTableCatalog
+    from repro.core.relation import QUORUM_OPTION, HBaseRelation
+
+    catalog = vdef.public_catalog if public else vdef.storage_catalog
+    return HBaseRelation({HBaseTableCatalog.tableCatalog: catalog,
+                          QUORUM_OPTION: vdef.quorum}, session)
+
+
+def _base_relation(vdef: ViewDefinition, session, right: bool = False):
+    from repro.core.catalog import HBaseTableCatalog
+    from repro.core.relation import QUORUM_OPTION, HBaseRelation
+
+    catalog = vdef.right_catalog if right else vdef.base_catalog
+    return HBaseRelation({HBaseTableCatalog.tableCatalog: catalog,
+                          QUORUM_OPTION: vdef.quorum}, session)
+
+
+def definition_plan(vdef: ViewDefinition, session) -> L.LogicalPlan:
+    """The augmented plan whose output is the view's *storage* schema.
+
+    Rebuilt from the persisted definition (never from the user's original
+    plan object) so CREATE and REFRESH materialize the exact same query.
+    """
+    if vdef.kind == "aggregate":
+        leaf = L.LogicalRelation(_base_relation(vdef, session))
+        by_name = {a.name: a for a in leaf.output}
+        groupings = [by_name[g] for g in vdef.group_by]
+        items: List[E.Expression] = [
+            E.Alias(by_name[g], g) for g in vdef.group_by
+        ]
+        for a in vdef.aggregates:
+            builder = _AGG_BUILDERS[a["fn"]]
+            arg = by_name[a["arg"]] if a["arg"] is not None else None
+            items.append(E.Alias(builder(arg), a["out"]))
+        items.append(E.Alias(E.Count(None), ROWS_HELPER))
+        for a in vdef.aggregates:
+            if a["fn"] != "avg":
+                continue
+            arg = by_name[a["arg"]]
+            items.append(E.Alias(E.Sum(arg), f"_sum_{a['out']}"))
+            items.append(E.Alias(E.Count(arg), f"_cnt_{a['out']}"))
+        return L.Aggregate(groupings, items, leaf)
+
+    left = L.LogicalRelation(_base_relation(vdef, session))
+    right = L.LogicalRelation(_base_relation(vdef, session, right=True))
+    left_by_name = {a.name: a for a in left.output}
+    right_by_name = {a.name: a for a in right.output}
+    condition = E.Comparison("=", left_by_name[vdef.left_key],
+                             right_by_name[vdef.right_key])
+    join = L.Join(left, right, "inner", condition)
+    items = []
+    for i, dim in enumerate(_left_row_key(vdef)):
+        items.append(E.Alias(left_by_name[dim], f"_k{i}"))
+    for c in vdef.columns:
+        side = left_by_name if c["side"] == "left" else right_by_name
+        items.append(E.Alias(side[c["col"]], c["out"]))
+    return L.Project(items, join)
+
+
+def _left_row_key(vdef: ViewDefinition) -> List[str]:
+    from repro.core.catalog import HBaseTableCatalog
+
+    return list(HBaseTableCatalog.from_json(vdef.base_catalog).row_key)
+
+
+# -- the manager -----------------------------------------------------------------
+
+class ViewManager:
+    """One session's registry of materialized views (docs/views.md)."""
+
+    def __init__(self, session) -> None:
+        self.session = session
+        self._views: Dict[str, ViewDefinition] = {}
+        self._maintainers: Dict[str, "ViewMaintainer"] = {}
+
+    # -- statements --------------------------------------------------------
+    def create(self, name: str, child: L.LogicalPlan, sql_text: str):
+        """CREATE MATERIALIZED VIEW: derive, subscribe, materialize, persist."""
+        from repro.hbase.cluster import get_cluster
+
+        name = name.lower()
+        if name in self._views:
+            raise AnalysisError(f"materialized view {name!r} already exists")
+        analyzed = self.session.analyze(child)
+        vdef = derive_view_definition(name, analyzed, sql_text)
+        cluster = get_cluster(vdef.quorum)
+        if cluster.has_table(vdef.storage_table):
+            raise AnalysisError(
+                f"table {vdef.storage_table!r} already exists on the cluster"
+            )
+        stream = cluster.enable_cdc()
+        maintainer = ViewMaintainer(vdef, cluster)
+        tables = [vdef.base_table]
+        if vdef.kind == "join":
+            tables.append(vdef.right_table)
+        # subscribe *before* materializing: the snapshot then covers exactly
+        # the WAL history before the subscription baseline, and the feed
+        # exactly what lands after it
+        stream.subscribe(vdef.subscription_name, tables, maintainer.on_change)
+        try:
+            write = self._materialize(vdef)
+        except Exception:
+            stream.unsubscribe(vdef.subscription_name)
+            raise
+        self._persist(cluster, vdef)
+        self._views[name] = vdef
+        self._maintainers[name] = maintainer
+        metrics = MetricsRegistry()
+        metrics.merge(write.metrics)
+        metrics.incr("sql.view.created")
+        return _summary(
+            ("view", "string"), ("kind", "string"), ("table", "string"),
+            ("rows_written", "bigint"),
+            rows=[(name, vdef.kind, vdef.storage_table, write.rows_written)],
+            metrics=metrics,
+        )
+
+    def refresh(self, name: str):
+        """REFRESH MATERIALIZED VIEW: full recompute, feed re-based."""
+        from repro.hbase.cluster import get_cluster
+
+        vdef = self._lookup(name)
+        cluster = get_cluster(vdef.quorum)
+        stream = cluster.enable_cdc()
+        maintainer = self._maintainers[vdef.name]
+        # re-base the subscription first: the fresh snapshot includes every
+        # change up to this instant, so the old cursor state must not replay
+        stream.unsubscribe(vdef.subscription_name)
+        tables = [vdef.base_table]
+        if vdef.kind == "join":
+            tables.append(vdef.right_table)
+        stream.subscribe(vdef.subscription_name, tables, maintainer.on_change)
+        write = self._materialize(vdef)
+        vdef.invalidated = False
+        self._persist(cluster, vdef)
+        metrics = MetricsRegistry()
+        metrics.merge(write.metrics)
+        metrics.incr("sql.view.refreshed")
+        return _summary(
+            ("view", "string"), ("rows_written", "bigint"),
+            rows=[(vdef.name, write.rows_written)], metrics=metrics,
+        )
+
+    def drop(self, name: str):
+        """DROP MATERIALIZED VIEW: storage, subscription and registration."""
+        from repro.hbase.cluster import get_cluster
+
+        vdef = self._lookup(name)
+        cluster = get_cluster(vdef.quorum)
+        if cluster.cdc is not None:
+            cluster.cdc.unsubscribe(vdef.subscription_name)
+        if cluster.has_table(vdef.storage_table):
+            cluster.drop_table(vdef.storage_table)
+        self._views.pop(vdef.name, None)
+        self._maintainers.pop(vdef.name, None)
+        metrics = MetricsRegistry()
+        metrics.incr("sql.view.dropped")
+        return _summary(("dropped", "string"), rows=[(vdef.name,)],
+                        metrics=metrics)
+
+    def show(self):
+        """SHOW MATERIALIZED VIEWS: one row per registered view."""
+        from repro.hbase.cluster import get_cluster
+
+        rows = []
+        for name in sorted(self._views):
+            vdef = self._views[name]
+            cluster = get_cluster(vdef.quorum)
+            lag = 0.0
+            if cluster.cdc is not None and vdef.subscription_name in \
+                    cluster.cdc.subscription_names():
+                lag = cluster.cdc.lag_s(vdef.subscription_name)
+            rows.append((name, vdef.kind, vdef.base_table,
+                         vdef.storage_table, bool(vdef.invalidated), lag))
+        return _summary(
+            ("view", "string"), ("kind", "string"), ("base", "string"),
+            ("table", "string"), ("invalidated", "boolean"),
+            ("lag_s", "double"), rows=rows, metrics=None,
+        )
+
+    # -- registry ----------------------------------------------------------
+    def definitions(self) -> List[ViewDefinition]:
+        return [self._views[name] for name in sorted(self._views)]
+
+    def maintainer(self, name: str) -> "ViewMaintainer":
+        return self._maintainers[name.lower()]
+
+    def hydrate(self, cluster) -> List[str]:
+        """Adopt views persisted on ``cluster`` by an earlier session.
+
+        Views whose CDC subscription is still live on the cluster keep
+        their existing maintainer (re-subscribing would re-baseline the
+        feed and drop pending changes); only orphaned views get a new one.
+        """
+        adopted: List[str] = []
+        stream = None
+        for table_name in sorted(cluster.active_master.tables):
+            raw = cluster.get_table_attribute(table_name, VIEW_ATTRIBUTE)
+            if raw is None:
+                continue
+            vdef = ViewDefinition.from_json(raw)
+            if vdef.name in self._views:
+                continue
+            if stream is None:
+                stream = cluster.enable_cdc()
+            maintainer = ViewMaintainer(vdef, cluster)
+            if vdef.subscription_name not in stream.subscription_names():
+                tables = [vdef.base_table]
+                if vdef.kind == "join":
+                    tables.append(vdef.right_table)
+                stream.subscribe(vdef.subscription_name, tables,
+                                 maintainer.on_change)
+            self._views[vdef.name] = vdef
+            self._maintainers[vdef.name] = maintainer
+            adopted.append(vdef.name)
+        return adopted
+
+    # -- internals ---------------------------------------------------------
+    def _lookup(self, name: str) -> ViewDefinition:
+        vdef = self._views.get(name.lower())
+        if vdef is None:
+            raise AnalysisError(
+                f"no materialized view named {name!r}; "
+                f"known: {sorted(self._views)}"
+            )
+        return vdef
+
+    def _materialize(self, vdef: ViewDefinition):
+        from repro.core.catalog import HBaseTableCatalog
+        from repro.core.relation import DEFAULT_FORMAT, QUORUM_OPTION
+
+        plan = definition_plan(vdef, self.session)
+        options = {
+            HBaseTableCatalog.tableCatalog: vdef.storage_catalog,
+            HBaseTableCatalog.newTable: "1",
+            QUORUM_OPTION: vdef.quorum,
+        }
+        return self.session.execute_write(plan, DEFAULT_FORMAT, options,
+                                          mode="overwrite")
+
+    @staticmethod
+    def _persist(cluster, vdef: ViewDefinition) -> None:
+        cluster.set_table_attribute(vdef.storage_table, VIEW_ATTRIBUTE,
+                                    vdef.to_json())
+
+
+def _summary(*cols: Tuple[str, str], rows, metrics):
+    from repro.sql.types import StructType
+
+    schema = StructType()
+    for name, type_name in cols:
+        schema = schema.add(name, type_from_name(type_name))
+    return schema, rows, metrics
+
+
+# -- incremental maintenance -----------------------------------------------------
+
+class ViewMaintainer:
+    """Applies one view's CDC feed to its storage table.
+
+    Pure HBase-client consumer: maintenance reads and writes go through
+    :class:`~repro.hbase.client.Table` with a cluster-owned
+    :class:`~repro.common.metrics.CostLedger`, so every byte of maintenance
+    I/O is billed (``sql.view.*`` counters name the work, the standard
+    ``hbase.*`` counters the I/O).
+    """
+
+    def __init__(self, vdef: ViewDefinition, cluster) -> None:
+        from repro.core.catalog import HBaseTableCatalog
+        from repro.core.coders import get_coder
+
+        self.vdef = vdef
+        self.cluster = cluster
+        self.ledger = CostLedger(cluster.metrics)
+        self.base_catalog = HBaseTableCatalog.from_json(vdef.base_catalog)
+        self.storage_catalog = HBaseTableCatalog.from_json(vdef.storage_catalog)
+        self.right_catalog = (
+            HBaseTableCatalog.from_json(vdef.right_catalog)
+            if vdef.right_catalog else None
+        )
+        self.coder = get_coder(self.base_catalog.table_coder)
+        self._connection = None
+
+    # -- plumbing ----------------------------------------------------------
+    def _table(self, qualified_name: str):
+        from repro.hbase.client import ConnectionFactory
+
+        if self._connection is None or self._connection.closed:
+            self._connection = ConnectionFactory.create_connection(
+                self.cluster.configuration("view-maintainer"))
+        return self._connection.get_table(qualified_name)
+
+    def _invalidate(self) -> None:
+        if self.vdef.invalidated:
+            return
+        self.vdef.invalidated = True
+        self.cluster.set_table_attribute(self.vdef.storage_table,
+                                         VIEW_ATTRIBUTE, self.vdef.to_json())
+        self.ledger.count("sql.view.invalidations")
+
+    # -- the CDC callback --------------------------------------------------
+    def on_change(self, table: str, cells) -> None:
+        if self.vdef.invalidated:
+            return  # feed keeps draining; REFRESH re-bases it
+        self.ledger.count("sql.view.maintenance_batches")
+        if self.vdef.kind == "aggregate":
+            self._apply_aggregate(cells)
+        elif table == self.vdef.base_table:
+            self._apply_join_fact(cells)
+        else:
+            self._apply_join_dim(cells)
+
+    # -- aggregate views ---------------------------------------------------
+    def _apply_aggregate(self, cells) -> None:
+        put_rows: Set[bytes] = set()
+        delete_rows: Set[bytes] = set()
+        for cell in cells:
+            (delete_rows if cell.is_delete() else put_rows).add(cell.row)
+
+        recount_groups: Dict[Tuple, None] = {}
+        for row in sorted(delete_rows):
+            group = self._group_from_rowkey(row)
+            if group is None:
+                self._invalidate()
+                return
+            recount_groups[group] = None
+        put_rows -= delete_rows
+
+        fresh_rows: List[Tuple[bytes, object]] = []
+        if put_rows:
+            from repro.hbase.client import Get
+
+            base = self._table(self.vdef.base_table)
+            ordered = sorted(put_rows)
+            gets = [Get(row).set_max_versions(2) for row in ordered]
+            results = base.bulk_get(gets, self.ledger)
+            for row, result in zip(ordered, results):
+                if _has_prior_version(result):
+                    # an overwrite: the delta would double-count, so the
+                    # affected group recounts instead
+                    group = self._group_from_rowkey(row)
+                    if group is None:
+                        self._invalidate()
+                        return
+                    recount_groups[group] = None
+                else:
+                    fresh_rows.append((row, result))
+
+        deltas: Dict[Tuple, "_GroupDelta"] = {}
+        for row, result in fresh_rows:
+            values = self._base_values(row, result)
+            group = tuple(values.get(g) for g in self.vdef.group_by)
+            if any(v is None for v in group):
+                self._invalidate()
+                return
+            if group in recount_groups:
+                continue
+            delta = deltas.setdefault(group, _GroupDelta(self.vdef))
+            delta.add(values)
+
+        for group in sorted(deltas):
+            self._apply_delta(group, deltas[group])
+        if deltas:
+            self.ledger.count("sql.view.delta_rows",
+                              sum(d.rows for d in deltas.values()))
+        for group in sorted(recount_groups):
+            if not self.vdef.prefix_recountable:
+                self._invalidate()
+                return
+            self._recount_group(group)
+        if recount_groups:
+            self.ledger.count("sql.view.recounts", len(recount_groups))
+
+    def _group_from_rowkey(self, row: bytes) -> Optional[Tuple]:
+        """Group-key values recoverable from the base row key, else None."""
+        from repro.core.keys import decode_rowkey
+
+        if not set(self.vdef.group_by) <= set(self.base_catalog.row_key):
+            return None
+        decoded = decode_rowkey(self.base_catalog, self.coder, row)
+        return tuple(decoded[g] for g in self.vdef.group_by)
+
+    def _base_values(self, row: bytes, result) -> Dict[str, object]:
+        from repro.core.keys import decode_rowkey
+
+        values = dict(decode_rowkey(self.base_catalog, self.coder, row))
+        for column in self.base_catalog.data_columns():
+            raw = result.get_value(column.family, column.qualifier)
+            values[column.name] = (
+                self.coder.decode(raw, column.dtype) if raw is not None
+                else None
+            )
+        return values
+
+    def _view_row_key(self, group: Tuple) -> bytes:
+        from repro.core.keys import encode_rowkey
+
+        values = dict(zip(self.storage_catalog.row_key, group))
+        return encode_rowkey(self.storage_catalog, self.coder, values)
+
+    def _read_view_row(self, key: bytes) -> Dict[str, object]:
+        from repro.hbase.client import Get
+
+        view = self._table(self.vdef.storage_table)
+        result = view.get(Get(key), self.ledger)
+        stored: Dict[str, object] = {}
+        for column in self.storage_catalog.data_columns():
+            raw = result.get_value(column.family, column.qualifier)
+            stored[column.name] = (
+                self.coder.decode(raw, column.dtype) if raw is not None
+                else None
+            )
+        return stored
+
+    def _write_view_row(self, key: bytes, group: Tuple,
+                        stored: Dict[str, object]) -> None:
+        from repro.hbase.client import Put
+
+        put = Put(key)
+        for column in self.storage_catalog.data_columns():
+            value = stored.get(column.name)
+            if value is None:
+                continue
+            put.add_column(column.family, column.qualifier,
+                           self.coder.encode(value, column.dtype))
+        self._table(self.vdef.storage_table).put(put, self.ledger)
+
+    def _delete_view_row(self, key: bytes) -> None:
+        from repro.hbase.client import Delete
+
+        self._table(self.vdef.storage_table).delete(Delete(key), self.ledger)
+
+    def _apply_delta(self, group: Tuple, delta: "_GroupDelta") -> None:
+        key = self._view_row_key(group)
+        stored = self._read_view_row(key)
+        delta.merge_into(stored)
+        self._write_view_row(key, group, stored)
+
+    def _recount_group(self, group: Tuple) -> None:
+        """Recompute one group from a base row-key prefix range scan."""
+        from repro.core.keys import encode_key_dimension, prefix_successor
+        from repro.hbase.client import Scan
+
+        parts = []
+        for dim, value in zip(self.base_catalog.row_key, group):
+            parts.append(encode_key_dimension(
+                self.base_catalog, self.coder, dim, value))
+        prefix = b"".join(parts)
+        stop = prefix_successor(prefix)
+        base = self._table(self.vdef.base_table)
+        results = base.scan(Scan(prefix, stop), self.ledger)
+        key = self._view_row_key(group)
+        if not results:
+            self._delete_view_row(key)
+            return
+        delta = _GroupDelta(self.vdef)
+        for result in results:
+            delta.add(self._base_values(result.row, result))
+        stored: Dict[str, object] = {}
+        delta.merge_into(stored)
+        self._write_view_row(key, group, stored)
+
+    # -- join views --------------------------------------------------------
+    def _apply_join_fact(self, cells) -> None:
+        from repro.hbase.client import Get
+
+        put_rows: Set[bytes] = set()
+        delete_rows: Set[bytes] = set()
+        for cell in cells:
+            (delete_rows if cell.is_delete() else put_rows).add(cell.row)
+        for row in sorted(delete_rows):
+            self._delete_view_row(self._join_view_key(row))
+        put_rows -= delete_rows
+        if not put_rows:
+            return
+        base = self._table(self.vdef.base_table)
+        ordered = sorted(put_rows)
+        results = base.bulk_get([Get(row) for row in ordered], self.ledger)
+        upserts = 0
+        for row, result in zip(ordered, results):
+            values = self._base_values(row, result)
+            self._upsert_join_row(row, values)
+            upserts += 1
+        self.ledger.count("sql.view.delta_rows", upserts)
+
+    def _join_view_key(self, fact_row: bytes) -> bytes:
+        from repro.core.keys import decode_rowkey, encode_rowkey
+
+        decoded = decode_rowkey(self.base_catalog, self.coder, fact_row)
+        values = {
+            f"_k{i}": decoded[dim]
+            for i, dim in enumerate(self.base_catalog.row_key)
+        }
+        return encode_rowkey(self.storage_catalog, self.coder, values)
+
+    def _right_row(self, key_value) -> Optional[Dict[str, object]]:
+        from repro.core.keys import encode_rowkey
+        from repro.hbase.client import Get
+
+        if key_value is None:
+            return None
+        row = encode_rowkey(self.right_catalog, self.coder,
+                            {self.vdef.right_key: key_value})
+        dim = self._table(self.vdef.right_table)
+        result = dim.get(Get(row), self.ledger)
+        if result.is_empty():
+            return None
+        values: Dict[str, object] = {self.vdef.right_key: key_value}
+        for column in self.right_catalog.data_columns():
+            raw = result.get_value(column.family, column.qualifier)
+            values[column.name] = (
+                self.coder.decode(raw, column.dtype) if raw is not None
+                else None
+            )
+        return values
+
+    def _upsert_join_row(self, fact_row: bytes,
+                         fact_values: Dict[str, object]) -> None:
+        from repro.hbase.client import Put
+
+        view_key = self._join_view_key(fact_row)
+        right_values = self._right_row(fact_values.get(self.vdef.left_key))
+        if right_values is None:
+            self._delete_view_row(view_key)
+            return
+        put = Put(view_key)
+        for c in self.vdef.columns:
+            source = fact_values if c["side"] == "left" else right_values
+            value = source.get(c["col"])
+            if value is None:
+                continue
+            column = self.storage_catalog.column(c["out"])
+            put.add_column(column.family, column.qualifier,
+                           self.coder.encode(value, column.dtype))
+        self._table(self.vdef.storage_table).put(put, self.ledger)
+
+    def _apply_join_dim(self, cells) -> None:
+        """A dimension-side change re-joins every matching fact row.
+
+        Needs the join key to lead the fact row key (one prefix scan per
+        changed dimension row); otherwise the view is invalidated.
+        """
+        from repro.core.keys import (
+            decode_rowkey, encode_key_dimension, prefix_successor,
+        )
+        from repro.hbase.client import Scan
+
+        if not self.vdef.prefix_recountable:
+            self._invalidate()
+            return
+        changed: Set[bytes] = {cell.row for cell in cells}
+        base = self._table(self.vdef.base_table)
+        recounts = 0
+        for row in sorted(changed):
+            key_value = decode_rowkey(
+                self.right_catalog, self.coder, row)[self.vdef.right_key]
+            prefix = encode_key_dimension(
+                self.base_catalog, self.coder,
+                self.base_catalog.row_key[0], key_value)
+            results = base.scan(Scan(prefix, prefix_successor(prefix)),
+                                self.ledger)
+            for result in results:
+                self._upsert_join_row(result.row,
+                                      self._base_values(result.row, result))
+            recounts += 1
+        self.ledger.count("sql.view.recounts", recounts)
+
+
+def _has_prior_version(result) -> bool:
+    """Did any column of this row exist before the newest write?"""
+    seen: Dict[Tuple[str, str], int] = {}
+    for cell in result.cells:
+        if cell.is_delete():
+            continue
+        coord = (cell.family, cell.qualifier)
+        seen[coord] = seen.get(coord, 0) + 1
+        if seen[coord] > 1:
+            return True
+    return False
+
+
+class _GroupDelta:
+    """Additive per-group accumulators for a batch of fresh base rows."""
+
+    def __init__(self, vdef: ViewDefinition) -> None:
+        self.vdef = vdef
+        self.rows = 0
+        self.values: Dict[str, List[object]] = {
+            a["out"]: [] for a in vdef.aggregates if a["arg"] is not None
+        }
+
+    def add(self, base_values: Dict[str, object]) -> None:
+        self.rows += 1
+        for a in self.vdef.aggregates:
+            if a["arg"] is None:
+                continue
+            value = base_values.get(a["arg"])
+            if value is not None:
+                self.values[a["out"]].append(value)
+
+    def merge_into(self, stored: Dict[str, object]) -> None:
+        stored[ROWS_HELPER] = (stored.get(ROWS_HELPER) or 0) + self.rows
+        for a in self.vdef.aggregates:
+            out = a["out"]
+            fn = a["fn"]
+            nonnull = self.values.get(out, [])
+            if fn == "count":
+                amount = self.rows if a["arg"] is None else len(nonnull)
+                stored[out] = (stored.get(out) or 0) + amount
+            elif fn == "sum":
+                if nonnull:
+                    old = stored.get(out)
+                    total = sum(nonnull)
+                    stored[out] = total if old is None else old + total
+            elif fn == "min":
+                if nonnull:
+                    old = stored.get(out)
+                    best = min(nonnull)
+                    stored[out] = best if old is None else min(old, best)
+            elif fn == "max":
+                if nonnull:
+                    old = stored.get(out)
+                    best = max(nonnull)
+                    stored[out] = best if old is None else max(old, best)
+            elif fn == "avg":
+                sum_col, cnt_col = f"_sum_{out}", f"_cnt_{out}"
+                if nonnull:
+                    old_sum = stored.get(sum_col)
+                    total = sum(nonnull)
+                    stored[sum_col] = (
+                        total if old_sum is None else old_sum + total)
+                    stored[cnt_col] = (stored.get(cnt_col) or 0) + len(nonnull)
+                count = stored.get(cnt_col) or 0
+                stored[out] = (stored[sum_col] / count) if count else None
+
+
+# -- automatic query rewriting ---------------------------------------------------
+
+class ViewCandidate:
+    """One view plus its freshness at rewrite time."""
+
+    __slots__ = ("vdef", "fresh", "lag_s", "invalidated", "size_bytes")
+
+    def __init__(self, vdef: ViewDefinition, fresh: bool, lag_s: float,
+                 invalidated: bool, size_bytes: int) -> None:
+        self.vdef = vdef
+        self.fresh = fresh
+        self.lag_s = lag_s
+        self.invalidated = invalidated
+        self.size_bytes = size_bytes
+
+
+class ViewRewriteContext:
+    """Per-query rewrite state threaded through :func:`optimize`."""
+
+    def __init__(self, session, candidates: List[ViewCandidate],
+                 estimator=None) -> None:
+        self.session = session
+        self.candidates = candidates
+        self.estimator = estimator
+        self.events: List[Dict[str, object]] = []
+        #: planning-time registry the session merges into the query result
+        self.metrics: Optional[MetricsRegistry] = None
+
+    def record(self, action: str, candidate: ViewCandidate,
+               view_bytes: float, base_bytes: float) -> None:
+        self.events.append({
+            "view": candidate.vdef.name, "action": action,
+            "view_bytes": float(view_bytes), "base_bytes": float(base_bytes),
+            "lag_s": candidate.lag_s,
+        })
+        if self.metrics is None:
+            return
+        if action == "rewrites":
+            self.metrics.incr("sql.view.rewrites")
+        elif action == "rejected_stale":
+            self.metrics.incr("sql.view.rejected_stale")
+        elif action == "rejected_cost":
+            self.metrics.incr("sql.view.rejected_cost")
+
+
+def build_rewrite_context(session) -> Optional[ViewRewriteContext]:
+    """The query's rewrite context, or None when views cannot apply."""
+    from repro.hbase.cluster import get_cluster
+
+    manager = getattr(session, "_view_manager", None)
+    if manager is None:
+        return None
+    definitions = manager.definitions()
+    if not definitions:
+        return None
+    staleness = float(session.conf.get("sql.view.staleness", 0.0) or 0.0)
+    candidates: List[ViewCandidate] = []
+    for vdef in definitions:
+        cluster = get_cluster(vdef.quorum)
+        if not cluster.has_table(vdef.storage_table):
+            continue
+        # the persisted flag is authoritative: another session's maintainer
+        # may have invalidated the view since we registered it
+        raw = cluster.get_table_attribute(vdef.storage_table, VIEW_ATTRIBUTE)
+        invalidated = vdef.invalidated
+        if raw is not None:
+            invalidated = bool(json.loads(raw).get("invalidated", False))
+        lag = 0.0
+        if cluster.cdc is not None and vdef.subscription_name in \
+                cluster.cdc.subscription_names():
+            lag = cluster.cdc.lag_s(vdef.subscription_name)
+        fresh = (not invalidated) and lag <= staleness
+        size = cluster.table_size_bytes(vdef.storage_table)
+        candidates.append(ViewCandidate(vdef, fresh, lag, invalidated, size))
+    if not candidates:
+        return None
+    estimator = None
+    stats = session.cbo_stats()
+    if stats is not None:
+        from repro.sql.cbo import CardinalityEstimator
+
+        estimator = CardinalityEstimator(stats, session.conf, None)
+    return ViewRewriteContext(session, candidates, estimator)
+
+
+def rewrite_with_views(plan: L.LogicalPlan,
+                       ctx: ViewRewriteContext) -> L.LogicalPlan:
+    """Replace matching subtrees with view scans (post-pushdown rule)."""
+
+    def rule(node: L.LogicalPlan) -> Optional[L.LogicalPlan]:
+        for candidate in ctx.candidates:
+            if candidate.vdef.kind == "aggregate" \
+                    and isinstance(node, L.Aggregate):
+                replacement = _try_aggregate_rewrite(node, candidate, ctx)
+            elif candidate.vdef.kind == "join" \
+                    and isinstance(node, L.Project):
+                replacement = _try_join_rewrite(node, candidate, ctx)
+            else:
+                replacement = None
+            if replacement is not None:
+                return replacement
+        return None
+
+    return plan.transform_up(rule)
+
+
+def _base_subtree_bytes(node: L.LogicalPlan, ctx: ViewRewriteContext) -> float:
+    """Bytes the base plan must scan to answer this subtree.
+
+    Priced at the *leaves*: answering from base means scanning the base
+    tables, however small the aggregated output ends up.  With ANALYZE
+    statistics the estimator refines each leaf's size; without them it
+    falls back to the relation's metadata size, so the decision is the
+    same with ``sql.cbo.enabled`` on or off until stats exist.
+    """
+    total = 0.0
+    for leaf in node.collect_nodes(lambda n: isinstance(n, L.LogicalRelation)):
+        size = None
+        if ctx.estimator is not None:
+            try:
+                estimate = ctx.estimator.estimate(leaf)
+                if estimate.confident:
+                    size = float(estimate.bytes)
+            except Exception:
+                size = None
+        if size is None:
+            size = float(leaf.relation.size_in_bytes())
+        total += size
+    return total
+
+
+def _decide(node: L.LogicalPlan, candidate: ViewCandidate,
+            ctx: ViewRewriteContext, build) -> Optional[L.LogicalPlan]:
+    """Shared freshness + pricing gate once a structural match is found."""
+    base_bytes = _base_subtree_bytes(node, ctx)
+    if not candidate.fresh:
+        ctx.record("rejected_stale", candidate, candidate.size_bytes,
+                   base_bytes)
+        return None
+    if candidate.size_bytes >= base_bytes:
+        ctx.record("rejected_cost", candidate, candidate.size_bytes,
+                   base_bytes)
+        return None
+    replacement = build()
+    ctx.record("rewrites", candidate, candidate.size_bytes, base_bytes)
+    return replacement
+
+
+def _try_aggregate_rewrite(agg: L.Aggregate, candidate: ViewCandidate,
+                           ctx: ViewRewriteContext) -> Optional[L.LogicalPlan]:
+    vdef = candidate.vdef
+    child = agg.children[0]
+    condition = None
+    if isinstance(child, L.Filter):
+        condition = child.condition
+        child = child.children[0]
+    leaf = _hbase_leaf(child)
+    if leaf is None or leaf.relation.catalog.qualified_name != vdef.base_table:
+        return None
+
+    groupings = agg.groupings
+    if not all(isinstance(g, E.Attribute) for g in groupings):
+        return None
+    if {g.name for g in groupings} != set(vdef.group_by):
+        return None
+    grouping_ids = {g.attr_id for g in groupings}
+    if condition is not None \
+            and not condition.references() <= grouping_ids:
+        return None
+
+    spec_aggs = {(a["fn"], a["arg"]): a["out"] for a in vdef.aggregates}
+    group_names = {g.attr_id: g.name for g in groupings}
+
+    # (output name, attr_id, view column) for every select item
+    mapping: List[Tuple[str, int, str]] = []
+    for item in agg.aggregate_list:
+        if isinstance(item, E.Attribute):
+            if item.attr_id not in group_names:
+                return None
+            mapping.append((item.name, item.attr_id, item.name))
+            continue
+        expr = item.child
+        if isinstance(expr, E.Attribute):
+            if expr.attr_id not in group_names:
+                return None
+            mapping.append((item.name, item.attr_id, expr.name))
+            continue
+        fn = _AGG_NAMES.get(type(expr))
+        if fn is None or not isinstance(expr, E.AggregateExpression) \
+                or expr.distinct:
+            return None
+        arg = None
+        if expr.children:
+            if not isinstance(expr.children[0], E.Attribute):
+                return None
+            arg = expr.children[0].name
+        out = spec_aggs.get((fn, arg))
+        if out is None:
+            return None
+        mapping.append((item.name, item.attr_id, out))
+
+    def build() -> L.LogicalPlan:
+        view_leaf = L.LogicalRelation(
+            _view_relation(vdef, ctx.session), name=vdef.storage_table)
+        view_attrs = {a.name: a for a in view_leaf.output}
+        scan: L.LogicalPlan = view_leaf
+        if condition is not None:
+            substitution = {
+                attr_id: view_attrs[name]
+                for attr_id, name in group_names.items()
+            }
+
+            def remap(expr_node: E.Expression) -> Optional[E.Expression]:
+                if isinstance(expr_node, E.Attribute):
+                    return substitution.get(expr_node.attr_id)
+                return None
+
+            scan = L.Filter(condition.transform(remap), view_leaf)
+        items = [
+            E.Alias(view_attrs[view_col], out_name, attr_id=attr_id)
+            for out_name, attr_id, view_col in mapping
+        ]
+        return L.Project(items, scan)
+
+    return _decide(agg, candidate, ctx, build)
+
+
+def _try_join_rewrite(project: L.Project, candidate: ViewCandidate,
+                      ctx: ViewRewriteContext) -> Optional[L.LogicalPlan]:
+    vdef = candidate.vdef
+    join = project.children[0]
+    if not isinstance(join, L.Join) or join.how != "inner":
+        return None
+    left = _hbase_leaf(join.children[0])
+    right = _hbase_leaf(join.children[1])
+    if left is None or right is None:
+        return None
+    if left.relation.catalog.qualified_name != vdef.base_table \
+            or right.relation.catalog.qualified_name != vdef.right_table:
+        return None
+    cond = join.condition
+    if not isinstance(cond, E.Comparison) or cond.op != "=":
+        return None
+    names = {}
+    for side, leaf_node in (("left", left), ("right", right)):
+        for a in leaf_node.output:
+            names[a.attr_id] = (side, a.name)
+    a, b = cond.children
+    if not (isinstance(a, E.Attribute) and isinstance(b, E.Attribute)):
+        return None
+    key_pair = {names.get(a.attr_id), names.get(b.attr_id)}
+    if key_pair != {("left", vdef.left_key), ("right", vdef.right_key)}:
+        return None
+
+    spec_cols = {(c["side"], c["col"]): c["out"] for c in vdef.columns}
+    mapping: List[Tuple[str, int, str]] = []
+    for item in project.project_list:
+        attr = item.child if isinstance(item, E.Alias) else item
+        if not isinstance(attr, E.Attribute) or attr.attr_id not in names:
+            return None
+        out = spec_cols.get(names[attr.attr_id])
+        if out is None:
+            return None
+        mapping.append((item.name, _item_id(item), out))
+
+    def build() -> L.LogicalPlan:
+        view_leaf = L.LogicalRelation(
+            _view_relation(vdef, ctx.session), name=vdef.storage_table)
+        view_attrs = {a.name: a for a in view_leaf.output}
+        items = [
+            E.Alias(view_attrs[view_col], out_name, attr_id=attr_id)
+            for out_name, attr_id, view_col in mapping
+        ]
+        return L.Project(items, view_leaf)
+
+    return _decide(project, candidate, ctx, build)
+
+
+def _item_id(item: E.Expression) -> int:
+    return item.attr_id if isinstance(item, (E.Alias, E.Attribute)) else -1

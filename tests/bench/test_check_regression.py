@@ -158,3 +158,72 @@ def test_main_fails_when_artifact_missing(tmp_path, capsys):
         "--baselines", str(baselines), "--results", str(results)])
     assert rc == 1
     assert "did the bench run?" in capsys.readouterr().err
+
+
+def test_main_names_unparsable_artifact_instead_of_traceback(tmp_path, capsys):
+    """A bench that crashed mid-write leaves invalid JSON; the gate must
+    name the file, not die with a JSONDecodeError traceback."""
+    baselines, results = tmp_path / "baselines", tmp_path / "results"
+    write(baselines, "BENCH_demo.json", payload(m=(1.0, "lower")))
+    results.mkdir()
+    (results / "BENCH_demo.json").write_text('{"bench": "demo", "metr')
+    rc = check_regression.main([
+        "--baselines", str(baselines), "--results", str(results)])
+    assert rc == 1
+    err = capsys.readouterr().err
+    assert "artifact BENCH_demo.json" in err
+    assert "invalid JSON" in err
+
+
+def test_main_names_unparsable_baseline(tmp_path, capsys):
+    baselines, results = tmp_path / "baselines", tmp_path / "results"
+    baselines.mkdir()
+    (baselines / "BENCH_demo.json").write_text("not json at all")
+    write(results, "BENCH_demo.json", payload(m=(1.0, "lower")))
+    rc = check_regression.main([
+        "--baselines", str(baselines), "--results", str(results)])
+    assert rc == 1
+    err = capsys.readouterr().err
+    assert "baseline BENCH_demo.json" in err
+    assert "unreadable JSON" in err
+
+
+def test_main_validates_baseline_even_when_artifact_missing(tmp_path, capsys):
+    baselines, results = tmp_path / "baselines", tmp_path / "results"
+    write(baselines, "BENCH_demo.json", {"bench": "demo", "scale": "smoke",
+                                         "metrics": {"m": {"value": 1.0}}})
+    results.mkdir()
+    rc = check_regression.main([
+        "--baselines", str(baselines), "--results", str(results)])
+    assert rc == 1
+    err = capsys.readouterr().err
+    assert "metric 'm' is missing key(s) direction" in err
+    assert "did the bench run?" in err
+
+
+def test_require_fails_when_baseline_absent(tmp_path, capsys):
+    baselines, results = tmp_path / "baselines", tmp_path / "results"
+    write(baselines, "BENCH_other.json", payload(m=(1.0, "lower")))
+    write(results, "BENCH_other.json", payload(m=(1.0, "lower")))
+    rc = check_regression.main([
+        "--baselines", str(baselines), "--results", str(results),
+        "--require", "views"])
+    assert rc == 1
+    err = capsys.readouterr().err
+    assert "views: no baseline BENCH_views.json" in err
+
+
+def test_require_with_baseline_but_no_bench_output_names_the_gap(
+        tmp_path, capsys):
+    """--require plus a committed baseline, but the bench wrote nothing:
+    the failure names the missing artifact instead of raising."""
+    baselines, results = tmp_path / "baselines", tmp_path / "results"
+    write(baselines, "BENCH_views.json", payload(m=(1.0, "lower")))
+    results.mkdir()
+    rc = check_regression.main([
+        "--baselines", str(baselines), "--results", str(results),
+        "--require", "views"])
+    assert rc == 1
+    err = capsys.readouterr().err
+    assert "BENCH_views.json: no current artifact" in err
+    assert "KeyError" not in err and "Traceback" not in err

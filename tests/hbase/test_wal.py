@@ -1,4 +1,6 @@
+from repro.hbase import ConnectionFactory, Put
 from repro.hbase.cell import Cell
+from repro.hbase.cluster import HBaseCluster
 from repro.hbase.wal import WriteAheadLog
 
 
@@ -46,3 +48,78 @@ def test_truncate_drops_flushed_entries():
     wal.truncate()
     assert len(wal) == 1
     assert [c.row for c in wal.replay("r2")] == [b"b"]
+
+
+# --- entries_since (the CDC cursor API) edge cases ---------------------
+
+
+def test_entries_since_cursor_past_end_returns_nothing():
+    wal = WriteAheadLog()
+    last = wal.append("r1", [cell(b"a")])
+    assert wal.entries_since("r1", last) == []
+    assert wal.entries_since("r1", last + 100) == []
+    assert wal.entries_since("missing-region", 0) == []
+
+
+def test_entries_since_is_strictly_after_the_cursor():
+    wal = WriteAheadLog()
+    s1 = wal.append("r1", [cell(b"a")])
+    s2 = wal.append("r1", [cell(b"b")])
+    tail = wal.entries_since("r1", s1)
+    assert [e.sequence_id for e in tail] == [s2]
+    assert [c.row for e in tail for c in e.cells] == [b"b"]
+
+
+def test_entries_since_interleaved_regions_keep_their_own_ordered_tails():
+    wal = WriteAheadLog()
+    seqs = {"r1": [], "r2": []}
+    for i, region in enumerate(["r1", "r2", "r1", "r2", "r2", "r1"]):
+        seqs[region].append(wal.append(region, [cell(b"row%d" % i)]))
+    for region in ("r1", "r2"):
+        tail = wal.entries_since(region, 0)
+        assert [e.sequence_id for e in tail] == seqs[region]
+        assert all(e.region_name == region for e in tail)
+    # advancing one region's cursor leaves the other's tail untouched
+    assert [e.sequence_id for e in wal.entries_since("r1", seqs["r1"][1])] \
+        == seqs["r1"][2:]
+    assert [e.sequence_id for e in wal.entries_since("r2", 0)] == seqs["r2"]
+
+
+def test_entries_since_ignores_flush_watermark():
+    """Flushing moves data to HFiles but must not hide history from CDC."""
+    wal = WriteAheadLog()
+    seq = wal.append("r1", [cell(b"a")])
+    wal.append("r1", [cell(b"b")])
+    wal.mark_flushed("r1", seq)
+    assert [c.row for c in wal.replay("r1")] == [b"b"]
+    assert [c.row for e in wal.entries_since("r1", 0) for c in e.cells] \
+        == [b"a", b"b"]
+
+
+def test_entries_survive_region_split(clock):
+    """A split retires the parent region, but its WAL history stays
+    readable under the parent's name -- CDC consumers drain it after the
+    daughters are already serving."""
+    cluster = HBaseCluster("walsplit", ["h1", "h2"], clock=clock,
+                           flush_threshold=2_000, region_max_bytes=6_000)
+    cluster.create_table("big", ["f"])
+    [location] = cluster.region_locations("big")
+    parent, server_id = location.region_name, location.server_id
+    table = ConnectionFactory.create_connection(
+        cluster.configuration()).get_table("big")
+    for i in range(400):
+        table.put(Put(b"row%04d" % i).add_column("f", "q", b"x" * 40))
+
+    wal = cluster.region_servers[server_id].wal
+    before = wal.entries_since(parent, 0)
+    assert before, "expected WAL history for the parent region"
+
+    report = cluster.run_maintenance()
+    assert report["splits"] >= 1
+    daughters = [loc.region_name for loc in cluster.region_locations("big")]
+    assert parent not in daughters and len(daughters) >= 2
+
+    after = wal.entries_since(parent, 0)
+    assert [e.sequence_id for e in after] == [e.sequence_id for e in before]
+    assert [c.row for e in after for c in e.cells] \
+        == [c.row for e in before for c in e.cells]

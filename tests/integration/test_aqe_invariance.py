@@ -10,6 +10,10 @@ into either ledger.  A third run with AQE *on* checks answers (not costs)
 are unchanged, full-stack through the HBase substrate.
 """
 
+import os
+
+import pytest
+
 from repro.workloads import load_tpcds
 
 SCAN_QUERY = ("SELECT ss_item_sk, ss_quantity FROM store_sales "
@@ -43,6 +47,8 @@ def test_default_conf_is_byte_identical_to_aqe_disabled():
         assert not key.startswith("engine.aqe."), key
 
 
+@pytest.mark.skipif(bool(os.environ.get("REPRO_SQL_AQE")),
+                    reason="AQE mode forced on by the environment")
 def test_join_ledger_is_byte_identical_with_aqe_off():
     default = run_fresh(JOIN_QUERY, None)
     disabled = run_fresh(JOIN_QUERY, {"sql.aqe.enabled": False})

@@ -1,0 +1,96 @@
+"""View-off invariance: materialized views dormant means the seed, byte for byte.
+
+The view machinery hooks four layers: the session (statement dispatch and
+the per-query rewrite context), the optimizer (``rewrite_with_views``),
+EXPLAIN (the "Materialized Views" section) and the HBase substrate (the
+CDC stream pumped from ``run_maintenance``).  The guarantee pinned here is
+that every hook is dormant unless ``sql.view.enabled`` is set *and* a view
+was actually created: default conf, flag explicitly off, and flag on but
+unused must all produce byte-identical cost ledgers -- every metric, every
+simulated second -- and no ``sql.view.*`` or ``hbase.cdc.*`` counter may
+ever leak into them.  Stale views must never answer a query.
+"""
+
+from repro.core.catalog import HBaseTableCatalog
+from repro.core.coders import get_coder
+from repro.core.keys import encode_rowkey
+from repro.hbase import ConnectionFactory, Put
+from repro.workloads import load_tpcds
+
+AGG_QUERY = ("SELECT inv_date_sk, count(inv_quantity_on_hand) AS skus, "
+             "sum(inv_quantity_on_hand) AS on_hand "
+             "FROM inventory GROUP BY inv_date_sk")
+
+
+def run_fresh(query, conf, create=None):
+    env = load_tpcds(2, ["inventory"])
+    session = env.new_session(conf=conf)
+    if create is not None:
+        session.sql(create).run()
+    result = session.sql(query).run()
+    session.shutdown()
+    return result
+
+
+def assert_ledgers_identical(a, b):
+    assert [tuple(r.values) for r in a.rows] == [tuple(r.values) for r in b.rows]
+    assert a.seconds == b.seconds
+    assert dict(a.metrics.snapshot()) == dict(b.metrics.snapshot())
+
+
+def assert_no_view_counters(result):
+    for key in result.metrics.snapshot():
+        assert not key.startswith("sql.view."), key
+        assert not key.startswith("hbase.cdc."), key
+
+
+def test_default_conf_is_byte_identical_to_views_disabled():
+    default = run_fresh(AGG_QUERY, None)
+    disabled = run_fresh(AGG_QUERY, {"sql.view.enabled": False})
+    assert_ledgers_identical(default, disabled)
+    assert_no_view_counters(default)
+    assert default.view_events == []
+
+
+def test_flag_on_but_unused_is_byte_identical_to_off():
+    off = run_fresh(AGG_QUERY, None)
+    unused = run_fresh(AGG_QUERY, {"sql.view.enabled": True})
+    assert_ledgers_identical(off, unused)
+    assert_no_view_counters(unused)
+
+
+def test_cluster_ledger_has_no_view_counters_without_views():
+    env = load_tpcds(2, ["inventory"])
+    session = env.new_session(conf={"sql.view.enabled": True})
+    session.sql(AGG_QUERY).run()
+    session.shutdown()
+    for key in env.cluster.metrics.snapshot():
+        assert not key.startswith("sql.view."), key
+        assert not key.startswith("hbase.cdc."), key
+    assert env.cluster.cdc is None
+
+
+def test_stale_view_never_answers_and_base_result_is_exact():
+    env = load_tpcds(2, ["inventory"])
+    session = env.new_session(conf={"sql.view.enabled": True})
+    session.sql(f"CREATE MATERIALIZED VIEW inv_by_date AS {AGG_QUERY}").run()
+
+    options = env.reader_options("inventory")
+    catalog = HBaseTableCatalog.from_json(options["catalog"])
+    coder = get_coder(catalog.table_coder)
+    table = ConnectionFactory.create_connection(
+        env.cluster.configuration()).get_table(catalog.qualified_name)
+    column = catalog.column("inv_quantity_on_hand")
+    row = encode_rowkey(catalog, coder, {
+        "inv_date_sk": 2456100, "inv_item_sk": 1, "inv_warehouse_sk": 1})
+    table.put(Put(row).add_column(
+        column.family, column.qualifier, coder.encode(40, column.dtype)))
+
+    stale = session.sql(AGG_QUERY).run()
+    assert [e["action"] for e in stale.view_events] == ["rejected_stale"]
+    assert not stale.metrics.get("sql.view.rewrites")
+    # answered from the base table: the unshipped row is visible
+    fresh = env.new_session().sql(AGG_QUERY).run()
+    assert sorted(tuple(r.values) for r in stale.rows) \
+        == sorted(tuple(r.values) for r in fresh.rows)
+    session.shutdown()

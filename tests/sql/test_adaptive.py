@@ -7,6 +7,8 @@ make.  Every adaptive run is checked row-identical to its non-adaptive
 twin -- re-optimisation may only move work around, never change answers.
 """
 
+import os
+
 import pytest
 
 from repro.common.tracing import Span
@@ -14,6 +16,13 @@ from repro.engine.shuffle import KeySketch, ShuffleRuntimeStats
 from repro.sql.adaptive import plan_coalesced_reads, plan_skew_chunks
 from repro.sql.session import SparkSession
 from repro.sql.types import IntegerType, StringType, StructField, StructType
+
+# the conversion scenarios need the planner to *misestimate* the filtered
+# dimension; with CBO forced on, LocalRelation statistics are exact and the
+# initial plan already broadcasts -- there is no adaptive decision to test
+needs_misestimates = pytest.mark.skipif(
+    bool(os.environ.get("REPRO_SQL_CBO")),
+    reason="CBO mode forced on by the environment")
 
 FACT_SCHEMA = StructType([
     StructField("fk", IntegerType),
@@ -144,6 +153,7 @@ def conversion_conf():
     return {"sql.autoBroadcastJoinThreshold": 1024}
 
 
+@needs_misestimates
 def test_broadcast_conversion_fires_and_preserves_rows():
     baseline_session = make_session(False, **conversion_conf())
     register(baseline_session, fact_rows(), dim_rows(64))
@@ -161,6 +171,7 @@ def test_broadcast_conversion_fires_and_preserves_rows():
     assert "BroadcastHashJoin" in strategies
 
 
+@needs_misestimates
 def test_swapped_conversion_builds_on_small_left():
     conf = conversion_conf()
     sql = """
@@ -272,6 +283,7 @@ def test_distinct_and_intersect_coalesce():
 
 # -- observability -----------------------------------------------------------------
 
+@needs_misestimates
 def test_explain_analyze_shows_adaptive_section():
     session = make_session(True, **conversion_conf())
     register(session, fact_rows(), dim_rows(64))
@@ -290,6 +302,7 @@ def test_explain_analyze_has_no_adaptive_section_when_disabled():
     assert "== Adaptive Execution ==" not in report
 
 
+@needs_misestimates
 def test_reopt_events_land_in_the_trace():
     session = make_session(True, **conversion_conf())
     register(session, fact_rows(), dim_rows(64))

@@ -1,6 +1,8 @@
 """The cost-based optimizer: estimation formulas, join reordering, semi-join
 reduction gates and the EXPLAIN surface (docs/optimizer.md)."""
 
+import os
+
 import pytest
 
 from repro.common.metrics import MetricsRegistry
@@ -309,6 +311,8 @@ def test_explain_analyze_has_cbo_section(session):
     assert "est=" in report  # per-operator est-vs-actual annotation
 
 
+@pytest.mark.skipif(bool(os.environ.get("REPRO_SQL_CBO")),
+                    reason="CBO mode forced on by the environment")
 def test_explain_has_no_cbo_section_when_off(session):
     query = _load_join(session, dim_keys=[0, 1])
     report = session.sql(query).explain(analyze=True)

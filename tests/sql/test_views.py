@@ -1,0 +1,375 @@
+"""Materialized views: statements, derivation, maintenance, rewriting.
+
+Covers the full lifecycle from docs/views.md -- CREATE / REFRESH / DROP /
+SHOW, CDC-driven incremental maintenance (delta, recount, invalidation),
+and the optimizer's freshness- and cost-gated automatic rewriting.
+"""
+
+import os
+
+import pytest
+
+from repro.common.errors import AnalysisError
+from repro.core.catalog import HBaseTableCatalog
+from repro.core.coders import get_coder
+from repro.core.keys import encode_rowkey
+from repro.hbase import ConnectionFactory, Delete, Put
+from repro.sql import logical as L
+from repro.sql.parser import parse
+from repro.workloads import load_tpcds
+
+AGG_SQL = ("SELECT inv_date_sk, count(inv_quantity_on_hand) AS skus, "
+           "sum(inv_quantity_on_hand) AS on_hand, "
+           "avg(inv_quantity_on_hand) AS avg_qty "
+           "FROM inventory GROUP BY inv_date_sk")
+
+JOIN_SQL = ("SELECT inv_quantity_on_hand AS qty "
+            "FROM inventory JOIN item ON inv_item_sk = i_item_sk")
+
+DIM_JOIN_SQL = ("SELECT inv_quantity_on_hand AS qty, d_year "
+                "FROM inventory JOIN date_dim ON inv_date_sk = d_date_sk")
+
+
+@pytest.fixture
+def env():
+    return load_tpcds(2, ["inventory", "item", "date_dim"])
+
+
+@pytest.fixture
+def vsession(env):
+    return env.new_session(conf={"sql.view.enabled": True})
+
+
+def rows_of(result):
+    return sorted(tuple(r.values) for r in result.rows)
+
+
+def base_writer(env, table_name):
+    """(table client, catalog, coder) for direct base-table mutations."""
+    options = env.reader_options(table_name)
+    catalog = HBaseTableCatalog.from_json(options["catalog"])
+    coder = get_coder(catalog.table_coder)
+    table = ConnectionFactory.create_connection(
+        env.cluster.configuration()).get_table(catalog.qualified_name)
+    return table, catalog, coder
+
+
+def put_inventory(env, date_sk, item_sk, warehouse_sk, quantity):
+    table, catalog, coder = base_writer(env, "inventory")
+    row = encode_rowkey(catalog, coder, {
+        "inv_date_sk": date_sk, "inv_item_sk": item_sk,
+        "inv_warehouse_sk": warehouse_sk,
+    })
+    column = catalog.column("inv_quantity_on_hand")
+    table.put(Put(row).add_column(
+        column.family, column.qualifier, coder.encode(quantity, column.dtype)))
+    return row
+
+
+# -- parsing ---------------------------------------------------------------
+
+
+def test_parse_create_materialized_view():
+    plan = parse(f"CREATE MATERIALIZED VIEW mv AS {AGG_SQL}")
+    assert isinstance(plan, L.CreateMaterializedView)
+    assert plan.name == "mv"
+    assert isinstance(plan.children[0], L.Aggregate)
+
+
+def test_parse_other_view_statements():
+    assert isinstance(parse("DROP MATERIALIZED VIEW mv"),
+                      L.DropMaterializedView)
+    assert isinstance(parse("REFRESH MATERIALIZED VIEW mv"),
+                      L.RefreshMaterializedView)
+    assert isinstance(parse("SHOW MATERIALIZED VIEWS"),
+                      L.ShowMaterializedViews)
+
+
+# -- gating ----------------------------------------------------------------
+
+
+@pytest.mark.skipif(bool(os.environ.get("REPRO_SQL_VIEWS")),
+                    reason="views mode forced on by the environment")
+def test_statements_require_the_flag(env):
+    session = env.new_session()  # sql.view.enabled defaults to False
+    with pytest.raises(AnalysisError, match="sql.view.enabled"):
+        session.sql(f"CREATE MATERIALIZED VIEW mv AS {AGG_SQL}")
+    with pytest.raises(AnalysisError, match="sql.view.enabled"):
+        session.sql("SHOW MATERIALIZED VIEWS")
+
+
+# -- aggregate views -------------------------------------------------------
+
+
+def test_create_rewrite_and_byte_identical_answers(env, vsession):
+    created = vsession.sql(f"CREATE MATERIALIZED VIEW inv_by_date AS "
+                           f"{AGG_SQL}").run()
+    [(name, kind, table, written)] = [tuple(r.values) for r in created.rows]
+    assert (name, kind, table) == ("inv_by_date", "aggregate", "mv_inv_by_date")
+    assert written > 0
+    assert created.metrics.get("sql.view.created") == 1
+
+    baseline = env.new_session().sql(AGG_SQL).run()
+    answered = vsession.sql(AGG_SQL).run()
+    assert [e["action"] for e in answered.view_events] == ["rewrites"]
+    assert answered.metrics.get("sql.view.rewrites") == 1
+    assert rows_of(answered) == rows_of(baseline)
+
+
+def test_rewrite_applies_under_group_column_filter(env, vsession):
+    vsession.sql(f"CREATE MATERIALIZED VIEW inv_by_date AS {AGG_SQL}").run()
+    some_date = env.new_session().sql(AGG_SQL).run().rows[0].values[0]
+    query = AGG_SQL.replace(
+        "FROM inventory", f"FROM inventory WHERE inv_date_sk = {some_date}")
+    baseline = env.new_session().sql(query).run()
+    answered = vsession.sql(query).run()
+    assert [e["action"] for e in answered.view_events] == ["rewrites"]
+    assert rows_of(answered) == rows_of(baseline)
+    assert answered.rows  # the predicate actually selects something
+
+
+def test_rewrite_skipped_for_non_matching_queries(env, vsession):
+    vsession.sql(f"CREATE MATERIALIZED VIEW inv_by_date AS {AGG_SQL}").run()
+    other = vsession.sql(
+        "SELECT inv_item_sk, count(inv_quantity_on_hand) AS c "
+        "FROM inventory GROUP BY inv_item_sk").run()
+    assert other.view_events == []
+    assert not other.metrics.get("sql.view.rewrites")
+
+
+def test_explain_reports_the_rewrite(vsession):
+    vsession.sql(f"CREATE MATERIALIZED VIEW inv_by_date AS {AGG_SQL}").run()
+    report = vsession.sql(AGG_SQL).explain()
+    assert "== Materialized Views ==" in report
+    assert "rewrote onto inv_by_date" in report
+
+
+def test_show_and_drop(vsession):
+    vsession.sql(f"CREATE MATERIALIZED VIEW inv_by_date AS {AGG_SQL}").run()
+    shown = vsession.sql("SHOW MATERIALIZED VIEWS").run()
+    [(name, kind, base, table, invalidated, lag)] = \
+        [tuple(r.values) for r in shown.rows]
+    assert (name, kind, base, table) \
+        == ("inv_by_date", "aggregate", "inventory", "mv_inv_by_date")
+    assert invalidated is False and lag == 0.0
+
+    dropped = vsession.sql("DROP MATERIALIZED VIEW inv_by_date").run()
+    assert dropped.metrics.get("sql.view.dropped") == 1
+    assert vsession.sql("SHOW MATERIALIZED VIEWS").run().rows == []
+    after = vsession.sql(AGG_SQL).run()
+    assert after.view_events == []
+
+
+def test_stale_view_never_answers(env, vsession):
+    vsession.sql(f"CREATE MATERIALIZED VIEW inv_by_date AS {AGG_SQL}").run()
+    put_inventory(env, 2456100, 1, 1, 40)   # unshipped WAL tail: stale
+
+    stale = vsession.sql(AGG_SQL).run()
+    assert [e["action"] for e in stale.view_events] == ["rejected_stale"]
+    assert stale.view_events[0]["lag_s"] > 0.0
+    assert stale.metrics.get("sql.view.rejected_stale") == 1
+    assert not stale.metrics.get("sql.view.rewrites")
+    # the query still ran -- from the base table, seeing the new row
+    fresh = env.new_session().sql(AGG_SQL).run()
+    assert rows_of(stale) == rows_of(fresh)
+
+
+def test_staleness_budget_admits_a_lagging_view(env):
+    session = env.new_session(conf={"sql.view.enabled": True,
+                                    "sql.view.staleness": 1e9})
+    session.sql(f"CREATE MATERIALIZED VIEW inv_by_date AS {AGG_SQL}").run()
+    put_inventory(env, 2456100, 1, 1, 40)
+    lagging = session.sql(AGG_SQL).run()
+    assert [e["action"] for e in lagging.view_events] == ["rewrites"]
+    assert lagging.view_events[0]["lag_s"] > 0.0
+
+
+def test_insert_delta_maintenance_converges(env, vsession):
+    vsession.sql(f"CREATE MATERIALIZED VIEW inv_by_date AS {AGG_SQL}").run()
+    for item_sk in range(1, 26):
+        put_inventory(env, 2456100, item_sk, 1, 40)
+    env.cluster.run_maintenance()
+
+    fresh = env.new_session().sql(AGG_SQL).run()
+    answered = vsession.sql(AGG_SQL).run()
+    assert [e["action"] for e in answered.view_events] == ["rewrites"]
+    assert rows_of(answered) == rows_of(fresh)
+    snapshot = env.cluster.metrics.snapshot()
+    assert snapshot["sql.view.delta_rows"] == 25
+    assert snapshot["sql.view.maintenance_batches"] >= 1
+    assert snapshot["hbase.cdc.entries_shipped"] >= 1
+
+
+def test_overwrite_recounts_the_group(env, vsession):
+    vsession.sql(f"CREATE MATERIALIZED VIEW inv_by_date AS {AGG_SQL}").run()
+    put_inventory(env, 2456100, 7, 1, 10)
+    env.cluster.run_maintenance()            # fresh insert: additive delta
+    put_inventory(env, 2456100, 7, 1, 99)    # second version of the row
+    env.cluster.run_maintenance()            # overwrite: recount the group
+
+    fresh = env.new_session().sql(AGG_SQL).run()
+    answered = vsession.sql(AGG_SQL).run()
+    assert [e["action"] for e in answered.view_events] == ["rewrites"]
+    assert rows_of(answered) == rows_of(fresh)
+    assert env.cluster.metrics.snapshot()["sql.view.recounts"] >= 1
+
+
+def test_delete_recounts_and_removes_emptied_group(env, vsession):
+    vsession.sql(f"CREATE MATERIALIZED VIEW inv_by_date AS {AGG_SQL}").run()
+    row = put_inventory(env, 2456100, 7, 1, 10)
+    env.cluster.run_maintenance()
+    table, _, _ = base_writer(env, "inventory")
+    table.delete(Delete(row))
+    env.cluster.run_maintenance()
+
+    fresh = env.new_session().sql(AGG_SQL).run()
+    answered = vsession.sql(AGG_SQL).run()
+    assert [e["action"] for e in answered.view_events] == ["rewrites"]
+    assert rows_of(answered) == rows_of(fresh)
+    assert all(r.values[0] != 2456100 for r in answered.rows)
+
+
+def test_non_prefix_group_invalidates_then_refresh_recovers(env, vsession):
+    # inv_item_sk is not a prefix of inventory's row key, so a tombstone
+    # cannot be repaired with a prefix recount: the view must invalidate
+    item_sql = ("SELECT inv_item_sk, sum(inv_quantity_on_hand) AS on_hand "
+                "FROM inventory GROUP BY inv_item_sk")
+    vsession.sql(f"CREATE MATERIALIZED VIEW inv_by_item AS {item_sql}").run()
+    row = put_inventory(env, 2456100, 7, 1, 10)
+    table, _, _ = base_writer(env, "inventory")
+    table.delete(Delete(row))
+    env.cluster.run_maintenance()
+    assert env.cluster.metrics.snapshot()["sql.view.invalidations"] == 1
+
+    rejected = vsession.sql(item_sql).run()
+    assert [e["action"] for e in rejected.view_events] == ["rejected_stale"]
+    assert rows_of(rejected) == rows_of(env.new_session().sql(item_sql).run())
+
+    refreshed = vsession.sql("REFRESH MATERIALIZED VIEW inv_by_item").run()
+    assert refreshed.metrics.get("sql.view.refreshed") == 1
+    recovered = vsession.sql(item_sql).run()
+    assert [e["action"] for e in recovered.view_events] == ["rewrites"]
+    assert rows_of(recovered) == rows_of(env.new_session().sql(item_sql).run())
+
+
+def test_view_not_smaller_than_base_is_rejected_on_cost(env, vsession):
+    # grouping by the whole base row key keeps one view row per base row,
+    # and the avg helpers make the view *wider* than the base table
+    wide_sql = ("SELECT inv_date_sk, inv_item_sk, inv_warehouse_sk, "
+                "count(inv_quantity_on_hand) AS c, "
+                "sum(inv_quantity_on_hand) AS s, "
+                "avg(inv_quantity_on_hand) AS a "
+                "FROM inventory "
+                "GROUP BY inv_date_sk, inv_item_sk, inv_warehouse_sk")
+    vsession.sql(f"CREATE MATERIALIZED VIEW inv_wide AS {wide_sql}").run()
+    result = vsession.sql(wide_sql).run()
+    assert [e["action"] for e in result.view_events] == ["rejected_cost"]
+    assert result.metrics.get("sql.view.rejected_cost") == 1
+    assert rows_of(result) == rows_of(env.new_session().sql(wide_sql).run())
+
+
+def test_duplicate_view_name_rejected(vsession):
+    vsession.sql(f"CREATE MATERIALIZED VIEW inv_by_date AS {AGG_SQL}").run()
+    with pytest.raises(AnalysisError, match="already exists"):
+        vsession.sql(f"CREATE MATERIALIZED VIEW inv_by_date AS {AGG_SQL}")
+
+
+@pytest.mark.parametrize("bad_sql", [
+    # no GROUP BY at all
+    "SELECT count(inv_quantity_on_hand) AS c FROM inventory",
+    # no aggregate
+    "SELECT inv_date_sk FROM inventory GROUP BY inv_date_sk",
+    # filters in the definition cannot be maintained
+    "SELECT inv_date_sk, count(inv_quantity_on_hand) AS c FROM inventory "
+    "WHERE inv_date_sk > 0 GROUP BY inv_date_sk",
+    # DISTINCT aggregates are not incrementally maintainable
+    "SELECT inv_date_sk, count(DISTINCT inv_item_sk) AS c FROM inventory "
+    "GROUP BY inv_date_sk",
+    # output name collides with a grouping column
+    "SELECT inv_date_sk, count(inv_item_sk) AS inv_date_sk FROM inventory "
+    "GROUP BY inv_date_sk",
+    # outer joins cannot be maintained by keyed upsert
+    "SELECT inv_item_sk, i_category FROM inventory "
+    "LEFT JOIN item ON inv_item_sk = i_item_sk",
+    # the dimension side's join key must be its whole row key
+    "SELECT inv_date_sk, d_year FROM inventory "
+    "JOIN date_dim ON inv_date_sk = d_year",
+])
+def test_unsupported_definitions_raise(vsession, bad_sql):
+    with pytest.raises(AnalysisError):
+        vsession.sql(f"CREATE MATERIALIZED VIEW bad AS {bad_sql}")
+
+
+# -- join views ------------------------------------------------------------
+
+
+def test_join_view_rewrite_and_fact_upsert(env, vsession):
+    created = vsession.sql(
+        f"CREATE MATERIALIZED VIEW inv_items AS {JOIN_SQL}").run()
+    assert [tuple(r.values)[1] for r in created.rows] == ["join"]
+    baseline = env.new_session().sql(JOIN_SQL).run()
+    answered = vsession.sql(JOIN_SQL).run()
+    assert [e["action"] for e in answered.view_events] == ["rewrites"]
+    assert rows_of(answered) == rows_of(baseline)
+
+    put_inventory(env, 2456100, 1, 1, 40)   # item 1 exists in the dimension
+    env.cluster.run_maintenance()
+    fresh = env.new_session().sql(JOIN_SQL).run()
+    caught_up = vsession.sql(JOIN_SQL).run()
+    assert [e["action"] for e in caught_up.view_events] == ["rewrites"]
+    assert rows_of(caught_up) == rows_of(fresh)
+
+
+def test_join_view_dimension_change_rejoins_by_prefix(env, vsession):
+    # inv_date_sk leads inventory's row key, so a date_dim change re-joins
+    # the matching fact rows with one prefix scan per changed dimension row
+    vsession.sql(f"CREATE MATERIALIZED VIEW inv_dates AS {DIM_JOIN_SQL}").run()
+    answered = vsession.sql(DIM_JOIN_SQL).run()
+    assert [e["action"] for e in answered.view_events] == ["rewrites"]
+    date_sk = env.new_session().sql(
+        "SELECT inv_date_sk, count(inv_quantity_on_hand) AS c "
+        "FROM inventory GROUP BY inv_date_sk").run().rows[0].values[0]
+
+    table, catalog, coder = base_writer(env, "date_dim")
+    row = encode_rowkey(catalog, coder, {"d_date_sk": date_sk})
+    column = catalog.column("d_year")
+    table.put(Put(row).add_column(
+        column.family, column.qualifier, coder.encode(1776, column.dtype)))
+    env.cluster.run_maintenance()
+
+    fresh = env.new_session().sql(DIM_JOIN_SQL).run()
+    caught_up = vsession.sql(DIM_JOIN_SQL).run()
+    assert [e["action"] for e in caught_up.view_events] == ["rewrites"]
+    assert rows_of(caught_up) == rows_of(fresh)
+    assert any(r.values[1] == 1776 for r in caught_up.rows)
+    assert env.cluster.metrics.snapshot()["sql.view.recounts"] >= 1
+
+
+def test_join_view_dimension_change_invalidates_when_key_not_leading(
+        env, vsession):
+    # inv_item_sk does not lead inventory's row key: an item change cannot
+    # be re-joined by prefix scan, so the view invalidates
+    vsession.sql(f"CREATE MATERIALIZED VIEW inv_items AS {JOIN_SQL}").run()
+    table, catalog, coder = base_writer(env, "item")
+    row = encode_rowkey(catalog, coder, {"i_item_sk": 1})
+    column = catalog.column("i_category")
+    table.put(Put(row).add_column(
+        column.family, column.qualifier, coder.encode("Books", column.dtype)))
+    env.cluster.run_maintenance()
+    assert env.cluster.metrics.snapshot()["sql.view.invalidations"] == 1
+    rejected = vsession.sql(JOIN_SQL).run()
+    assert [e["action"] for e in rejected.view_events] == ["rejected_stale"]
+
+
+# -- cross-session adoption ------------------------------------------------
+
+
+def test_hydrate_adopts_views_from_an_earlier_session(env, vsession):
+    vsession.sql(f"CREATE MATERIALIZED VIEW inv_by_date AS {AGG_SQL}").run()
+    vsession.shutdown()
+
+    later = env.new_session(conf={"sql.view.enabled": True})
+    assert later.views.hydrate(env.cluster) == ["inv_by_date"]
+    answered = later.sql(AGG_SQL).run()
+    assert [e["action"] for e in answered.view_events] == ["rewrites"]
+    assert rows_of(answered) == rows_of(env.new_session().sql(AGG_SQL).run())
